@@ -1,0 +1,38 @@
+//! Statistical analysis for simulation campaigns.
+//!
+//! Scheduling results on seeded workloads need more than a bare mean:
+//!
+//! * [`summarize`] — mean, standard deviation and a Student-t 95 %
+//!   confidence interval (small-sample-correct, for the 3-seed campaigns
+//!   the paper's testbed experiments use);
+//! * [`bootstrap_ci`] — seeded percentile bootstrap for statistics the
+//!   normal theory does not cover (p99s of heavy-tailed responses);
+//! * [`paired_compare`] — per-seed paired differences between two
+//!   schedulers, the variance-cancelling way to claim "A beats B".
+//!
+//! The crate is dependency-free and fully deterministic (the bootstrap
+//! uses an explicit seed).
+//!
+//! # Examples
+//!
+//! ```
+//! use lasmq_analysis::{paired_compare, summarize};
+//!
+//! let las_mq = [822.0, 871.0, 760.0];
+//! let fair = [1406.0, 1380.0, 1295.0];
+//! println!("LAS_MQ mean response: {}", summarize(&las_mq));
+//! let cmp = paired_compare(&las_mq, &fair);
+//! assert!(cmp.improvement_pct() > 30.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bootstrap;
+pub mod compare;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, BootstrapCi};
+pub use compare::{paired_compare, PairedComparison};
+pub use summary::{summarize, SampleSummary};

@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices and extensions DESIGN.md calls
+//! out beyond the paper's headline figures:
+//!
+//! * the **fairness knob** (§VII): queue-weight ratio sweep trading mean
+//!   response time against slowdown,
+//! * **bad size estimates** (§II): the SJF-est lineup,
+//! * the **geo-distributed** shuffle sweep (§VII),
+//! * **kill-based preemption** vs graceful rebalancing and **speculative
+//!   execution** of stragglers from work-conservation leftovers,
+//! * the **SJF/SRTF oracles**: the price of scheduling without size
+//!   information.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::table::{fmt_num, TextTable};
+use lasmq_experiments::{ext_estimation, ext_fairness, ext_geo, Scale, SchedulerKind, SimSetup};
+use lasmq_simulator::{PreemptionPolicy, SpeculationConfig};
+use lasmq_workload::{FacebookTrace, PumaWorkload};
+
+fn engine_extensions_table(scale: &Scale) -> TextTable {
+    let jobs = PumaWorkload::new()
+        .jobs(scale.puma_jobs)
+        .mean_interval_secs(50.0)
+        .seed(scale.seed)
+        .generate();
+    let mut t = TextTable::new(
+        "Extension: engine policies under LAS_MQ (PUMA workload)",
+        vec!["policy".into(), "mean response (s)".into(), "kills".into(), "spec copies".into()],
+    );
+    let kind = SchedulerKind::las_mq_experiments();
+    let variants: Vec<(&str, SimSetup)> = vec![
+        ("graceful (paper)", SimSetup::testbed()),
+        ("kill preemption", SimSetup::testbed().preemption(PreemptionPolicy::Kill)),
+        ("speculation on", SimSetup::testbed().speculation(SpeculationConfig::enabled(3, 1.5))),
+    ];
+    for (label, setup) in variants {
+        let report = setup.run(jobs.clone(), &kind);
+        t.row(vec![
+            label.into(),
+            fmt_num(report.mean_response_secs().unwrap_or(f64::NAN)),
+            report.stats().tasks_killed.to_string(),
+            report.stats().speculative_launched.to_string(),
+        ]);
+    }
+    t
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let scale = Scale::bench();
+    let mut tables = Vec::new();
+    tables.extend(ext_estimation::run(&scale).tables());
+    tables.extend(ext_fairness::run(&scale).tables());
+    tables.extend(ext_geo::run(&scale).tables());
+    tables.push(engine_extensions_table(&scale));
+    print_series("Extensions (ablations beyond the paper)", &tables);
+
+    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let setup = SimSetup::trace_sim();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Sjf, SchedulerKind::Srtf] {
+        group.bench_function(format!("oracle_{kind}"), |b| {
+            b.iter(|| black_box(setup.run(jobs.clone(), &kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the simulator substrate itself: event throughput,
+//! the weighted-share primitive, and the event queue.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lasmq_schedulers::share::{weighted_shares, ShareRequest};
+use lasmq_schedulers::Fifo;
+use lasmq_simulator::event::{Event, EventQueue};
+use lasmq_simulator::{
+    ClusterConfig, JobSpec, SimDuration, SimTime, Simulation, StageKind, StageSpec, TaskSpec,
+};
+
+fn synthetic_jobs(n: usize) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| {
+            JobSpec::builder()
+                .arrival(SimTime::from_secs(i as u64))
+                .stage(StageSpec::uniform(
+                    StageKind::Map,
+                    20,
+                    TaskSpec::new(SimDuration::from_secs(5 + (i % 7) as u64)),
+                ))
+                .stage(StageSpec::uniform(
+                    StageKind::Reduce,
+                    5,
+                    TaskSpec::new(SimDuration::from_secs(10)).with_containers(2),
+                ))
+                .build()
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let jobs = synthetic_jobs(500);
+    let task_events: u64 = jobs.iter().map(|j| j.total_tasks() as u64).sum();
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(task_events));
+    group.bench_function("fifo_500_jobs_12500_tasks", |b| {
+        b.iter(|| {
+            let report = Simulation::builder()
+                .cluster(ClusterConfig::new(4, 30))
+                .jobs(jobs.clone())
+                .build(Fifo::new())
+                .expect("valid setup")
+                .run();
+            black_box(report)
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("primitives");
+    let requests: Vec<ShareRequest> =
+        (0..1_000).map(|i| ShareRequest::new(1 + (i % 50), 1.0 + (i % 5) as f64)).collect();
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("weighted_shares_1000_parties", |b| {
+        b.iter(|| black_box(weighted_shares(black_box(120), &requests)));
+    });
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_millis((i * 7919) % 100_000), Event::Tick);
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

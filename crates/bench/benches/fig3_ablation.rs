@@ -1,0 +1,21 @@
+//! Bench for Fig. 3: the stage-awareness × in-queue-ordering ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::{fig3, Scale};
+
+fn bench_fig3(c: &mut Criterion) {
+    print_series("Fig 3 (ablation)", &fig3::run(&Scale::bench()).tables());
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("ablation_all_cases", |b| {
+        b.iter(|| black_box(fig3::run(&Scale::test())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for Fig. 5: the testbed workload at an 80 s mean arrival
+//! interval (response CDF, per-bin means, slowdown CDF).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::{fig56, Scale, SchedulerKind, SimSetup};
+use lasmq_workload::PumaWorkload;
+
+fn bench_fig5(c: &mut Criterion) {
+    print_series("Fig 5 (interval 80 s)", &fig56::run(&Scale::bench(), 80.0).tables());
+
+    let jobs = PumaWorkload::new().jobs(50).mean_interval_secs(80.0).seed(1).generate();
+    let setup = SimSetup::testbed();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for kind in SchedulerKind::paper_lineup_experiments() {
+        group.bench_function(format!("puma50_{kind}"), |b| {
+            b.iter(|| black_box(setup.run(jobs.clone(), &kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench for Fig. 6: the testbed workload at a 50 s mean arrival interval
+//! (the higher-load twin of Fig. 5, where LAS_MQ's gaps widen).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::{fig56, Scale};
+
+fn bench_fig6(c: &mut Criterion) {
+    print_series("Fig 6 (interval 50 s)", &fig56::run(&Scale::bench(), 50.0).tables());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("full_lineup_interval50", |b| {
+        b.iter(|| black_box(fig56::run(&Scale::test(), 50.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

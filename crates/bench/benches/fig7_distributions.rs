@@ -1,0 +1,26 @@
+//! Bench for Fig. 7: heavy-tailed vs uniform size distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::{fig7, Scale, SchedulerKind, SimSetup};
+use lasmq_workload::FacebookTrace;
+
+fn bench_fig7(c: &mut Criterion) {
+    print_series("Fig 7 (distributions)", &fig7::run(&Scale::bench()).tables());
+
+    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let setup = SimSetup::trace_sim();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for kind in SchedulerKind::paper_lineup_simulations() {
+        group.bench_function(format!("trace_{kind}"), |b| {
+            b.iter(|| black_box(setup.run(jobs.clone(), &kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

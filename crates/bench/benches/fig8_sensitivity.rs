@@ -1,0 +1,29 @@
+//! Bench for Fig. 8: sensitivity to the number of queues and the first
+//! threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_core::LasMqConfig;
+use lasmq_experiments::{fig8, Scale, SchedulerKind, SimSetup};
+use lasmq_workload::FacebookTrace;
+
+fn bench_fig8(c: &mut Criterion) {
+    print_series("Fig 8 (sensitivity)", &fig8::run(&Scale::bench()).tables());
+
+    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let setup = SimSetup::trace_sim();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for k in [1usize, 5, 10] {
+        let kind = SchedulerKind::LasMq(LasMqConfig::paper_simulations().with_num_queues(k));
+        group.bench_function(format!("las_mq_k{k}"), |b| {
+            b.iter(|| black_box(setup.run(jobs.clone(), &kind)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for Table I: regenerates the workload-description table and
+//! measures PUMA workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_bench::print_series;
+use lasmq_experiments::{table1, Scale};
+use lasmq_workload::PumaWorkload;
+
+fn bench_table1(c: &mut Criterion) {
+    print_series("Table I", &table1::run(&Scale::bench()).tables());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("build_table1", |b| {
+        b.iter(|| black_box(table1::run(&Scale::test())));
+    });
+    group.bench_function("generate_puma_100_jobs", |b| {
+        b.iter(|| black_box(PumaWorkload::new().jobs(100).seed(1).generate()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

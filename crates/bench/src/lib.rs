@@ -1,0 +1,27 @@
+//! Shared helpers for the criterion benches.
+//!
+//! Every bench regenerates its table/figure's series once at reduced
+//! ([`Scale::bench`]) scale — so `cargo bench` reproduces the paper's rows
+//! — and then measures the wall-clock cost of the underlying simulation
+//! runs at [`Scale::test`] scale.
+//!
+//! [`Scale::bench`]: lasmq_experiments::Scale::bench
+//! [`Scale::test`]: lasmq_experiments::Scale::test
+
+use std::sync::Once;
+
+use lasmq_experiments::table::TextTable;
+
+static HEADER: Once = Once::new();
+
+/// Prints a figure's tables exactly once per bench process, prefixed with
+/// a reproduction banner.
+pub fn print_series(figure: &str, tables: &[TextTable]) {
+    HEADER.call_once(|| {
+        println!("\n--- LAS_MQ paper series (reduced bench scale; run `repro` for full scale) ---");
+    });
+    println!("\n### {figure}");
+    for t in tables {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Stage-aware service estimation (§III-B of the paper).
+//!
+//! Jobs move across queues based on attained service, but waiting for a
+//! stage to *finish* before its full cost is visible lets large jobs linger
+//! in high-priority queues. The paper's *stage awareness* strategy instead
+//! estimates the service a job will receive in its current stage as
+//!
+//! ```text
+//! estimated stage service = attained service in stage / stage progress
+//! ```
+//!
+//! (e.g. 10 container-time at 10 % progress → 100 container-time), and
+//! ranks the job by `precise service of past stages + estimate for the
+//! current stage`. Over-estimates are benign — they only delay the job
+//! itself — while under-estimates delay *other* small jobs (§III-B), so
+//! the estimate is clamped from below by the service already attained and
+//! is only trusted once progress clears a small floor.
+
+use lasmq_simulator::{JobView, Service};
+
+/// The service amount used for queue placement of `view`'s job.
+///
+/// With `stage_awareness` off this is simply the attained service
+/// (classic MLFQ demotion). With it on, the current stage's attained
+/// service is replaced by the progress-scaled estimate, once
+/// `stage_progress ≥ min_progress`.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_core::estimate::effective_service;
+/// use lasmq_simulator::{JobId, JobView, Service, SimTime};
+///
+/// # let mut view = JobView {
+/// #     id: JobId::new(0), arrival: SimTime::ZERO, admitted_at: SimTime::ZERO,
+/// #     priority: 1, attained: Service::from_container_secs(10.0),
+/// #     attained_stage: Service::from_container_secs(10.0), stage_index: 0,
+/// #     stage_count: 2, stage_progress: 0.1, remaining_tasks: 90,
+/// #     unstarted_tasks: 80, containers_per_task: 1, held: 10, oracle: None,
+/// # };
+/// // The paper's example: 10 container-time at 10% progress -> 100.
+/// assert_eq!(effective_service(&view, true, 0.05).as_container_secs(), 100.0);
+/// // Without stage awareness, only what was actually attained counts.
+/// assert_eq!(effective_service(&view, false, 0.05).as_container_secs(), 10.0);
+/// ```
+pub fn effective_service(view: &JobView, stage_awareness: bool, min_progress: f64) -> Service {
+    let past = view.attained - view.attained_stage;
+    let stage = if stage_awareness && view.stage_progress >= min_progress {
+        // Progress ≥ min_progress > 0, so the division is well-defined;
+        // never rank below what was genuinely consumed.
+        (view.attained_stage / view.stage_progress).max(view.attained_stage)
+    } else {
+        view.attained_stage
+    };
+    past + stage
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::{JobId, SimTime};
+
+    fn view(attained: f64, attained_stage: f64, progress: f64) -> JobView {
+        JobView {
+            id: JobId::new(0),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority: 1,
+            attained: Service::from_container_secs(attained),
+            attained_stage: Service::from_container_secs(attained_stage),
+            stage_index: 1,
+            stage_count: 2,
+            stage_progress: progress,
+            remaining_tasks: 10,
+            unstarted_tasks: 10,
+            containers_per_task: 1,
+            held: 0,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn paper_example_10_percent() {
+        // 10 container-time attained at 10% progress => estimate 100.
+        let v = view(10.0, 10.0, 0.1);
+        assert_eq!(effective_service(&v, true, 0.05).as_container_secs(), 100.0);
+    }
+
+    #[test]
+    fn past_stages_stay_precise() {
+        // 40 from finished stages + 10 in the current stage at 50%.
+        let v = view(50.0, 10.0, 0.5);
+        assert_eq!(effective_service(&v, true, 0.05).as_container_secs(), 40.0 + 20.0);
+    }
+
+    #[test]
+    fn estimate_never_below_attained() {
+        // Progress counters can run ahead of service accounting; the
+        // estimate must not *undercut* real consumption.
+        let v = view(30.0, 30.0, 0.99);
+        let e = effective_service(&v, true, 0.05);
+        assert!(e.as_container_secs() >= 30.0);
+    }
+
+    #[test]
+    fn low_progress_is_not_trusted() {
+        let v = view(1.0, 1.0, 0.01);
+        // 1/0.01 = 100 would be wild; below the floor we keep 1.
+        assert_eq!(effective_service(&v, true, 0.05).as_container_secs(), 1.0);
+    }
+
+    #[test]
+    fn disabled_awareness_is_plain_attained() {
+        let v = view(50.0, 10.0, 0.5);
+        assert_eq!(effective_service(&v, false, 0.05).as_container_secs(), 50.0);
+    }
+
+    #[test]
+    fn zero_progress_zero_attained() {
+        let v = view(0.0, 0.0, 0.0);
+        assert_eq!(effective_service(&v, true, 0.05), Service::ZERO);
+    }
+}

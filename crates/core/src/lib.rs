@@ -1,0 +1,56 @@
+//! **LAS_MQ** — job scheduling without prior information, reproduced from
+//! *Job Scheduling without Prior Information in Big Data Processing
+//! Systems* (Hu, Li, Qin, Goh — ICDCS 2017).
+//!
+//! LAS_MQ is a multilevel-feedback-queue job scheduler for container
+//! clusters (YARN in the paper, [`lasmq_simulator`] here) that mimics
+//! shortest-job-first *without knowing job sizes*:
+//!
+//! * new jobs enter the highest-priority queue and are **demoted** once the
+//!   service they have received exceeds their queue's threshold
+//!   (`αᵢ₊₁ = p · αᵢ`, exponentially spaced — §III-E), so small jobs finish
+//!   in the top queues while large jobs sink and stop blocking them;
+//! * **stage awareness** (§III-B) estimates a stage's full cost as
+//!   `attained-in-stage / stage-progress`, demoting large jobs *before*
+//!   they burn through a threshold — over-estimates only delay the job
+//!   itself, so the estimate errs safely;
+//! * within a queue, jobs are ordered by the **container demand of their
+//!   remaining tasks** (§III-C) — a stable, FIFO-like order that lets more
+//!   jobs finish sooner than plain FIFO;
+//! * across queues, **weighted fair sharing** keeps demoted jobs
+//!   progressing (no starvation), and leftover containers are shared with
+//!   any job that can use them (work conservation — Algorithm 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lasmq_core::{LasMq, LasMqConfig};
+//! use lasmq_simulator::{ClusterConfig, Simulation};
+//! use lasmq_workload::PumaWorkload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let jobs = PumaWorkload::new().jobs(10).seed(1).generate();
+//! let report = Simulation::builder()
+//!     .cluster(ClusterConfig::new(4, 30))
+//!     .admission_limit(30)
+//!     .jobs(jobs)
+//!     .build(LasMq::new(LasMqConfig::paper_experiments()))?
+//!     .run();
+//! println!("mean response: {:.0}s", report.mean_response_secs().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod estimate;
+pub mod mlq;
+pub mod scheduler;
+pub mod tuning;
+
+pub use config::{LasMqConfig, QueueOrdering, QueueSharing, QueueWeights};
+pub use scheduler::LasMq;
+pub use tuning::{suggest, TuningSuggestion};

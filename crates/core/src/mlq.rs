@@ -1,0 +1,265 @@
+//! The multilevel queue data structure (Fig. 2 of the paper).
+//!
+//! `k` priority queues; every new job enters queue 1 (index 0, highest
+//! priority) and is *demoted* — never promoted — once the service it has
+//! received (or is estimated to receive, with stage awareness) exceeds its
+//! queue's threshold. Demotion is monotonic in the *maximum* effective
+//! service observed so far, so a temporarily shrinking estimate cannot
+//! bounce a job back up and destabilize the ordering.
+
+use std::collections::HashMap;
+
+use lasmq_simulator::{JobId, Service};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    queue: usize,
+    seq: u64,
+    max_effective: f64,
+}
+
+/// Queue membership bookkeeping for LAS_MQ.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_core::mlq::MultilevelQueue;
+/// use lasmq_simulator::{JobId, Service};
+///
+/// let thresholds = vec![Service::from_container_secs(100.0)];
+/// let mut mlq = MultilevelQueue::new(2);
+/// let job = JobId::new(0);
+/// mlq.insert(job);
+/// assert_eq!(mlq.queue_of(job), Some(0));
+/// mlq.observe(job, Service::from_container_secs(150.0), &thresholds);
+/// assert_eq!(mlq.queue_of(job), Some(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultilevelQueue {
+    queues: Vec<Vec<JobId>>,
+    index: HashMap<JobId, Entry>,
+    next_seq: u64,
+}
+
+impl MultilevelQueue {
+    /// `k` empty queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "at least one queue is required");
+        MultilevelQueue { queues: vec![Vec::new(); k], index: HashMap::new(), next_seq: 0 }
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total jobs across all queues.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no job is enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Admits a new job to the highest-priority queue. Idempotent: a job
+    /// already present keeps its position.
+    pub fn insert(&mut self, job: JobId) {
+        if self.index.contains_key(&job) {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.index.insert(job, Entry { queue: 0, seq, max_effective: 0.0 });
+        self.queues[0].push(job);
+    }
+
+    /// Removes a completed job. Idempotent.
+    pub fn remove(&mut self, job: JobId) {
+        if let Some(entry) = self.index.remove(&job) {
+            self.queues[entry.queue].retain(|&j| j != job);
+        }
+    }
+
+    /// The queue index a job currently sits in.
+    pub fn queue_of(&self, job: JobId) -> Option<usize> {
+        self.index.get(&job).map(|e| e.queue)
+    }
+
+    /// The arrival sequence number of a job (its FIFO rank).
+    pub fn seq_of(&self, job: JobId) -> Option<u64> {
+        self.index.get(&job).map(|e| e.seq)
+    }
+
+    /// Jobs in queue `i`, in current order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn jobs_in(&self, i: usize) -> &[JobId] {
+        &self.queues[i]
+    }
+
+    /// Records an observation of a job's effective service and demotes it
+    /// if the (monotonically tracked) maximum now exceeds its queue's
+    /// threshold — Algorithm 1's movement rule: the job lands in the first
+    /// queue whose threshold is at least the observed service.
+    ///
+    /// Returns the job's (possibly new) queue, or `None` for unknown jobs.
+    pub fn observe(
+        &mut self,
+        job: JobId,
+        effective: Service,
+        thresholds: &[Service],
+    ) -> Option<usize> {
+        debug_assert_eq!(thresholds.len() + 1, self.queues.len());
+        let entry = self.index.get_mut(&job)?;
+        entry.max_effective = entry.max_effective.max(effective.as_container_secs());
+        // Relative epsilon: service accrual and the stage-awareness
+        // division both carry float rounding, and job sizes routinely sit
+        // *exactly on* a threshold (e.g. size-10⁴ jobs vs α₅ = 10⁴). A
+        // nanoscale overshoot must not demote a job past the queue its true
+        // service belongs to.
+        let target = thresholds
+            .iter()
+            .position(|t| {
+                let t = t.as_container_secs();
+                entry.max_effective <= t * (1.0 + 1e-6)
+            })
+            .unwrap_or(thresholds.len());
+        if target > entry.queue {
+            let from = entry.queue;
+            entry.queue = target;
+            self.queues[from].retain(|&j| j != job);
+            self.queues[target].push(job);
+        }
+        Some(self.index[&job].queue)
+    }
+
+    /// Sorts queue `i` by `key` ascending (stable, so equal keys keep
+    /// their existing relative order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sort_queue_by_key<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId) -> K) {
+        self.queues[i].sort_by_key(|&j| key(j));
+    }
+
+    /// Sorts queue `i` ascending by `key(job, seq)`, where `seq` is the
+    /// job's arrival sequence number — the natural FIFO tie-breaker for
+    /// the paper's demand-based ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sort_queue_with_seq<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId, u64) -> K) {
+        let index = &self.index;
+        self.queues[i]
+            .sort_by_key(|&j| key(j, index.get(&j).map(|e| e.seq).unwrap_or(u64::MAX)));
+    }
+
+    /// Per-queue job counts (handy for tests and introspection).
+    pub fn queue_lengths(&self) -> Vec<usize> {
+        self.queues.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thresholds(values: &[f64]) -> Vec<Service> {
+        values.iter().map(|&v| Service::from_container_secs(v)).collect()
+    }
+
+    #[test]
+    fn new_jobs_enter_queue_zero_in_order() {
+        let mut mlq = MultilevelQueue::new(3);
+        for i in 0..4 {
+            mlq.insert(JobId::new(i));
+        }
+        assert_eq!(mlq.jobs_in(0).len(), 4);
+        assert_eq!(mlq.seq_of(JobId::new(0)), Some(0));
+        assert_eq!(mlq.seq_of(JobId::new(3)), Some(3));
+        assert_eq!(mlq.len(), 4);
+    }
+
+    #[test]
+    fn demotion_follows_thresholds() {
+        let t = thresholds(&[10.0, 100.0]);
+        let mut mlq = MultilevelQueue::new(3);
+        let j = JobId::new(0);
+        mlq.insert(j);
+        assert_eq!(mlq.observe(j, Service::from_container_secs(5.0), &t), Some(0));
+        assert_eq!(mlq.observe(j, Service::from_container_secs(50.0), &t), Some(1));
+        assert_eq!(mlq.observe(j, Service::from_container_secs(5_000.0), &t), Some(2));
+        assert_eq!(mlq.queue_lengths(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn demotion_is_monotonic_under_shrinking_estimates() {
+        let t = thresholds(&[10.0]);
+        let mut mlq = MultilevelQueue::new(2);
+        let j = JobId::new(0);
+        mlq.insert(j);
+        mlq.observe(j, Service::from_container_secs(20.0), &t);
+        assert_eq!(mlq.queue_of(j), Some(1));
+        // The estimate later shrinks below the threshold — no promotion.
+        mlq.observe(j, Service::from_container_secs(1.0), &t);
+        assert_eq!(mlq.queue_of(j), Some(1));
+    }
+
+    #[test]
+    fn jobs_can_skip_queues() {
+        // A stage-awareness estimate can jump several thresholds at once.
+        let t = thresholds(&[1.0, 10.0, 100.0, 1_000.0]);
+        let mut mlq = MultilevelQueue::new(5);
+        let j = JobId::new(0);
+        mlq.insert(j);
+        mlq.observe(j, Service::from_container_secs(500.0), &t);
+        assert_eq!(mlq.queue_of(j), Some(3));
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_insert_too() {
+        let mut mlq = MultilevelQueue::new(2);
+        let j = JobId::new(7);
+        mlq.insert(j);
+        mlq.insert(j);
+        assert_eq!(mlq.len(), 1);
+        mlq.remove(j);
+        mlq.remove(j);
+        assert!(mlq.is_empty());
+        assert_eq!(mlq.queue_of(j), None);
+    }
+
+    #[test]
+    fn sort_queue_reorders() {
+        let mut mlq = MultilevelQueue::new(1);
+        for i in 0..3 {
+            mlq.insert(JobId::new(i));
+        }
+        // Sort descending by id via a reversing key.
+        mlq.sort_queue_by_key(0, |j| std::cmp::Reverse(j.index()));
+        let order: Vec<usize> = mlq.jobs_in(0).iter().map(|j| j.index()).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn observe_unknown_job_is_none() {
+        let mut mlq = MultilevelQueue::new(2);
+        assert_eq!(mlq.observe(JobId::new(9), Service::ZERO, &thresholds(&[1.0])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn zero_queues_panics() {
+        let _ = MultilevelQueue::new(0);
+    }
+}

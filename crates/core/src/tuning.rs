@@ -1,0 +1,130 @@
+//! Threshold auto-tuning (the paper's §VII future-work direction).
+//!
+//! §III-E: "if the size of the largest job is s, then the number of queues
+//! k = ⌈log(s)⌉" (base `p`, given the first threshold and step). When an
+//! operator has a *sample* of historical job sizes — even a rough one —
+//! this module turns it into a configuration: the first threshold is placed
+//! so a sizeable share of jobs finishes entirely within the top queue, and
+//! enough queues are added for the largest observed job to be separable.
+
+use crate::config::LasMqConfig;
+
+/// A `(k, α₁)` suggestion derived from a size sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct TuningSuggestion {
+    /// Suggested number of queues.
+    pub num_queues: usize,
+    /// Suggested first-queue threshold, in container-seconds.
+    pub first_threshold: f64,
+    /// The step the suggestion was computed for.
+    pub step: f64,
+}
+
+impl TuningSuggestion {
+    /// Applies the suggestion to a base configuration.
+    pub fn apply_to(&self, config: LasMqConfig) -> LasMqConfig {
+        config
+            .with_num_queues(self.num_queues)
+            .with_first_threshold(self.first_threshold)
+            .with_step(self.step)
+    }
+}
+
+/// Suggests `(k, α₁)` from observed job sizes (container-seconds) and a
+/// step `p`.
+///
+/// The first threshold is set near the sample's median — §V-C2 shows
+/// performance degrades once the first threshold exceeds the mean job size
+/// (most jobs then never leave the first queue), while anything comfortably
+/// below works; the number of queues then follows the paper's
+/// `k = ⌈log_p(max / α₁)⌉ + 1` rule so the largest job is separable.
+///
+/// # Errors
+///
+/// Returns an explanatory message if the sample is empty, contains a
+/// non-positive or non-finite size, or `step ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_core::tuning::suggest;
+///
+/// let sizes = vec![1.0, 2.0, 4.0, 8.0, 10_000.0];
+/// let s = suggest(&sizes, 10.0)?;
+/// assert!(s.num_queues >= 4);
+/// assert!(s.first_threshold <= 8.0);
+/// # Ok::<(), String>(())
+/// ```
+pub fn suggest(sizes: &[f64], step: f64) -> Result<TuningSuggestion, String> {
+    if sizes.is_empty() {
+        return Err("size sample is empty".into());
+    }
+    if !(step.is_finite() && step > 1.0) {
+        return Err(format!("step must exceed 1, got {step}"));
+    }
+    let mut sorted = sizes.to_vec();
+    for &s in &sorted {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(format!("sizes must be positive and finite, got {s}"));
+        }
+    }
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let max = *sorted.last().expect("nonempty");
+
+    let first_threshold = median;
+    // The k − 1 thresholds should reach the largest job so even the
+    // biggest jobs are separable: α₁ · p^(k−2) ≥ max.
+    let decades = (max / first_threshold).log(step).ceil().max(0.0) as usize;
+    let num_queues = decades + 2;
+    Ok(TuningSuggestion { num_queues, first_threshold, step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_largest_job() {
+        let sizes = vec![1.0, 2.0, 3.0, 5.0, 10_000.0];
+        let s = suggest(&sizes, 10.0).unwrap();
+        let config = s.apply_to(LasMqConfig::paper_simulations());
+        let last_threshold = config.thresholds().last().unwrap().as_container_secs();
+        assert!(last_threshold >= 10_000.0, "last threshold {last_threshold}");
+    }
+
+    #[test]
+    fn first_threshold_below_mean_prevents_fig8b_collapse() {
+        // A heavy-tail-ish sample with mean ~20 (the paper's trace): the
+        // suggestion must stay well below the mean.
+        let mut sizes: Vec<f64> = (0..1_000).map(|i| 1.0 + (i % 7) as f64).collect();
+        sizes.extend([5_000.0, 9_000.0]);
+        let s = suggest(&sizes, 10.0).unwrap();
+        let mean: f64 = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert!(s.first_threshold <= mean, "{} vs mean {mean}", s.first_threshold);
+    }
+
+    #[test]
+    fn uniform_sample_still_yields_two_queues() {
+        let s = suggest(&[10.0; 50], 10.0).unwrap();
+        assert_eq!(s.num_queues, 2);
+        assert_eq!(s.first_threshold, 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(suggest(&[], 10.0).is_err());
+        assert!(suggest(&[1.0, -2.0], 10.0).is_err());
+        assert!(suggest(&[1.0], 1.0).is_err());
+        assert!(suggest(&[f64::NAN], 10.0).is_err());
+    }
+
+    #[test]
+    fn apply_to_roundtrips_into_config() {
+        let s = suggest(&[1.0, 50.0, 2_000.0], 10.0).unwrap();
+        let config = s.apply_to(LasMqConfig::paper_simulations());
+        assert_eq!(config.num_queues(), s.num_queues);
+        assert_eq!(config.thresholds()[0].as_container_secs(), s.first_threshold);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests of LAS_MQ's data structures and scheduling plan.
+
+use proptest::prelude::*;
+
+use lasmq_core::estimate::effective_service;
+use lasmq_core::mlq::MultilevelQueue;
+use lasmq_core::{LasMq, LasMqConfig, QueueOrdering, QueueSharing, QueueWeights};
+use lasmq_simulator::{JobId, JobView, SchedContext, Scheduler, Service, SimTime};
+
+fn view_strategy() -> impl Strategy<Value = JobView> {
+    (0u32..500, 0.0f64..2e4, 0.0f64..1.0, 0.0f64..=1.0, 0u32..100, 1u32..=2).prop_map(
+        |(id, attained, stage_frac, progress, unstarted, width)| {
+            let attained_stage = attained * stage_frac;
+            JobView {
+                id: JobId::new(id),
+                arrival: SimTime::from_millis(id as u64),
+                admitted_at: SimTime::from_millis(id as u64),
+                priority: 1 + (id % 5) as u8,
+                attained: Service::from_container_secs(attained),
+                attained_stage: Service::from_container_secs(attained_stage),
+                stage_index: 0,
+                stage_count: 2,
+                stage_progress: progress,
+                remaining_tasks: unstarted + 1,
+                unstarted_tasks: unstarted,
+                containers_per_task: width,
+                held: 0,
+                oracle: None,
+            }
+        },
+    )
+}
+
+fn dedup_by_id(mut views: Vec<JobView>) -> Vec<JobView> {
+    views.sort_by_key(|v| v.id);
+    views.dedup_by_key(|v| v.id);
+    views
+}
+
+fn config_strategy() -> impl Strategy<Value = LasMqConfig> {
+    (
+        1usize..=10,
+        0.5f64..200.0,
+        prop_oneof![Just(2.0f64), Just(5.0), Just(10.0)],
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop_oneof![
+            Just(QueueWeights::Equal),
+            Just(QueueWeights::Geometric { ratio: 2.0 }),
+            Just(QueueWeights::Geometric { ratio: 4.0 }),
+        ],
+    )
+        .prop_map(|(k, alpha, step, sa, demand_order, strict, weights)| {
+            LasMqConfig::paper_experiments()
+                .with_num_queues(k)
+                .with_first_threshold(alpha)
+                .with_step(step)
+                .with_stage_awareness(sa)
+                .with_ordering(if demand_order {
+                    QueueOrdering::RemainingDemand
+                } else {
+                    QueueOrdering::Fifo
+                })
+                .with_sharing(if strict {
+                    QueueSharing::StrictPriority
+                } else {
+                    QueueSharing::Weighted
+                })
+                .with_weights(weights)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LAS_MQ plans are sound (no over-allocation, no over-demand) and
+    /// work-conserving under saturation, for every configuration corner.
+    #[test]
+    fn plans_sound_for_all_configs(
+        views in prop::collection::vec(view_strategy(), 1..25).prop_map(dedup_by_id),
+        capacity in 1u32..150,
+        config in config_strategy(),
+    ) {
+        let mut sched = LasMq::new(config);
+        for v in &views {
+            sched.on_job_admitted(v, SimTime::ZERO);
+        }
+        let ctx = SchedContext::new(SimTime::ZERO, capacity, &views);
+        let plan = sched.allocate(&ctx);
+
+        let mut totals: std::collections::HashMap<JobId, u32> = std::collections::HashMap::new();
+        for &(id, t) in plan.entries() {
+            totals.insert(id, t);
+        }
+        let granted: u64 = totals.values().map(|&t| t as u64).sum();
+        prop_assert!(granted <= capacity as u64);
+        for (id, t) in &totals {
+            let v = views.iter().find(|v| v.id == *id).expect("known job");
+            prop_assert!(*t <= v.max_useful_allocation());
+        }
+        let demand: u64 = views.iter().map(|v| v.max_useful_allocation() as u64).sum();
+        prop_assert_eq!(granted, demand.min(capacity as u64), "not work conserving");
+    }
+
+    /// Queue placement is consistent: after an allocate pass every job
+    /// sits in the queue its (monotone) effective service maps to.
+    #[test]
+    fn queue_placement_matches_thresholds(
+        views in prop::collection::vec(view_strategy(), 1..20).prop_map(dedup_by_id),
+        capacity in 1u32..100,
+    ) {
+        let config = LasMqConfig::paper_experiments().with_num_queues(5).with_first_threshold(10.0);
+        let thresholds = config.thresholds();
+        let sa = config.stage_awareness();
+        let min_prog = config.min_progress_for_estimate();
+        let mut sched = LasMq::new(config);
+        for v in &views {
+            sched.on_job_admitted(v, SimTime::ZERO);
+        }
+        let ctx = SchedContext::new(SimTime::ZERO, capacity, &views);
+        let _ = sched.allocate(&ctx);
+        for v in &views {
+            let queue = sched.queue_of(v.id).expect("admitted");
+            let eff = effective_service(v, sa, min_prog).as_container_secs();
+            // The job must sit at or below the first queue whose threshold
+            // covers its effective service (monotone demotion can never
+            // have taken it past the last queue).
+            let expected = thresholds
+                .iter()
+                .position(|t| eff <= t.as_container_secs() * (1.0 + 1e-6))
+                .unwrap_or(thresholds.len());
+            prop_assert!(queue >= expected,
+                "{}: sits in {queue}, effective {eff} maps to at least {expected}", v.id);
+            prop_assert!(queue < 5);
+        }
+    }
+
+    /// MultilevelQueue is demote-only and conserves membership under an
+    /// arbitrary operation sequence.
+    #[test]
+    fn mlq_demote_only_and_membership(
+        ops in prop::collection::vec((0u32..30, 0.0f64..1e5, 0u8..3), 1..200),
+    ) {
+        let thresholds: Vec<Service> =
+            [10.0, 100.0, 1_000.0].iter().map(|&t| Service::from_container_secs(t)).collect();
+        let mut mlq = MultilevelQueue::new(4);
+        let mut present: std::collections::HashSet<u32> = Default::default();
+        let mut last_queue: std::collections::HashMap<u32, usize> = Default::default();
+        for (id, service, op) in ops {
+            let job = JobId::new(id);
+            match op {
+                0 => {
+                    mlq.insert(job);
+                    present.insert(id);
+                }
+                1 => {
+                    mlq.remove(job);
+                    present.remove(&id);
+                    last_queue.remove(&id);
+                }
+                _ => {
+                    let q = mlq.observe(job, Service::from_container_secs(service), &thresholds);
+                    prop_assert_eq!(q.is_some(), present.contains(&id));
+                    if let Some(q) = q {
+                        if let Some(&prev) = last_queue.get(&id) {
+                            prop_assert!(q >= prev, "promotion happened: {prev} -> {q}");
+                        }
+                        last_queue.insert(id, q);
+                    }
+                }
+            }
+            prop_assert_eq!(mlq.len(), present.len());
+            prop_assert_eq!(mlq.queue_lengths().iter().sum::<usize>(), present.len());
+        }
+    }
+
+    /// The stage-awareness estimate never ranks a job below its precisely
+    /// attained service, and equals it when disabled.
+    #[test]
+    fn effective_service_bounds(view in view_strategy()) {
+        let plain = effective_service(&view, false, 0.05);
+        prop_assert!((plain.as_container_secs()
+            - view.attained.as_container_secs()).abs() < 1e-9);
+        let aware = effective_service(&view, true, 0.05);
+        prop_assert!(aware.as_container_secs() + 1e-9 >= view.attained.as_container_secs());
+    }
+
+    /// Thresholds grow by exactly the configured step.
+    #[test]
+    fn thresholds_are_geometric(
+        k in 2usize..=12,
+        alpha in 0.001f64..1_000.0,
+        step in 1.5f64..20.0,
+    ) {
+        let config = LasMqConfig::paper_experiments()
+            .with_num_queues(k)
+            .with_first_threshold(alpha)
+            .with_step(step);
+        let t = config.thresholds();
+        prop_assert_eq!(t.len(), k - 1);
+        prop_assert!((t[0].as_container_secs() - alpha).abs() < 1e-9 * alpha);
+        for pair in t.windows(2) {
+            let ratio = pair[1].as_container_secs() / pair[0].as_container_secs();
+            prop_assert!((ratio - step).abs() < 1e-6 * step);
+        }
+    }
+}

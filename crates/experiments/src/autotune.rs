@@ -1,0 +1,136 @@
+//! Empirical parameter search (the pragmatic answer to the paper's §VII
+//! wish for a theory of thresholds).
+//!
+//! The paper sets `k` and `α₁` by rule of thumb and validates them by
+//! sweeping (Fig. 8). With a fast simulator, an operator can do better:
+//! replay a representative sample of yesterday's workload under every
+//! candidate configuration and keep the winner. This module is that
+//! search — deliberately brute force, because a full grid on a scaled
+//! trace costs seconds and inherits none of the assumptions a closed-form
+//! analysis would need (the paper notes its ordering and weighted sharing
+//! break the known threshold theory, ref.\ 16 of the paper).
+
+use lasmq_core::LasMqConfig;
+use lasmq_simulator::JobSpec;
+
+use crate::kind::SchedulerKind;
+use crate::setup::SimSetup;
+use crate::table::{fmt_num, TextTable};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// The configuration evaluated.
+    pub config: LasMqConfig,
+    /// Its mean response time on the sample (s).
+    pub mean_response: f64,
+}
+
+/// The full search result, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// All evaluated points, ascending mean response.
+    pub points: Vec<GridPoint>,
+}
+
+impl GridSearchResult {
+    /// The winning configuration.
+    pub fn best(&self) -> &GridPoint {
+        &self.points[0]
+    }
+
+    /// A table of the top `n` configurations.
+    pub fn table(&self, n: usize) -> TextTable {
+        let mut t = TextTable::new(
+            "Grid search: best LAS_MQ configurations on the sample workload",
+            vec!["queues".into(), "first threshold".into(), "step".into(), "mean response (s)".into()],
+        );
+        for p in self.points.iter().take(n) {
+            t.row(vec![
+                p.config.num_queues().to_string(),
+                fmt_num(p.config.thresholds().first().map(|s| s.as_container_secs()).unwrap_or(f64::NAN)),
+                p.config.step().to_string(),
+                fmt_num(p.mean_response),
+            ]);
+        }
+        t
+    }
+}
+
+/// Evaluates every `(k, α₁, p)` combination on `jobs` under `setup` and
+/// ranks them by mean response time.
+///
+/// # Panics
+///
+/// Panics if any sweep list is empty (nothing to search) or a run
+/// completes no jobs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use lasmq_experiments::autotune::grid_search;
+/// use lasmq_experiments::SimSetup;
+/// use lasmq_workload::FacebookTrace;
+///
+/// let jobs = FacebookTrace::new().jobs(2_000).seed(1).generate();
+/// let result = grid_search(&jobs, &SimSetup::trace_sim(), &[5, 10], &[0.1, 1.0], &[10.0]);
+/// println!("winner: {:?}", result.best().config);
+/// ```
+pub fn grid_search(
+    jobs: &[JobSpec],
+    setup: &SimSetup,
+    queue_counts: &[usize],
+    first_thresholds: &[f64],
+    steps: &[f64],
+) -> GridSearchResult {
+    assert!(
+        !queue_counts.is_empty() && !first_thresholds.is_empty() && !steps.is_empty(),
+        "every sweep dimension needs at least one candidate"
+    );
+    let mut points = Vec::new();
+    for &k in queue_counts {
+        for &alpha in first_thresholds {
+            for &step in steps {
+                let config = LasMqConfig::paper_simulations()
+                    .with_num_queues(k)
+                    .with_first_threshold(alpha)
+                    .with_step(step);
+                let report = setup.run(jobs.to_vec(), &SchedulerKind::LasMq(config.clone()));
+                let mean_response =
+                    report.mean_response_secs().expect("sample workload must complete");
+                points.push(GridPoint { config, mean_response });
+            }
+        }
+    }
+    points.sort_by(|a, b| a.mean_response.total_cmp(&b.mean_response));
+    GridSearchResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use lasmq_workload::FacebookTrace;
+
+    #[test]
+    fn search_ranks_configurations_and_prefers_many_queues() {
+        let scale = Scale::test();
+        let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
+        let result =
+            grid_search(&jobs, &SimSetup::trace_sim(), &[1, 5, 10], &[1.0], &[10.0]);
+        assert_eq!(result.points.len(), 3);
+        // Ascending order.
+        for pair in result.points.windows(2) {
+            assert!(pair[0].mean_response <= pair[1].mean_response);
+        }
+        // Fig. 8(a) at small scale: one queue must not win.
+        assert_ne!(result.best().config.num_queues(), 1);
+        assert_eq!(result.table(2).row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_grid_panics() {
+        let _ = grid_search(&[], &SimSetup::trace_sim(), &[], &[1.0], &[10.0]);
+    }
+}

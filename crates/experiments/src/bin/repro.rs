@@ -1,0 +1,226 @@
+//! `repro` — regenerate every table and figure of the LAS_MQ paper, and
+//! work with trace files.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+//! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
+//! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|sjf|srtf] [--containers N]
+//! ```
+//!
+//! Experiment subcommands print paper-style tables and write them as CSV
+//! under `--out` (default `target/experiments`); `--quick` runs the
+//! reduced bench scale. `trace-gen` freezes a workload to a JSON trace
+//! file; `trace-run` replays one under any scheduler and prints summary
+//! metrics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lasmq_experiments::table::TextTable;
+use lasmq_experiments::{
+    ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, fig3, fig56, fig7, fig8, table1, Scale,
+    SchedulerKind, SimSetup,
+};
+use lasmq_simulator::ClusterConfig;
+use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut quick = false;
+    let mut out = PathBuf::from("target/experiments");
+    let mut experiments = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a directory argument")?);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            name if !name.starts_with('-') => experiments.push(name.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".into());
+    }
+    Ok(Args { quick, out, experiments })
+}
+
+const USAGE: &str = "usage: repro [--quick] [--out DIR] \
+    <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>";
+
+fn main() -> ExitCode {
+    // Trace tooling subcommands take their own argument shapes.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("trace-gen") => return trace_gen(&argv[1..]),
+        Some("trace-run") => return trace_run(&argv[1..]),
+        _ => {}
+    }
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = if args.quick { Scale::bench() } else { Scale::paper() };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("cannot create output directory {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let known = ["table1", "fig3", "fig5", "fig6", "fig7", "fig8", "extensions", "all"];
+    for e in &args.experiments {
+        if !known.contains(&e.as_str()) {
+            eprintln!("unknown experiment '{e}'\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let wants = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
+
+    println!(
+        "LAS_MQ reproduction — scale: {}\n",
+        if args.quick { "quick (bench)" } else { "paper (full)" }
+    );
+
+    if wants("table1") {
+        emit("table1", table1::run(&scale).tables(), &args.out);
+    }
+    if wants("fig3") {
+        emit("fig3", fig3::run(&scale).tables(), &args.out);
+    }
+    if wants("fig5") {
+        emit("fig5", fig56::run(&scale, 80.0).tables(), &args.out);
+    }
+    if wants("fig6") {
+        emit("fig6", fig56::run(&scale, 50.0).tables(), &args.out);
+    }
+    if wants("fig7") {
+        emit("fig7", fig7::run(&scale).tables(), &args.out);
+    }
+    if wants("fig8") {
+        emit("fig8", fig8::run(&scale).tables(), &args.out);
+    }
+    if wants("extensions") {
+        emit("ext_estimation", ext_estimation::run(&scale).tables(), &args.out);
+        emit("ext_robustness", ext_robustness::run(&scale).tables(), &args.out);
+        emit("ext_fairness", ext_fairness::run(&scale).tables(), &args.out);
+        emit("ext_geo", ext_geo::run(&scale).tables(), &args.out);
+        emit("ext_load", ext_load::run(&scale).tables(), &args.out);
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn trace_gen(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first() else {
+        eprintln!("usage: repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]");
+        return ExitCode::FAILURE;
+    };
+    let jobs: usize = flag_value(args, "--jobs").and_then(|v| v.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let out = PathBuf::from(
+        flag_value(args, "--out").unwrap_or("trace.json"),
+    );
+    let (name, specs) = match kind.as_str() {
+        "facebook" => (
+            format!("facebook-synthetic-{jobs}-seed{seed}"),
+            FacebookTrace::new().jobs(jobs).seed(seed).generate(),
+        ),
+        "uniform" => (
+            format!("uniform-{jobs}"),
+            UniformWorkload::new().jobs(jobs).seed(seed).generate(),
+        ),
+        "puma" => (
+            format!("puma-{jobs}-seed{seed}"),
+            PumaWorkload::new().jobs(jobs).seed(seed).generate(),
+        ),
+        other => {
+            eprintln!("unknown trace kind '{other}' (expected facebook, uniform or puma)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = Trace::new(name, specs);
+    let summary = trace.summary();
+    if let Err(e) = trace.save(&out) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote '{}' to {}: {} jobs, mean size {:.1} c·s, max {:.0} c·s",
+        trace.name(),
+        out.display(),
+        summary.job_count,
+        summary.mean_size,
+        summary.max_size,
+    );
+    ExitCode::SUCCESS
+}
+
+fn trace_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: repro trace-run <FILE> [--scheduler NAME] [--containers N]");
+        return ExitCode::FAILURE;
+    };
+    let trace = match Trace::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kind: SchedulerKind = match flag_value(args, "--scheduler").unwrap_or("las_mq").parse() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let containers: u32 =
+        flag_value(args, "--containers").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let setup = SimSetup::trace_sim().cluster(ClusterConfig::single_node(containers));
+    let name = trace.name().to_string();
+    let count = trace.jobs().len();
+    let start = Instant::now();
+    let report = setup.run(trace.into_jobs(), &kind);
+    println!(
+        "'{name}' under {}: {}/{count} jobs completed in {:.1}s wall",
+        report.scheduler(),
+        report.completed_count(),
+        start.elapsed().as_secs_f64(),
+    );
+    println!(
+        "mean response {:.2}s, p50 {:.2}s, p99 {:.2}s, mean slowdown {:.2}, utilization {:.0}%",
+        report.mean_response_secs().unwrap_or(f64::NAN),
+        report.response_percentile(0.5).unwrap_or(f64::NAN),
+        report.response_percentile(0.99).unwrap_or(f64::NAN),
+        report.mean_slowdown().unwrap_or(f64::NAN),
+        report.stats().mean_utilization * 100.0,
+    );
+    ExitCode::SUCCESS
+}
+
+fn emit(name: &str, tables: Vec<TextTable>, out: &std::path::Path) {
+    let start = Instant::now();
+    for (i, table) in tables.iter().enumerate() {
+        println!("{table}");
+        let path = out.join(format!("{name}_{i}.csv"));
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    println!("[{name} done in {:.1}s; CSVs in {}]\n", start.elapsed().as_secs_f64(), out.display());
+}

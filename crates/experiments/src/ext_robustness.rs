@@ -1,0 +1,144 @@
+//! Extension experiment: robustness to failures and heterogeneity.
+//!
+//! §II argues job sizes are unpredictable partly because the *environment*
+//! is: nodes differ in speed and tasks fail. LAS_MQ never relies on
+//! predictions, so its advantage over Fair should survive a hostile
+//! substrate. This experiment runs the PUMA workload under four
+//! environments — clean, task failures (10 % of attempts), a slow node
+//! (one of four at 2.5×), and failures + slow node + speculation — and
+//! compares LAS_MQ against Fair in each.
+
+use lasmq_simulator::{ClusterConfig, FailureConfig, SpeculationConfig};
+use lasmq_workload::PumaWorkload;
+
+use crate::kind::SchedulerKind;
+use crate::scale::Scale;
+use crate::setup::SimSetup;
+use crate::stats::reduction_pct;
+use crate::table::{fmt_num, TextTable};
+
+/// One environment's outcome for both schedulers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessRow {
+    /// Environment label.
+    pub environment: String,
+    /// LAS_MQ's mean response (s).
+    pub las_mq: f64,
+    /// Fair's mean response (s).
+    pub fair: f64,
+    /// Task attempts lost to failures under LAS_MQ.
+    pub tasks_failed: u64,
+    /// Speculative copies launched under LAS_MQ.
+    pub speculative: u64,
+}
+
+impl RobustnessRow {
+    /// LAS_MQ's percentage reduction vs Fair in this environment.
+    pub fn reduction(&self) -> f64 {
+        reduction_pct(self.fair, self.las_mq)
+    }
+}
+
+/// The experiment's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessResult {
+    /// Rows in environment order (clean → harshest).
+    pub rows: Vec<RobustnessRow>,
+}
+
+impl RobustnessResult {
+    /// The rendered table.
+    pub fn tables(&self) -> Vec<TextTable> {
+        let mut t = TextTable::new(
+            "Extension: robustness to failures and slow nodes (PUMA workload)",
+            vec![
+                "environment".into(),
+                "LAS_MQ (s)".into(),
+                "FAIR (s)".into(),
+                "reduction (%)".into(),
+                "failed attempts".into(),
+                "spec copies".into(),
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.environment.clone(),
+                fmt_num(r.las_mq),
+                fmt_num(r.fair),
+                format!("{:.1}", r.reduction()),
+                r.tasks_failed.to_string(),
+                r.speculative.to_string(),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+fn environments(seed: u64) -> Vec<(String, SimSetup)> {
+    let hetero = ClusterConfig::new(4, 30).with_heterogeneity(1, 2.5);
+    vec![
+        ("clean".into(), SimSetup::testbed()),
+        (
+            "10% task failures".into(),
+            SimSetup::testbed().failures(FailureConfig::with_probability(0.10, seed)),
+        ),
+        ("1 slow node (2.5x)".into(), SimSetup::testbed().cluster(hetero)),
+        (
+            "failures + slow node + speculation".into(),
+            SimSetup::testbed()
+                .cluster(hetero)
+                .failures(FailureConfig::with_probability(0.10, seed))
+                .speculation(SpeculationConfig::enabled(3, 1.5)),
+        ),
+    ]
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: &Scale) -> RobustnessResult {
+    let jobs = PumaWorkload::new()
+        .jobs(scale.puma_jobs)
+        .mean_interval_secs(50.0)
+        .seed(scale.seed)
+        .generate();
+    let rows = environments(scale.seed)
+        .into_iter()
+        .map(|(environment, setup)| {
+            let ours = setup.run(jobs.clone(), &SchedulerKind::las_mq_experiments());
+            let fair = setup.run(jobs.clone(), &SchedulerKind::Fair);
+            RobustnessRow {
+                environment,
+                las_mq: ours.mean_response_secs().unwrap_or(f64::NAN),
+                fair: fair.mean_response_secs().unwrap_or(f64::NAN),
+                tasks_failed: ours.stats().tasks_failed,
+                speculative: ours.stats().speculative_launched,
+            }
+        })
+        .collect();
+    RobustnessResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lasmq_advantage_survives_hostile_environments() {
+        let r = run(&Scale::test());
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            assert!(row.las_mq.is_finite() && row.fair.is_finite(), "{}", row.environment);
+            assert!(
+                row.reduction() > 0.0,
+                "LAS_MQ must keep beating Fair under '{}': {:.0} vs {:.0}",
+                row.environment,
+                row.las_mq,
+                row.fair
+            );
+        }
+        // Failures actually happened in the failure environments.
+        assert!(r.rows[1].tasks_failed > 0);
+        assert!(r.rows[3].tasks_failed > 0);
+        // Harsh environments cost time relative to clean.
+        assert!(r.rows[1].las_mq > r.rows[0].las_mq * 0.9);
+    }
+}

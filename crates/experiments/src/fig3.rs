@@ -1,0 +1,124 @@
+//! Figure 3: ablation of LAS_MQ's two design features.
+//!
+//! 100 PUMA jobs, Poisson arrivals with mean interval 50 s, normalized
+//! average job response time = Fair's mean / the variant's mean (> 1 beats
+//! Fair):
+//!
+//! * **Case 1** — neither feature (plain MLFQ: FIFO in each queue, no
+//!   stage awareness): only slightly better than Fair.
+//! * **Case 2** — stage awareness only: ≈ +10 % in the best case.
+//! * **Case 3** — in-queue demand ordering only: a wide margin.
+//! * **Case 4** — both (the shipped design): best.
+
+use lasmq_core::{LasMqConfig, QueueOrdering};
+use lasmq_workload::PumaWorkload;
+
+use crate::kind::SchedulerKind;
+use crate::scale::Scale;
+use crate::setup::SimSetup;
+use crate::stats::mean;
+use crate::table::TextTable;
+
+/// The four ablation cases of Fig. 3, in paper order.
+pub fn cases() -> Vec<(&'static str, LasMqConfig)> {
+    let base = LasMqConfig::paper_experiments();
+    vec![
+        (
+            "Case 1 (neither)",
+            base.clone().with_stage_awareness(false).with_ordering(QueueOrdering::Fifo),
+        ),
+        ("Case 2 (stage awareness)", base.clone().with_ordering(QueueOrdering::Fifo)),
+        ("Case 3 (queue ordering)", base.clone().with_stage_awareness(false)),
+        ("Case 4 (both = LAS_MQ)", base),
+    ]
+}
+
+/// The Fig. 3 output: normalized response time per case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Result {
+    /// `(case label, Fair mean / case mean)` in paper order.
+    pub normalized: Vec<(String, f64)>,
+}
+
+impl Fig3Result {
+    /// The normalized value for a case by index (0 = Case 1).
+    pub fn case(&self, index: usize) -> f64 {
+        self.normalized[index].1
+    }
+
+    /// Paper-style table.
+    pub fn tables(&self) -> Vec<TextTable> {
+        let mut t = TextTable::new(
+            "Fig 3: normalized avg response time vs Fair (higher is better)",
+            vec!["design option".into(), "normalized (Fair/ours)".into()],
+        );
+        for (label, v) in &self.normalized {
+            t.row(vec![label.clone(), format!("{v:.2}")]);
+        }
+        vec![t]
+    }
+}
+
+/// Runs the ablation at the given scale (mean arrival interval 50 s, as in
+/// the paper).
+pub fn run(scale: &Scale) -> Fig3Result {
+    let setup = SimSetup::testbed();
+    let case_list = cases();
+    // normalized[case][rep]
+    let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); case_list.len()];
+
+    for rep in 0..scale.puma_repetitions {
+        let jobs = PumaWorkload::new()
+            .jobs(scale.puma_jobs)
+            .mean_interval_secs(50.0)
+            .seed(scale.seed + rep as u64)
+            .generate();
+        let fair_mean = setup
+            .run(jobs.clone(), &SchedulerKind::Fair)
+            .mean_response_secs()
+            .expect("fair run completes jobs");
+        for (i, (_, config)) in case_list.iter().enumerate() {
+            let report = setup.run(jobs.clone(), &SchedulerKind::LasMq(config.clone()));
+            let ours = report.mean_response_secs().expect("ablation run completes jobs");
+            normalized[i].push(fair_mean / ours);
+        }
+    }
+
+    Fig3Result {
+        normalized: case_list
+            .iter()
+            .zip(normalized)
+            .map(|((label, _), vals)| ((*label).to_string(), mean(&vals).unwrap_or(f64::NAN)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_cases_match_the_papers_grid() {
+        let c = cases();
+        assert_eq!(c.len(), 4);
+        assert!(!c[0].1.stage_awareness());
+        assert_eq!(c[0].1.ordering(), QueueOrdering::Fifo);
+        assert!(c[1].1.stage_awareness());
+        assert_eq!(c[2].1.ordering(), QueueOrdering::RemainingDemand);
+        assert!(c[3].1.stage_awareness());
+        assert_eq!(c[3].1.ordering(), QueueOrdering::RemainingDemand);
+    }
+
+    #[test]
+    fn full_design_beats_fair_and_the_bare_variant() {
+        let r = run(&Scale::test());
+        assert!(r.case(3) > 1.0, "Case 4 must beat Fair, got {}", r.case(3));
+        assert!(
+            r.case(3) >= r.case(0) * 0.95,
+            "Case 4 ({}) should not trail Case 1 ({})",
+            r.case(3),
+            r.case(0)
+        );
+        assert_eq!(r.tables()[0].row_count(), 4);
+    }
+}

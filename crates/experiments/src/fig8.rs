@@ -1,0 +1,131 @@
+//! Figure 8: sensitivity of LAS_MQ to its parameters, on the heavy-tailed
+//! trace.
+//!
+//! * **8(a)** — number of queues ∈ {1, 2, 4, 5, 10} with α₁ = 1, p = 10:
+//!   LAS_MQ overtakes Fair from 5 queues on, and 5 queues already achieve
+//!   the best result because no job exceeds the 5th threshold (10⁴).
+//! * **8(b)** — first threshold ∈ {0.001, 0.01, 0.1, 1, 10} with k = 10,
+//!   p = 10: flat and good for α₁ ≤ 1, degrading at 10 (above the trace's
+//!   mean size ≈ 20, most jobs never leave the first queue).
+//!
+//! Both report the paper's normalized metric: Fair's mean response over
+//! LAS_MQ's (> 1 beats Fair).
+
+use lasmq_core::LasMqConfig;
+use lasmq_workload::FacebookTrace;
+
+use crate::kind::SchedulerKind;
+use crate::scale::Scale;
+use crate::setup::SimSetup;
+use crate::table::TextTable;
+
+/// Queue counts swept in Fig. 8(a).
+pub const QUEUE_SWEEP: [usize; 5] = [1, 2, 4, 5, 10];
+
+/// First thresholds swept in Fig. 8(b). The paper sweeps
+/// {0.001, 0.01, 0.1, 1, 10}; 30 and 100 extend the sweep to expose the
+/// degradation knee, which sits about a decade higher here than in the
+/// paper because the synthetic trace's *median* size (≈ 2) is far below
+/// its mean (≈ 20) — the first queue only turns into a FIFO bottleneck
+/// once the threshold clears a meaningful share of the total work.
+pub const THRESHOLD_SWEEP: [f64; 7] = [0.001, 0.01, 0.1, 1.0, 10.0, 30.0, 100.0];
+
+/// The Fig. 8 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// 8(a): `(num queues, Fair mean / LAS_MQ mean)`.
+    pub by_queues: Vec<(usize, f64)>,
+    /// 8(b): `(first threshold, Fair mean / LAS_MQ mean)`.
+    pub by_threshold: Vec<(f64, f64)>,
+}
+
+impl Fig8Result {
+    /// The normalized value for a queue count.
+    pub fn normalized_for_queues(&self, k: usize) -> Option<f64> {
+        self.by_queues.iter().find(|&&(q, _)| q == k).map(|&(_, v)| v)
+    }
+
+    /// The normalized value for a first threshold.
+    pub fn normalized_for_threshold(&self, alpha: f64) -> Option<f64> {
+        self.by_threshold.iter().find(|&&(a, _)| a == alpha).map(|&(_, v)| v)
+    }
+
+    /// Paper-style tables for both panels.
+    pub fn tables(&self) -> Vec<TextTable> {
+        let mut a = TextTable::new(
+            "Fig 8(a): number of queues (α₁ = 1, p = 10) — normalized vs Fair",
+            vec!["queues".into(), "normalized (Fair/ours)".into()],
+        );
+        for &(k, v) in &self.by_queues {
+            a.row(vec![k.to_string(), format!("{v:.2}")]);
+        }
+        let mut b = TextTable::new(
+            "Fig 8(b): threshold of the first queue (k = 10, p = 10) — normalized vs Fair",
+            vec!["first threshold".into(), "normalized (Fair/ours)".into()],
+        );
+        for &(alpha, v) in &self.by_threshold {
+            b.row(vec![format!("{alpha}"), format!("{v:.2}")]);
+        }
+        vec![a, b]
+    }
+}
+
+/// Runs both sweeps at the given scale.
+pub fn run(scale: &Scale) -> Fig8Result {
+    let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
+    let setup = SimSetup::trace_sim();
+    let fair_mean = setup
+        .run(jobs.clone(), &SchedulerKind::Fair)
+        .mean_response_secs()
+        .expect("fair trace run completes");
+
+    let lasmq_mean = |config: LasMqConfig| -> f64 {
+        setup
+            .run(jobs.clone(), &SchedulerKind::LasMq(config))
+            .mean_response_secs()
+            .expect("las_mq trace run completes")
+    };
+
+    let by_queues = QUEUE_SWEEP
+        .iter()
+        .map(|&k| {
+            let config = LasMqConfig::paper_simulations().with_num_queues(k);
+            (k, fair_mean / lasmq_mean(config))
+        })
+        .collect();
+    let by_threshold = THRESHOLD_SWEEP
+        .iter()
+        .map(|&alpha| {
+            let config = LasMqConfig::paper_simulations().with_first_threshold(alpha);
+            (alpha, fair_mean / lasmq_mean(config))
+        })
+        .collect();
+    Fig8Result { by_queues, by_threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_queues_beat_fair_eventually() {
+        let r = run(&Scale::test());
+        let at_10 = r.normalized_for_queues(10).unwrap();
+        assert!(at_10 > 1.0, "10 queues must beat Fair, got {at_10}");
+        let at_1 = r.normalized_for_queues(1).unwrap();
+        assert!(at_10 >= at_1 * 0.9, "more queues should not hurt much: {at_1} -> {at_10}");
+    }
+
+    #[test]
+    fn small_thresholds_work_large_ones_degrade() {
+        let r = run(&Scale::test());
+        let at_1 = r.normalized_for_threshold(1.0).unwrap();
+        let at_100 = r.normalized_for_threshold(100.0).unwrap();
+        assert!(at_1 > 1.0, "α₁ = 1 must beat Fair, got {at_1}");
+        assert!(
+            at_100 < at_1,
+            "a first threshold above most job sizes must degrade: {at_100} vs {at_1}"
+        );
+        assert_eq!(r.tables().len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Scheduler selection by name/kind.
+
+use std::fmt;
+use std::str::FromStr;
+
+use lasmq_core::{LasMq, LasMqConfig};
+use lasmq_schedulers::{EstimatedSjf, Fair, Fifo, Las, ShortestJobFirst, ShortestRemainingFirst};
+use lasmq_simulator::Scheduler;
+
+/// Which scheduler to run an experiment with.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedulerKind {
+    /// First-in-first-out.
+    Fifo,
+    /// Priority-weighted fair sharing.
+    Fair,
+    /// Least attained service.
+    Las,
+    /// The paper's contribution, with an explicit configuration.
+    LasMq(LasMqConfig),
+    /// Oracle: shortest job first (requires the size oracle).
+    Sjf,
+    /// Oracle: shortest remaining time first (requires the size oracle).
+    Srtf,
+    /// SJF over corrupted size estimates (requires the size oracle).
+    SjfEstimated {
+        /// Log-normal estimation error scale.
+        sigma: f64,
+        /// Probability of a ×0.01 gross under-estimate.
+        gross_underestimate_prob: f64,
+        /// Seed for the per-job error draws.
+        seed: u64,
+    },
+}
+
+impl SchedulerKind {
+    /// LAS_MQ with the testbed defaults (k = 10, α₁ = 100, p = 10).
+    pub fn las_mq_experiments() -> Self {
+        SchedulerKind::LasMq(LasMqConfig::paper_experiments())
+    }
+
+    /// LAS_MQ with the trace-simulation defaults (α₁ = 1).
+    pub fn las_mq_simulations() -> Self {
+        SchedulerKind::LasMq(LasMqConfig::paper_simulations())
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fifo => Box::new(Fifo::new()),
+            SchedulerKind::Fair => Box::new(Fair::new()),
+            SchedulerKind::Las => Box::new(Las::new()),
+            SchedulerKind::LasMq(config) => Box::new(LasMq::new(config.clone())),
+            SchedulerKind::Sjf => Box::new(ShortestJobFirst::new()),
+            SchedulerKind::Srtf => Box::new(ShortestRemainingFirst::new()),
+            SchedulerKind::SjfEstimated { sigma, gross_underestimate_prob, seed } => {
+                Box::new(EstimatedSjf::new(*sigma, *gross_underestimate_prob, *seed))
+            }
+        }
+    }
+
+    /// Whether the scheduler needs ground-truth job sizes.
+    pub fn requires_oracle(&self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::Sjf | SchedulerKind::Srtf | SchedulerKind::SjfEstimated { .. }
+        )
+    }
+
+    /// The four schedulers every figure of the paper compares, in the
+    /// paper's legend order, configured for testbed-style experiments.
+    pub fn paper_lineup_experiments() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::las_mq_experiments(),
+            SchedulerKind::Las,
+            SchedulerKind::Fair,
+            SchedulerKind::Fifo,
+        ]
+    }
+
+    /// The same lineup configured for trace simulations (α₁ = 1).
+    pub fn paper_lineup_simulations() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::las_mq_simulations(),
+            SchedulerKind::Las,
+            SchedulerKind::Fair,
+            SchedulerKind::Fifo,
+        ]
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SchedulerKind::Fifo => "FIFO",
+            SchedulerKind::Fair => "FAIR",
+            SchedulerKind::Las => "LAS",
+            SchedulerKind::LasMq(_) => "LAS_MQ",
+            SchedulerKind::Sjf => "SJF",
+            SchedulerKind::Srtf => "SRTF",
+            SchedulerKind::SjfEstimated { .. } => "SJF-est",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error for unrecognized scheduler names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchedulerError(String);
+
+impl fmt::Display for ParseSchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheduler '{}' (expected fifo, fair, las, las_mq, sjf or srtf)", self.0)
+    }
+}
+
+impl std::error::Error for ParseSchedulerError {}
+
+impl FromStr for SchedulerKind {
+    type Err = ParseSchedulerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Ok(SchedulerKind::Fifo),
+            "fair" => Ok(SchedulerKind::Fair),
+            "las" => Ok(SchedulerKind::Las),
+            "las_mq" | "lasmq" | "las-mq" => Ok(SchedulerKind::las_mq_experiments()),
+            "sjf" => Ok(SchedulerKind::Sjf),
+            "srtf" => Ok(SchedulerKind::Srtf),
+            other => Err(ParseSchedulerError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for name in ["fifo", "fair", "las", "las_mq", "sjf", "srtf"] {
+            let kind: SchedulerKind = name.parse().unwrap();
+            assert_eq!(kind.to_string().to_ascii_lowercase(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "frobnicate".parse::<SchedulerKind>().unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        assert_eq!(SchedulerKind::Fifo.build().name(), "FIFO");
+        assert_eq!(SchedulerKind::las_mq_experiments().build().name(), "LAS_MQ");
+    }
+
+    #[test]
+    fn lineup_is_the_papers_legend() {
+        let names: Vec<String> =
+            SchedulerKind::paper_lineup_experiments().iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["LAS_MQ", "LAS", "FAIR", "FIFO"]);
+    }
+
+    #[test]
+    fn oracle_flags() {
+        assert!(SchedulerKind::Sjf.requires_oracle());
+        assert!(!SchedulerKind::Fair.requires_oracle());
+    }
+}

@@ -1,0 +1,59 @@
+//! Evaluation harness reproducing every table and figure of *Job
+//! Scheduling without Prior Information in Big Data Processing Systems*
+//! (ICDCS 2017).
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table I — the PUMA workload composition |
+//! | [`fig3`] | Fig. 3 — ablation of stage awareness × in-queue ordering |
+//! | [`fig56`] | Figs. 5 & 6 — testbed workload at 80 s / 50 s arrival intervals |
+//! | [`fig7`] | Fig. 7 — heavy-tailed vs uniform size distributions |
+//! | [`fig8`] | Fig. 8 — sensitivity to queue count and first threshold |
+//!
+//! Three extension experiments go beyond the paper's figures:
+//! [`ext_estimation`] (the price of bad size estimates, §II),
+//! [`ext_robustness`] (failures and slow nodes), [`ext_fairness`]
+//! (the §VII fairness knob) and [`ext_geo`] (the §VII geo-distributed
+//! direction: inter-datacenter shuffle transfers) and [`ext_load`] (load
+//! and admission-cap sweeps). [`autotune`] searches the (k, α₁, p) grid
+//! empirically.
+//!
+//! Each module exposes `run(&Scale) -> …Result` returning plain data plus
+//! paper-style [`table::TextTable`]s; the `repro` binary drives them all
+//! and writes CSVs alongside the printed tables.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use lasmq_experiments::{fig7, Scale};
+//!
+//! let result = fig7::run(&Scale::paper());
+//! for table in result.tables() {
+//!     println!("{table}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod autotune;
+pub mod ext_estimation;
+pub mod ext_fairness;
+pub mod ext_geo;
+pub mod ext_load;
+pub mod ext_robustness;
+pub mod fig3;
+pub mod fig56;
+pub mod fig7;
+pub mod fig8;
+pub mod kind;
+pub mod scale;
+pub mod setup;
+pub mod stats;
+pub mod table;
+pub mod table1;
+
+pub use kind::SchedulerKind;
+pub use scale::Scale;
+pub use setup::SimSetup;

@@ -1,0 +1,162 @@
+//! Shared simulation setups for the paper's two evaluation environments.
+
+use lasmq_simulator::{
+    ClusterConfig, FailureConfig, JobSpec, PreemptionPolicy, SimDuration, Simulation,
+    SimulationReport, SpeculationConfig,
+};
+
+use crate::kind::SchedulerKind;
+
+/// How a batch of jobs is run: cluster, quantum, admission and engine
+/// extensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSetup {
+    cluster: ClusterConfig,
+    quantum: SimDuration,
+    admission_limit: Option<usize>,
+    preemption: PreemptionPolicy,
+    speculation: SpeculationConfig,
+    failures: FailureConfig,
+}
+
+impl SimSetup {
+    /// The paper's testbed environment (§V-A): 4 nodes × 30 containers,
+    /// admission capped at 30 concurrent jobs, 1 s scheduling quantum.
+    pub fn testbed() -> Self {
+        SimSetup {
+            cluster: ClusterConfig::new(4, 30),
+            quantum: SimDuration::from_secs(1),
+            admission_limit: Some(30),
+            preemption: PreemptionPolicy::Graceful,
+            speculation: SpeculationConfig::disabled(),
+            failures: FailureConfig::disabled(),
+        }
+    }
+
+    /// The trace-simulation environment (§V-C): a flat 100-container pool,
+    /// no admission cap, 1 s quantum (= 1 service unit).
+    pub fn trace_sim() -> Self {
+        SimSetup {
+            cluster: ClusterConfig::single_node(100),
+            quantum: SimDuration::from_secs(1),
+            admission_limit: None,
+            preemption: PreemptionPolicy::Graceful,
+            speculation: SpeculationConfig::disabled(),
+            failures: FailureConfig::disabled(),
+        }
+    }
+
+    /// The uniform-batch environment: like [`trace_sim`](Self::trace_sim).
+    /// The 10 s quantum is a tenth of a uniform job's isolated runtime
+    /// (10,000 container-seconds on 100 containers = 100 s alone), so
+    /// time-slicing policies genuinely slice: Fair and LAS rotate the
+    /// cluster across jobs every quantum (processor sharing), while FIFO
+    /// and LAS_MQ serialize.
+    pub fn uniform_sim() -> Self {
+        SimSetup::trace_sim().quantum(SimDuration::from_secs(10))
+    }
+
+    /// Overrides the cluster.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Overrides the scheduling quantum.
+    pub fn quantum(mut self, quantum: SimDuration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Overrides the admission cap (`None` = unlimited).
+    pub fn admission(mut self, limit: Option<usize>) -> Self {
+        self.admission_limit = limit;
+        self
+    }
+
+    /// Overrides the preemption policy.
+    pub fn preemption(mut self, policy: PreemptionPolicy) -> Self {
+        self.preemption = policy;
+        self
+    }
+
+    /// Overrides speculation.
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        self.speculation = config;
+        self
+    }
+
+    /// Overrides task-failure injection.
+    pub fn failures(mut self, config: FailureConfig) -> Self {
+        self.failures = config;
+        self
+    }
+
+    /// The configured cluster.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        self.cluster
+    }
+
+    /// Runs `jobs` under `kind` and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation cannot be built (malformed jobs or an
+    /// oracle scheduler without oracle exposure are programming errors in
+    /// an experiment definition).
+    pub fn run(&self, jobs: Vec<JobSpec>, kind: &SchedulerKind) -> SimulationReport {
+        Simulation::builder()
+            .cluster(self.cluster)
+            .quantum(self.quantum)
+            .preemption(self.preemption)
+            .speculation(self.speculation)
+            .failures(self.failures)
+            .expose_oracle(kind.requires_oracle())
+            .jobs(jobs)
+            .admission_opt(self.admission_limit)
+            .build(kind.build())
+            .expect("experiment setup must be valid")
+            .run()
+    }
+}
+
+/// Extension to apply an optional admission limit on the builder.
+trait AdmissionOpt {
+    fn admission_opt(self, limit: Option<usize>) -> Self;
+}
+
+impl AdmissionOpt for lasmq_simulator::SimulationBuilder {
+    fn admission_opt(self, limit: Option<usize>) -> Self {
+        match limit {
+            Some(cap) => self.admission_limit(cap),
+            None => self,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_workload::FacebookTrace;
+
+    #[test]
+    fn testbed_matches_paper() {
+        let setup = SimSetup::testbed();
+        assert_eq!(setup.cluster_config().total_containers(), 120);
+    }
+
+    #[test]
+    fn runs_a_small_trace_end_to_end() {
+        let jobs = FacebookTrace::new().jobs(60).seed(1).generate();
+        let report = SimSetup::trace_sim().run(jobs, &SchedulerKind::las_mq_simulations());
+        assert!(report.all_completed());
+        assert_eq!(report.scheduler(), "LAS_MQ");
+    }
+
+    #[test]
+    fn oracle_kinds_run_with_oracle_exposed() {
+        let jobs = FacebookTrace::new().jobs(40).seed(2).generate();
+        let report = SimSetup::trace_sim().run(jobs, &SchedulerKind::Sjf);
+        assert!(report.all_completed());
+    }
+}

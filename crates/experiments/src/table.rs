@@ -1,0 +1,168 @@
+//! Plain-text tables (paper-style rows) and CSV export.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A simple aligned text table with a title, headers and string rows.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_experiments::table::TextTable;
+///
+/// let mut t = TextTable::new("Demo", vec!["scheduler".into(), "mean".into()]);
+/// t.row(vec!["FIFO".into(), "12.3".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("FIFO") && s.contains("12.3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A new table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        TextTable { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks;
+    /// longer rows are allowed (extra cells get their own width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes the table as CSV (header + rows) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(w, "{}", escape_csv_row(&self.headers))?;
+        for row in &self.rows {
+            writeln!(w, "{}", escape_csv_row(row))?;
+        }
+        w.flush()
+    }
+}
+
+fn escape_csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:>width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for tables: integers above 100,
+/// one decimal above 10, two decimals below, scientific for huge values.
+pub fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut t = TextTable::new("T", vec!["a".into(), "long-header".into()]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("long-header"));
+        assert!(lines[3].contains("xxxxx"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let row = vec!["a,b".to_string(), "say \"hi\"".to_string(), "plain".to_string()];
+        assert_eq!(escape_csv_row(&row), "\"a,b\",\"say \"\"hi\"\"\",plain");
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("lasmq-table-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let mut t = TextTable::new("T", vec!["x".into()]);
+        t.row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(1933.9), "1934");
+        assert_eq!(fmt_num(27.66), "27.7");
+        assert_eq!(fmt_num(1.234), "1.23");
+        assert_eq!(fmt_num(5.0e7), "5.000e7");
+        assert_eq!(fmt_num(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,152 @@
+//! Table I: the workload used in the experiments.
+//!
+//! Reproduces the paper's workload-description table from the generators,
+//! and extends it with the calibrated duration model's derived quantities
+//! (mean task durations, per-job service, isolated runtime on the
+//! 120-container testbed) so the substitution documented in DESIGN.md is
+//! auditable.
+
+use lasmq_simulator::isolated::isolated_runtime;
+use lasmq_simulator::SimTime;
+use lasmq_workload::puma::{table1_templates, PumaTemplate};
+use lasmq_workload::skew::SkewModel;
+
+use crate::scale::Scale;
+use crate::table::{fmt_num, TextTable};
+
+/// One reproduced row of Table I plus derived model quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Bin (1–4).
+    pub bin: u8,
+    /// Template name.
+    pub name: String,
+    /// Dataset size in GB.
+    pub dataset_gb: f64,
+    /// Number of map tasks.
+    pub maps: u32,
+    /// Number of reduce tasks.
+    pub reduces: u32,
+    /// Jobs of this template in the 100-job mix.
+    pub jobs: u32,
+    /// Calibrated mean map-task duration (s).
+    pub map_task_secs: f64,
+    /// Calibrated mean reduce-task duration (s).
+    pub reduce_task_secs: f64,
+    /// Mean job size in container-seconds (no skew).
+    pub job_service: f64,
+    /// Isolated runtime on the 120-container testbed (s).
+    pub isolated_secs: f64,
+}
+
+/// The reproduced Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Result {
+    /// Rows in table order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Result {
+    /// Paper-style table.
+    pub fn tables(&self) -> Vec<TextTable> {
+        let mut t = TextTable::new(
+            "Table I: the workload used in the experiments (+ calibrated model)",
+            vec![
+                "Bin".into(),
+                "Job Name".into(),
+                "Dataset".into(),
+                "# maps".into(),
+                "# reduces".into(),
+                "# jobs".into(),
+                "map task (s)".into(),
+                "reduce task (s)".into(),
+                "job size (c·s)".into(),
+                "isolated (s)".into(),
+            ],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.bin.to_string(),
+                r.name.clone(),
+                format!("{} GB", r.dataset_gb),
+                r.maps.to_string(),
+                r.reduces.to_string(),
+                r.jobs.to_string(),
+                fmt_num(r.map_task_secs),
+                fmt_num(r.reduce_task_secs),
+                fmt_num(r.job_service),
+                fmt_num(r.isolated_secs),
+            ]);
+        }
+        vec![t]
+    }
+}
+
+fn row_for(template: &PumaTemplate) -> Table1Row {
+    // A skew-free instance gives the template's mean-duration structure.
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0)
+    };
+    let job = template.instantiate(
+        &mut rng,
+        SimTime::ZERO,
+        1,
+        &SkewModel::none(),
+        &SkewModel::none(),
+    );
+    Table1Row {
+        bin: template.bin(),
+        name: template.name().to_string(),
+        dataset_gb: template.dataset_gb(),
+        maps: template.maps(),
+        reduces: template.reduces(),
+        jobs: template.count_in_mix(),
+        map_task_secs: template.base_map_duration().as_secs_f64(),
+        reduce_task_secs: template.base_reduce_duration().as_secs_f64(),
+        job_service: job.total_service().as_container_secs(),
+        isolated_secs: isolated_runtime(&job, 120).as_secs_f64(),
+    }
+}
+
+/// Builds the reproduced Table I (the scale is accepted for interface
+/// uniformity; the table is workload metadata and does not depend on it).
+pub fn run(_scale: &Scale) -> Table1Result {
+    Table1Result { rows: table1_templates().iter().map(row_for).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_counts() {
+        let t = run(&Scale::test());
+        assert_eq!(t.rows.len(), 8);
+        let total_jobs: u32 = t.rows.iter().map(|r| r.jobs).sum();
+        assert_eq!(total_jobs, 100);
+        let wc = t.rows.iter().find(|r| r.name == "WordCount").unwrap();
+        assert_eq!((wc.maps, wc.reduces, wc.bin, wc.jobs), (721, 80, 4, 10));
+    }
+
+    #[test]
+    fn derived_quantities_are_sane() {
+        let t = run(&Scale::test());
+        for r in &t.rows {
+            assert!(r.map_task_secs > 1.0 && r.map_task_secs < 300.0, "{}", r.name);
+            assert!(r.isolated_secs > 0.0);
+            assert!(r.job_service > 0.0);
+        }
+        // Bins order sizes.
+        let svc = |name: &str| t.rows.iter().find(|r| r.name == name).unwrap().job_service;
+        assert!(svc("WordCount") > svc("SequenceCount"));
+        assert!(svc("SequenceCount") > svc("Classification"));
+        assert!(svc("Classification") > svc("SelfJoin"));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = run(&Scale::test());
+        assert_eq!(t.tables()[0].row_count(), 8);
+    }
+}

@@ -1,0 +1,231 @@
+//! SJF driven by *imperfect* size estimates.
+//!
+//! The paper's motivation (§II) is that job sizes cannot be estimated
+//! reliably — and §III-B argues the failure mode is asymmetric: "if we
+//! under-estimate the job size, we may give it higher priority than it
+//! should have, which will delay a lot of jobs with smaller job sizes",
+//! while over-estimates mostly delay the job itself (Dell'Amico et al.,
+//! MASCOTS 2014). This scheduler makes that argument measurable: it is SJF
+//! over a *corrupted* oracle — log-normal noise on every job's size, plus
+//! an optional probability of grossly under-estimating a job (×10⁻⁴ — the
+//! "mistook a giant for a tiny job" case). With zero noise it coincides
+//! with [`ShortestJobFirst`](crate::ShortestJobFirst).
+//!
+//! Estimates are drawn once per job from a deterministic per-job hash, so
+//! runs stay reproducible.
+
+use std::collections::HashMap;
+
+use lasmq_simulator::{AllocationPlan, JobId, SchedContext, Scheduler, Service};
+
+/// SJF with noisy size estimates (an oracle-family scheduler: it reads the
+/// true size, then corrupts it — so it requires `expose_oracle(true)`).
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_schedulers::EstimatedSjf;
+/// use lasmq_simulator::Scheduler;
+///
+/// let sched = EstimatedSjf::new(1.0, 0.05, 7);
+/// assert!(sched.requires_oracle());
+/// assert_eq!(sched.name(), "SJF-est");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimatedSjf {
+    sigma: f64,
+    gross_underestimate_prob: f64,
+    seed: u64,
+    estimates: HashMap<JobId, Service>,
+}
+
+impl EstimatedSjf {
+    /// SJF over estimates with log-normal error of scale `sigma`, and a
+    /// `gross_underestimate_prob` chance per job of a ×10⁻⁴ gross
+    /// under-estimate. `seed` pins the error draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative/not finite or the probability is
+    /// outside `[0, 1]`.
+    pub fn new(sigma: f64, gross_underestimate_prob: f64, seed: u64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&gross_underestimate_prob),
+            "probability must be in [0, 1]"
+        );
+        EstimatedSjf { sigma, gross_underestimate_prob, seed, estimates: HashMap::new() }
+    }
+
+    /// A perfectly informed instance (sanity baseline: behaves as SJF).
+    pub fn exact() -> Self {
+        EstimatedSjf::new(0.0, 0.0, 0)
+    }
+
+    /// The estimate this scheduler uses for a job of true size
+    /// `true_size` (computed on first contact, then frozen — as a real
+    /// predictor would produce one estimate at submission).
+    fn estimate(&mut self, job: JobId, true_size: Service) -> Service {
+        let (sigma, gross_p, seed) = (self.sigma, self.gross_underestimate_prob, self.seed);
+        *self.estimates.entry(job).or_insert_with(|| {
+            let h1 = splitmix64(seed ^ (u64::from(u32::from(job)) << 1) ^ 0x51ed);
+            let h2 = splitmix64(h1);
+            let h3 = splitmix64(h2);
+            let u1 = to_unit(h1).max(1e-12);
+            let u2 = to_unit(h2);
+            // Box–Muller: one standard normal from two uniforms.
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let mut factor = (sigma * z - sigma * sigma / 2.0).exp();
+            if to_unit(h3) < gross_p {
+                factor *= 1e-4;
+            }
+            Service::from_container_secs((true_size.as_container_secs() * factor).max(1e-9))
+        })
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn to_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Scheduler for EstimatedSjf {
+    fn name(&self) -> &str {
+        "SJF-est"
+    }
+
+    fn requires_oracle(&self) -> bool {
+        true
+    }
+
+    fn on_job_completed(&mut self, job: JobId, _now: lasmq_simulator::SimTime) {
+        self.estimates.remove(&job);
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        let jobs = ctx.jobs();
+        let mut keyed: Vec<(Service, usize)> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| {
+                let true_size =
+                    j.oracle.expect("engine guarantees oracle info for oracle schedulers").total_size;
+                (self.estimate(j.id, true_size), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then_with(|| jobs[a.1].arrival.cmp(&jobs[b.1].arrival))
+                .then_with(|| jobs[a.1].id.cmp(&jobs[b.1].id))
+        });
+        let mut plan = AllocationPlan::new();
+        let mut budget = ctx.total_containers();
+        for (_, idx) in keyed {
+            if budget == 0 {
+                break;
+            }
+            let want = jobs[idx].max_useful_allocation().min(budget);
+            if want > 0 {
+                plan.push(jobs[idx].id, want);
+                budget -= want;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::{JobView, OracleInfo, SimTime};
+
+    fn view(id: u32, size: f64) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority: 1,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: 100,
+            unstarted_tasks: 100,
+            containers_per_task: 1,
+            held: 0,
+            oracle: Some(OracleInfo {
+                total_size: Service::from_container_secs(size),
+                remaining: Service::from_container_secs(size),
+            }),
+        }
+    }
+
+    #[test]
+    fn exact_estimates_reproduce_sjf_order() {
+        let jobs = vec![view(0, 500.0), view(1, 5.0), view(2, 50.0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = EstimatedSjf::exact().allocate(&ctx);
+        assert_eq!(plan.entries()[0].0, JobId::new(1));
+    }
+
+    #[test]
+    fn estimates_are_frozen_per_job() {
+        let mut sched = EstimatedSjf::new(1.0, 0.0, 3);
+        let a = sched.estimate(JobId::new(7), Service::from_container_secs(100.0));
+        let b = sched.estimate(JobId::new(7), Service::from_container_secs(100.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_seed_same_estimates() {
+        let mut a = EstimatedSjf::new(1.5, 0.1, 42);
+        let mut b = EstimatedSjf::new(1.5, 0.1, 42);
+        for i in 0..50 {
+            let size = Service::from_container_secs(10.0 + i as f64);
+            assert_eq!(a.estimate(JobId::new(i), size), b.estimate(JobId::new(i), size));
+        }
+    }
+
+    #[test]
+    fn gross_underestimates_occur_at_roughly_the_configured_rate() {
+        let mut sched = EstimatedSjf::new(0.0, 0.2, 11);
+        let size = Service::from_container_secs(1_000.0);
+        let mut gross = 0;
+        for i in 0..2_000 {
+            let est = sched.estimate(JobId::new(i), size);
+            if est.as_container_secs() < 100.0 {
+                gross += 1;
+            }
+        }
+        let rate = gross as f64 / 2_000.0;
+        assert!((rate - 0.2).abs() < 0.05, "gross rate {rate}");
+    }
+
+    #[test]
+    fn noisy_estimates_shuffle_close_sizes_not_decades() {
+        // With sigma 0.5, a 10× size gap is almost never inverted.
+        let jobs = vec![view(0, 1_000.0), view(1, 1.0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let mut inversions = 0;
+        for seed in 0..100 {
+            let plan = EstimatedSjf::new(0.5, 0.0, seed).allocate(&ctx);
+            if plan.entries()[0].0 == JobId::new(0) {
+                inversions += 1;
+            }
+        }
+        assert!(inversions < 5, "{inversions} decade inversions at sigma 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn bad_probability_rejected() {
+        let _ = EstimatedSjf::new(0.5, 1.5, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The Fair baseline.
+//!
+//! YARN's Fair scheduler divides the cluster among running jobs in
+//! proportion to their weights; in the paper's experiments "the priorities
+//! of jobs are randomly generated integers ranging from 1 to 5" (§V-A) and
+//! act as the weights. Demand-capped weighted max-min fairness makes the
+//! allocation work-conserving: what a small job cannot use flows to the
+//! others.
+//!
+//! Under many concurrently running large jobs, Fair degrades to processor
+//! sharing — the failure mode LAS_MQ is designed to avoid.
+
+use lasmq_simulator::{AllocationPlan, SchedContext, Scheduler};
+
+use crate::share::{weighted_shares, ShareRequest};
+
+/// Priority-weighted fair sharing.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_schedulers::Fair;
+/// use lasmq_simulator::Scheduler;
+///
+/// assert_eq!(Fair::new().name(), "FAIR");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fair {
+    ignore_priorities: bool,
+}
+
+impl Fair {
+    /// Fair sharing weighted by job priorities (the paper's configuration).
+    pub fn new() -> Self {
+        Fair { ignore_priorities: false }
+    }
+
+    /// Plain equal-weight fair sharing, ignoring priorities.
+    pub fn unweighted() -> Self {
+        Fair { ignore_priorities: true }
+    }
+}
+
+impl Scheduler for Fair {
+    fn name(&self) -> &str {
+        "FAIR"
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        let jobs = ctx.jobs();
+        // YARN's fair policy orders apps by usage over weight; replicating
+        // that here sends integer-rounding surplus containers to the jobs
+        // furthest below their fair share, so equal jobs rotate (processor
+        // sharing) rather than the first N monopolizing the rounding bonus.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let usage = |i: usize| {
+                let weight = if self.ignore_priorities { 1.0 } else { f64::from(jobs[i].priority) };
+                jobs[i].attained.as_container_secs() / weight
+            };
+            usage(a)
+                .total_cmp(&usage(b))
+                .then_with(|| jobs[a].admitted_at.cmp(&jobs[b].admitted_at))
+                .then_with(|| jobs[a].id.cmp(&jobs[b].id))
+        });
+        let requests: Vec<ShareRequest> = order
+            .iter()
+            .map(|&i| {
+                let j = &jobs[i];
+                let weight = if self.ignore_priorities { 1.0 } else { f64::from(j.priority) };
+                ShareRequest::new(j.max_useful_allocation(), weight)
+            })
+            .collect();
+        let shares = weighted_shares(ctx.total_containers(), &requests);
+        order
+            .into_iter()
+            .zip(shares)
+            .filter(|(_, s)| *s > 0)
+            .map(|(i, s)| (jobs[i].id, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::{JobId, JobView, Service, SimTime};
+
+    fn view(id: u32, priority: u8, unstarted: u32) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: unstarted,
+            unstarted_tasks: unstarted,
+            containers_per_task: 1,
+            held: 0,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn splits_by_priority() {
+        let jobs = vec![view(0, 1, 100), view(1, 4, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = Fair::new().allocate(&ctx);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(2));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(8));
+    }
+
+    #[test]
+    fn unweighted_splits_evenly() {
+        let jobs = vec![view(0, 1, 100), view(1, 5, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = Fair::unweighted().allocate(&ctx);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(5));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(5));
+    }
+
+    #[test]
+    fn small_jobs_release_their_surplus() {
+        let jobs = vec![view(0, 5, 1), view(1, 1, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = Fair::new().allocate(&ctx);
+        // Job 0 can only use 1; job 1 absorbs the other 9.
+        assert_eq!(plan.target_for(JobId::new(0)), Some(1));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(9));
+    }
+
+    #[test]
+    fn work_conserving_total() {
+        let jobs = vec![view(0, 2, 50), view(1, 3, 50), view(2, 5, 50)];
+        let ctx = SchedContext::new(SimTime::ZERO, 64, &jobs);
+        let plan = Fair::new().allocate(&ctx);
+        assert_eq!(plan.total_target(), 64);
+    }
+}

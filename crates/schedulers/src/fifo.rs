@@ -1,0 +1,109 @@
+//! The FIFO baseline.
+//!
+//! Jobs are served strictly in admission order: the head job receives its
+//! full demand, then the next, until the cluster is exhausted. This is
+//! YARN's FIFO scheduler, and the paper's worst baseline under mixed job
+//! sizes — small jobs are "severely delayed by large jobs" (§V-B1).
+
+use lasmq_simulator::{AllocationPlan, SchedContext, Scheduler};
+
+/// First-in-first-out job scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_schedulers::Fifo;
+/// use lasmq_simulator::Scheduler;
+///
+/// assert_eq!(Fifo::new().name(), "FIFO");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo {
+    _private: (),
+}
+
+impl Fifo {
+    /// Creates the FIFO scheduler.
+    pub fn new() -> Self {
+        Fifo { _private: () }
+    }
+}
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        let mut plan = AllocationPlan::new();
+        let mut budget = ctx.total_containers();
+        // ctx.jobs() is in admission order, which is arrival order.
+        for job in ctx.jobs() {
+            if budget == 0 {
+                break;
+            }
+            let want = job.max_useful_allocation().min(budget);
+            if want > 0 {
+                plan.push(job.id, want);
+                budget -= want;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::{JobId, JobView, Service, SimTime};
+
+    fn view(id: u32, unstarted: u32, held: u32) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::from_secs(id as u64),
+            admitted_at: SimTime::from_secs(id as u64),
+            priority: 1,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: unstarted,
+            unstarted_tasks: unstarted,
+            containers_per_task: 1,
+            held,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn head_of_line_gets_everything_it_needs() {
+        let jobs = vec![view(0, 6, 0), view(1, 10, 0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = Fifo::new().allocate(&ctx);
+        assert_eq!(plan.entries(), &[(JobId::new(0), 6), (JobId::new(1), 4)]);
+    }
+
+    #[test]
+    fn large_head_starves_the_tail() {
+        let jobs = vec![view(0, 100, 0), view(1, 1, 0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = Fifo::new().allocate(&ctx);
+        assert_eq!(plan.entries(), &[(JobId::new(0), 10)]);
+        assert_eq!(plan.target_for(JobId::new(1)), None);
+    }
+
+    #[test]
+    fn work_conserving_under_scarce_demand() {
+        let jobs = vec![view(0, 2, 0), view(1, 3, 0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 100, &jobs);
+        let plan = Fifo::new().allocate(&ctx);
+        assert_eq!(plan.total_target(), 5);
+    }
+
+    #[test]
+    fn empty_cluster_empty_plan() {
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &[]);
+        assert!(Fifo::new().allocate(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Baseline job schedulers for the LAS_MQ reproduction (ICDCS 2017).
+//!
+//! The paper compares LAS_MQ against three information-agnostic baselines,
+//! all implemented here against
+//! [`lasmq_simulator::Scheduler`]:
+//!
+//! * [`Fifo`] — strict arrival order; suffers head-of-line blocking,
+//! * [`Fair`] — priority-weighted max-min sharing (YARN's Fair scheduler
+//!   with the paper's random 1–5 priorities); degrades to processor
+//!   sharing under concurrent large jobs,
+//! * [`Las`] — least attained service; excellent on heavy tails, collapses
+//!   to processor sharing when job sizes are similar.
+//!
+//! Two *oracle* baselines quantify the value of the information LAS_MQ
+//! does without — they require the engine's `expose_oracle(true)`:
+//!
+//! * [`ShortestJobFirst`] (SJF) and [`ShortestRemainingFirst`] (SRTF),
+//! * [`EstimatedSjf`] — SJF over *corrupted* estimates, quantifying the
+//!   paper's §II argument that bad size estimates (especially
+//!   under-estimates) are worse than no estimates.
+//!
+//! The [`share`] module provides the demand-capped weighted max-min
+//! primitive shared by `Fair` (and by LAS_MQ's across-queue sharing in
+//! `lasmq-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use lasmq_schedulers::{Fair, Fifo, Las};
+//! use lasmq_simulator::Scheduler;
+//!
+//! let (fifo, fair, las) = (Fifo::new(), Fair::new(), Las::new());
+//! assert_eq!([fifo.name(), fair.name(), las.name()], ["FIFO", "FAIR", "LAS"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod estimated;
+pub mod fair;
+pub mod fifo;
+pub mod las;
+pub mod oracle;
+pub mod share;
+
+pub use estimated::EstimatedSjf;
+pub use fair::Fair;
+pub use fifo::Fifo;
+pub use las::Las;
+pub use oracle::{ShortestJobFirst, ShortestRemainingFirst};

@@ -1,0 +1,163 @@
+//! Oracle baselines: SJF and SRTF with ground-truth job sizes.
+//!
+//! The paper's motivation (§I) is that shortest-job-first and
+//! shortest-remaining-time-first are excellent *if* job sizes are known —
+//! which they usually are not. These schedulers quantify the "price of no
+//! information": they read the true sizes from [`JobView::oracle`], which
+//! the engine only populates when built with `expose_oracle(true)` (it
+//! refuses to run them otherwise).
+//!
+//! [`JobView::oracle`]: lasmq_simulator::JobView
+
+use lasmq_simulator::{AllocationPlan, SchedContext, Scheduler, Service};
+
+/// Shortest job first (preemptive, by true total size).
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_schedulers::ShortestJobFirst;
+/// use lasmq_simulator::Scheduler;
+///
+/// let sjf = ShortestJobFirst::new();
+/// assert!(sjf.requires_oracle());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst {
+    _private: (),
+}
+
+impl ShortestJobFirst {
+    /// Creates the SJF oracle scheduler.
+    pub fn new() -> Self {
+        ShortestJobFirst { _private: () }
+    }
+}
+
+impl Scheduler for ShortestJobFirst {
+    fn name(&self) -> &str {
+        "SJF"
+    }
+
+    fn requires_oracle(&self) -> bool {
+        true
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        allocate_by_key(ctx, |j| {
+            j.oracle.expect("engine guarantees oracle info for oracle schedulers").total_size
+        })
+    }
+}
+
+/// Shortest remaining time first (preemptive, by true remaining service).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestRemainingFirst {
+    _private: (),
+}
+
+impl ShortestRemainingFirst {
+    /// Creates the SRTF oracle scheduler.
+    pub fn new() -> Self {
+        ShortestRemainingFirst { _private: () }
+    }
+}
+
+impl Scheduler for ShortestRemainingFirst {
+    fn name(&self) -> &str {
+        "SRTF"
+    }
+
+    fn requires_oracle(&self) -> bool {
+        true
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        allocate_by_key(ctx, |j| {
+            j.oracle.expect("engine guarantees oracle info for oracle schedulers").remaining
+        })
+    }
+}
+
+fn allocate_by_key(
+    ctx: &SchedContext<'_>,
+    key: impl Fn(&lasmq_simulator::JobView) -> Service,
+) -> AllocationPlan {
+    let jobs = ctx.jobs();
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        key(&jobs[a])
+            .total_cmp(&key(&jobs[b]))
+            .then_with(|| jobs[a].arrival.cmp(&jobs[b].arrival))
+            .then_with(|| jobs[a].id.cmp(&jobs[b].id))
+    });
+    let mut plan = AllocationPlan::new();
+    let mut budget = ctx.total_containers();
+    for idx in order {
+        if budget == 0 {
+            break;
+        }
+        let want = jobs[idx].max_useful_allocation().min(budget);
+        if want > 0 {
+            plan.push(jobs[idx].id, want);
+            budget -= want;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::{JobId, JobView, OracleInfo, SimTime};
+
+    fn view(id: u32, total: f64, remaining: f64) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority: 1,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: 100,
+            unstarted_tasks: 100,
+            containers_per_task: 1,
+            held: 0,
+            oracle: Some(OracleInfo {
+                total_size: Service::from_container_secs(total),
+                remaining: Service::from_container_secs(remaining),
+            }),
+        }
+    }
+
+    #[test]
+    fn sjf_orders_by_total_size() {
+        let jobs = vec![view(0, 100.0, 10.0), view(1, 5.0, 5.0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 8, &jobs);
+        let plan = ShortestJobFirst::new().allocate(&ctx);
+        assert_eq!(plan.entries()[0].0, JobId::new(1));
+    }
+
+    #[test]
+    fn srtf_orders_by_remaining() {
+        // Job 0 is bigger in total but nearly done.
+        let jobs = vec![view(0, 100.0, 2.0), view(1, 5.0, 5.0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 8, &jobs);
+        let plan = ShortestRemainingFirst::new().allocate(&ctx);
+        assert_eq!(plan.entries()[0].0, JobId::new(0));
+    }
+
+    #[test]
+    fn surplus_cascades_down_the_order() {
+        let mut small = view(1, 5.0, 5.0);
+        small.unstarted_tasks = 2;
+        small.remaining_tasks = 2;
+        let jobs = vec![view(0, 100.0, 100.0), small];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = ShortestJobFirst::new().allocate(&ctx);
+        assert_eq!(plan.entries(), &[(JobId::new(1), 2), (JobId::new(0), 8)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Job admission control (§IV of the paper).
+//!
+//! The paper's implementation "only controls the total number of running
+//! jobs because too many running jobs may cause hanging": at most
+//! `max_running` jobs are admitted concurrently, in FIFO order of arrival;
+//! when a job completes, the admission module submits the next waiting job.
+
+use std::collections::VecDeque;
+
+use crate::ids::JobId;
+
+/// FIFO admission control with a cap on concurrently running jobs.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::admission::AdmissionController;
+/// use lasmq_simulator::JobId;
+///
+/// let mut adm = AdmissionController::with_limit(1);
+/// assert_eq!(adm.offer(JobId::new(0)), Some(JobId::new(0)));
+/// assert_eq!(adm.offer(JobId::new(1)), None); // waits
+/// assert_eq!(adm.on_completion(JobId::new(0)), Some(JobId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    max_running: Option<usize>,
+    running: usize,
+    waiting: VecDeque<JobId>,
+}
+
+impl AdmissionController {
+    /// Admission with no concurrency cap (every job is admitted on arrival).
+    pub fn unlimited() -> Self {
+        AdmissionController { max_running: None, running: 0, waiting: VecDeque::new() }
+    }
+
+    /// Admission capped at `max_running` concurrent jobs (the paper's
+    /// experiments use 30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_running` is zero (no job could ever run).
+    pub fn with_limit(max_running: usize) -> Self {
+        assert!(max_running > 0, "admission limit must be at least 1");
+        AdmissionController { max_running: Some(max_running), running: 0, waiting: VecDeque::new() }
+    }
+
+    /// The configured cap, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.max_running
+    }
+
+    /// Jobs currently admitted and not yet completed.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Jobs waiting for admission.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// A job arrived. Returns `Some(job)` if it is admitted immediately,
+    /// `None` if it queued behind the cap.
+    pub fn offer(&mut self, job: JobId) -> Option<JobId> {
+        if self.has_headroom() {
+            self.running += 1;
+            Some(job)
+        } else {
+            self.waiting.push_back(job);
+            None
+        }
+    }
+
+    /// A running job completed. Returns the next waiting job to admit, if
+    /// any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job was running (a double-completion bug).
+    pub fn on_completion(&mut self, _job: JobId) -> Option<JobId> {
+        assert!(self.running > 0, "completion with no running jobs");
+        self.running -= 1;
+        if self.has_headroom() {
+            if let Some(next) = self.waiting.pop_front() {
+                self.running += 1;
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    fn has_headroom(&self) -> bool {
+        match self.max_running {
+            Some(cap) => self.running < cap,
+            None => true,
+        }
+    }
+}
+
+impl Default for AdmissionController {
+    /// Unlimited admission.
+    fn default() -> Self {
+        AdmissionController::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let mut adm = AdmissionController::unlimited();
+        for i in 0..100 {
+            assert!(adm.offer(JobId::new(i)).is_some());
+        }
+        assert_eq!(adm.running(), 100);
+        assert_eq!(adm.waiting(), 0);
+        assert_eq!(adm.limit(), None);
+    }
+
+    #[test]
+    fn cap_enforced_in_fifo_order() {
+        let mut adm = AdmissionController::with_limit(2);
+        assert!(adm.offer(JobId::new(0)).is_some());
+        assert!(adm.offer(JobId::new(1)).is_some());
+        assert!(adm.offer(JobId::new(2)).is_none());
+        assert!(adm.offer(JobId::new(3)).is_none());
+        assert_eq!(adm.waiting(), 2);
+        // Completions release slots to waiters in arrival order.
+        assert_eq!(adm.on_completion(JobId::new(0)), Some(JobId::new(2)));
+        assert_eq!(adm.on_completion(JobId::new(1)), Some(JobId::new(3)));
+        assert_eq!(adm.on_completion(JobId::new(2)), None);
+        assert_eq!(adm.running(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_limit_panics() {
+        let _ = AdmissionController::with_limit(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no running jobs")]
+    fn spurious_completion_panics() {
+        let mut adm = AdmissionController::unlimited();
+        adm.on_completion(JobId::new(0));
+    }
+}

@@ -1,0 +1,1718 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the cluster, the jobs and the event queue, and drives a
+//! pluggable [`Scheduler`] the way YARN drives a plug-in scheduler:
+//!
+//! * **Full scheduling passes** run on job arrival, stage completion, job
+//!   completion, and once per scheduling quantum. A pass snapshots every
+//!   admitted job into a [`JobView`], asks the scheduler for an
+//!   [`AllocationPlan`](crate::sched::AllocationPlan) (per-job container targets in priority order), and
+//!   reconciles the cluster toward those targets.
+//! * **Between passes**, individual task completions are handled in
+//!   O(log n): freed containers first refill the same job toward its target,
+//!   then flow down the plan order (a cursor tracks the first job that may
+//!   still be under target), so the plan's priorities keep holding without
+//!   re-invoking the scheduler.
+//! * **Rebalancing is graceful by default**: running tasks are never killed;
+//!   a job over its target simply is not refilled as its tasks finish. This
+//!   matches the paper's YARN implementation, which adjusts queue capacities
+//!   on the fly (§IV). An optional kill-based preemption policy is provided
+//!   as an extension.
+//!
+//! Everything is deterministic: no randomness, and ties in event time are
+//! broken by insertion order.
+
+use crate::admission::AdmissionController;
+use crate::cluster::{ClusterConfig, ClusterState};
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::ids::{JobId, NodeId, StageId, TaskId};
+use crate::isolated::isolated_runtime;
+use crate::job::{JobSpec, StageSpec};
+use crate::journal::{Journal, SimEvent};
+use crate::metrics::{EngineStats, JobOutcome, SimulationReport};
+use crate::sched::{JobView, OracleInfo, SchedContext, Scheduler};
+use crate::time::{Service, SimDuration, SimTime};
+
+/// How the engine reclaims containers from jobs whose allocation target
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionPolicy {
+    /// Never kill running tasks; over-target jobs shrink as their tasks
+    /// finish (the paper's deployment behaviour).
+    #[default]
+    Graceful,
+    /// Kill the youngest running tasks of over-target jobs immediately.
+    /// Killed tasks are re-queued and re-run from scratch; the service they
+    /// consumed still counts as attained.
+    Kill,
+}
+
+/// Configuration for speculative execution (an engine extension modelling
+/// the work-conservation clause of Algorithm 2: leftover containers "launch
+/// a few speculative tasks that may further improve the performance").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    enabled: bool,
+    min_completed: u32,
+    lateness_factor: f64,
+}
+
+impl SpeculationConfig {
+    /// Speculation off (the default — keeps baseline comparisons clean).
+    pub fn disabled() -> Self {
+        SpeculationConfig { enabled: false, min_completed: 3, lateness_factor: 1.0 }
+    }
+
+    /// Speculation on: once a stage has at least `min_completed` finished
+    /// tasks, a running task whose elapsed time exceeds
+    /// `lateness_factor ×` the median completed duration is eligible for a
+    /// speculative copy. The copy runs for the median duration (modelling a
+    /// restart on a healthy node); the task completes when either attempt
+    /// finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lateness_factor` is not positive or `min_completed` is 0.
+    pub fn enabled(min_completed: u32, lateness_factor: f64) -> Self {
+        assert!(min_completed > 0, "min_completed must be positive");
+        assert!(
+            lateness_factor > 0.0 && lateness_factor.is_finite(),
+            "lateness_factor must be positive and finite"
+        );
+        SpeculationConfig { enabled: true, min_completed, lateness_factor }
+    }
+
+    /// Whether speculation is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig::disabled()
+    }
+}
+
+/// Task-failure injection (an engine extension).
+///
+/// §IV of the paper builds machinery to "filter out those unsuccessfully
+/// finished tasks and count the number of successful tasks" — i.e. real
+/// clusters lose task attempts. This model fails each task attempt
+/// independently with a fixed probability; a failed attempt burns part of
+/// its duration (and the containers it held), then is re-queued and re-run.
+/// Failures are drawn from a deterministic per-attempt hash, so runs remain
+/// bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureConfig {
+    probability: f64,
+    seed: u64,
+}
+
+impl FailureConfig {
+    /// No failures (the default).
+    pub fn disabled() -> Self {
+        FailureConfig { probability: 0.0, seed: 0 }
+    }
+
+    /// Fail each task attempt with `probability`, deterministically per
+    /// `(seed, job, task, attempt)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `probability` is in `[0, 0.9]` (above that, retry
+    /// storms dominate and runs may take unboundedly long).
+    pub fn with_probability(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=0.9).contains(&probability),
+            "failure probability must be in [0, 0.9]"
+        );
+        FailureConfig { probability, seed }
+    }
+
+    /// Whether any failures will be injected.
+    pub fn is_enabled(&self) -> bool {
+        self.probability > 0.0
+    }
+
+    /// Decides one attempt's fate. Returns `None` for success, or
+    /// `Some(fraction)` of the attempt's duration consumed before failing.
+    fn roll(&self, job: JobId, task: usize, attempt: u32) -> Option<f64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for v in [u32::from(job) as u64, task as u64, attempt as u64] {
+            h = splitmix64(h ^ v);
+        }
+        let fail = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.probability;
+        if fail {
+            let h2 = splitmix64(h);
+            let frac = 0.05 + 0.9 * ((h2 >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+            Some(frac)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig::disabled()
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer (public domain
+/// constants), used for reproducible failure draws without an RNG stream.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SpecCopy {
+    node: NodeId,
+    containers: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RunningTask {
+    task_idx: usize,
+    attempt: u32,
+    node: NodeId,
+    containers: u32,
+    started: SimTime,
+    finish: SimTime,
+    will_fail: bool,
+    spec_copy: Option<SpecCopy>,
+}
+
+#[derive(Debug, Clone)]
+struct StageRt {
+    total: u32,
+    next_unstarted: usize,
+    completed: u32,
+    running: Vec<RunningTask>,
+    requeued: Vec<usize>,
+    completed_durations: Vec<SimDuration>,
+    /// Tasks may start only from this instant (stage transfer delay).
+    ready_at: SimTime,
+}
+
+impl StageRt {
+    fn new(stage: &StageSpec, becomes_current_at: SimTime) -> Self {
+        StageRt {
+            total: stage.task_count(),
+            next_unstarted: 0,
+            completed: 0,
+            running: Vec::new(),
+            requeued: Vec::new(),
+            completed_durations: Vec::new(),
+            ready_at: becomes_current_at + stage.start_delay(),
+        }
+    }
+
+    fn unstarted(&self) -> u32 {
+        (self.total as usize - self.next_unstarted + self.requeued.len()) as u32
+    }
+
+    /// Tasks the engine may start *now*: zero while the stage's transfer
+    /// delay is still running.
+    fn startable(&self, now: SimTime) -> u32 {
+        if now < self.ready_at {
+            0
+        } else {
+            self.unstarted()
+        }
+    }
+
+    fn remaining(&self) -> u32 {
+        self.total - self.completed
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Job {
+    spec: JobSpec,
+    stage_index: usize,
+    stage: StageRt,
+    held: u32,
+    target: u32,
+    plan_epoch: u64,
+    attained: Service,
+    attained_stage: Service,
+    completed_service: Service,
+    last_accrual: SimTime,
+    attempt_counter: u32,
+    admitted_at: Option<SimTime>,
+    first_alloc: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl Job {
+    fn new(spec: JobSpec) -> Self {
+        // The first stage's delay is re-anchored at admission time.
+        let stage = StageRt::new(&spec.stages()[0], SimTime::ZERO);
+        Job {
+            spec,
+            stage_index: 0,
+            stage,
+            held: 0,
+            target: 0,
+            plan_epoch: 0,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            completed_service: Service::ZERO,
+            last_accrual: SimTime::ZERO,
+            attempt_counter: 0,
+            admitted_at: None,
+            first_alloc: None,
+            finished_at: None,
+        }
+    }
+
+    fn admitted(&self) -> bool {
+        self.admitted_at.is_some()
+    }
+
+    fn finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    fn active(&self) -> bool {
+        self.admitted() && !self.finished()
+    }
+
+    fn current_stage(&self) -> &StageSpec {
+        &self.spec.stages()[self.stage_index]
+    }
+
+    fn accrue(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_accrual);
+        if !dt.is_zero() && self.held > 0 {
+            let s = Service::accrued(self.held, dt);
+            self.attained += s;
+            self.attained_stage += s;
+        }
+        self.last_accrual = now;
+    }
+
+    fn stage_progress(&self, now: SimTime) -> f64 {
+        if self.stage.total == 0 {
+            return 1.0;
+        }
+        let mut units = self.stage.completed as f64;
+        for r in &self.stage.running {
+            let span = r.finish.saturating_since(r.started).as_secs_f64();
+            if span > 0.0 {
+                let elapsed = now.saturating_since(r.started).as_secs_f64();
+                units += (elapsed / span).min(1.0);
+            }
+        }
+        (units / self.stage.total as f64).min(1.0)
+    }
+}
+
+/// Builder for a [`Simulation`] (see the crate-level quickstart).
+///
+/// Defaults: the paper's 4×30-container cluster, a 1 s scheduling quantum,
+/// unlimited admission, graceful preemption, speculation off, oracle hidden,
+/// no deadline.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    cluster: ClusterConfig,
+    quantum: SimDuration,
+    admission_limit: Option<usize>,
+    preemption: PreemptionPolicy,
+    speculation: SpeculationConfig,
+    failures: FailureConfig,
+    expose_oracle: bool,
+    record_journal: bool,
+    deadline: Option<SimTime>,
+    jobs: Vec<JobSpec>,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder {
+            cluster: ClusterConfig::default(),
+            quantum: SimDuration::from_secs(1),
+            admission_limit: None,
+            preemption: PreemptionPolicy::Graceful,
+            speculation: SpeculationConfig::disabled(),
+            failures: FailureConfig::disabled(),
+            expose_oracle: false,
+            record_journal: false,
+            deadline: None,
+            jobs: Vec::new(),
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        SimulationBuilder::default()
+    }
+
+    /// Sets the cluster shape.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Sets the scheduling quantum (how often a full pass runs without
+    /// other triggers).
+    pub fn quantum(mut self, quantum: SimDuration) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Caps concurrently running jobs (the paper's experiments use 30).
+    pub fn admission_limit(mut self, max_running: usize) -> Self {
+        self.admission_limit = Some(max_running);
+        self
+    }
+
+    /// Sets how over-target jobs lose containers.
+    pub fn preemption(mut self, policy: PreemptionPolicy) -> Self {
+        self.preemption = policy;
+        self
+    }
+
+    /// Configures speculative execution.
+    pub fn speculation(mut self, config: SpeculationConfig) -> Self {
+        self.speculation = config;
+        self
+    }
+
+    /// Configures task-failure injection.
+    pub fn failures(mut self, config: FailureConfig) -> Self {
+        self.failures = config;
+        self
+    }
+
+    /// Exposes ground-truth job sizes to the scheduler via
+    /// [`JobView::oracle`]. Required by SJF/SRTF-style oracle baselines.
+    pub fn expose_oracle(mut self, expose: bool) -> Self {
+        self.expose_oracle = expose;
+        self
+    }
+
+    /// Records a [`Journal`] of every lifecycle event for the report.
+    /// Off by default — long traces produce millions of events.
+    pub fn record_journal(mut self, record: bool) -> Self {
+        self.record_journal = record;
+        self
+    }
+
+    /// Hard stop: events after `deadline` are not processed and unfinished
+    /// jobs are reported with `finish = None`.
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Adds one job.
+    pub fn job(mut self, spec: JobSpec) -> Self {
+        self.jobs.push(spec);
+        self
+    }
+
+    /// Adds many jobs.
+    pub fn jobs(mut self, specs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.jobs.extend(specs);
+        self
+    }
+
+    /// Validates everything and produces a runnable [`Simulation`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidCluster`] / [`SimError::InvalidConfig`] for
+    ///   degenerate cluster or quantum settings,
+    /// * [`SimError::InvalidJob`] for the first malformed job spec,
+    /// * [`SimError::OracleNotExposed`] if `scheduler` requires the size
+    ///   oracle and `expose_oracle(true)` was not set.
+    pub fn build<S: Scheduler>(self, scheduler: S) -> Result<Simulation<S>, SimError> {
+        self.cluster.validate()?;
+        if self.quantum.is_zero() {
+            return Err(SimError::InvalidConfig("scheduling quantum must be positive".into()));
+        }
+        if scheduler.requires_oracle() && !self.expose_oracle {
+            return Err(SimError::OracleNotExposed { scheduler: scheduler.name().to_string() });
+        }
+        let total = self.cluster.total_containers();
+        for (i, spec) in self.jobs.iter().enumerate() {
+            spec.validate(total)
+                .map_err(|reason| SimError::InvalidJob { job_index: i, reason })?;
+        }
+
+        // Stable sort by arrival: JobIds are dense in arrival order.
+        let mut specs = self.jobs;
+        specs.sort_by_key(JobSpec::arrival);
+        let mut events = EventQueue::new();
+        for (i, spec) in specs.iter().enumerate() {
+            events.push(spec.arrival(), Event::JobArrival { job: JobId::new(i as u32) });
+        }
+        let jobs: Vec<Job> = specs.into_iter().map(Job::new).collect();
+        let admission = match self.admission_limit {
+            Some(cap) => AdmissionController::with_limit(cap),
+            None => AdmissionController::unlimited(),
+        };
+
+        Ok(Simulation {
+            scheduler,
+            cluster: ClusterState::new(self.cluster),
+            admission,
+            quantum: self.quantum,
+            preemption: self.preemption,
+            speculation: self.speculation,
+            failures: self.failures,
+            expose_oracle: self.expose_oracle,
+            deadline: self.deadline,
+            journal: if self.record_journal { Some(Journal::new()) } else { None },
+            jobs,
+            events,
+            admitted: Vec::new(),
+            finished_in_admitted: 0,
+            plan_order: Vec::new(),
+            refill_cursor: 0,
+            needs_pass: false,
+            tick_scheduled: false,
+            finished_count: 0,
+            stats: EngineStats::default(),
+            util_integral: 0.0,
+            last_util_update: SimTime::ZERO,
+            now: SimTime::ZERO,
+        })
+    }
+}
+
+/// A fully-configured simulation, ready to [`run`](Simulation::run).
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::{
+///     AllocationPlan, ClusterConfig, JobSpec, SchedContext, Scheduler, SimDuration,
+///     Simulation, StageKind, StageSpec, TaskSpec,
+/// };
+///
+/// /// Gives every job everything it asks for, first-come first-served.
+/// struct Greedy;
+/// impl Scheduler for Greedy {
+///     fn name(&self) -> &str {
+///         "greedy"
+///     }
+///     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+///         ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let job = JobSpec::builder()
+///     .stage(StageSpec::uniform(StageKind::Map, 8, TaskSpec::new(SimDuration::from_secs(10))))
+///     .build();
+/// let report = Simulation::builder()
+///     .cluster(ClusterConfig::single_node(4))
+///     .job(job)
+///     .build(Greedy)?
+///     .run();
+/// assert!(report.all_completed());
+/// // 8 tasks on 4 containers: two 10-second waves.
+/// assert_eq!(report.outcomes()[0].response().unwrap().as_secs_f64(), 20.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation<S: Scheduler> {
+    scheduler: S,
+    cluster: ClusterState,
+    admission: AdmissionController,
+    quantum: SimDuration,
+    preemption: PreemptionPolicy,
+    speculation: SpeculationConfig,
+    failures: FailureConfig,
+    expose_oracle: bool,
+    deadline: Option<SimTime>,
+    journal: Option<Journal>,
+    jobs: Vec<Job>,
+    events: EventQueue,
+    admitted: Vec<JobId>,
+    finished_in_admitted: usize,
+    plan_order: Vec<JobId>,
+    refill_cursor: usize,
+    needs_pass: bool,
+    tick_scheduled: bool,
+    finished_count: usize,
+    stats: EngineStats,
+    util_integral: f64,
+    last_util_update: SimTime,
+    now: SimTime,
+}
+
+impl<S: Scheduler> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("scheduler", &self.scheduler.name())
+            .field("now", &self.now)
+            .field("jobs", &self.jobs.len())
+            .field("finished", &self.finished_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation<NeverScheduler> {
+    /// Starts building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
+    }
+}
+
+/// Placeholder scheduler type anchoring [`Simulation::builder`]; allocates
+/// nothing and is never instantiated by the library.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverScheduler;
+
+impl Scheduler for NeverScheduler {
+    fn name(&self) -> &str {
+        "never"
+    }
+
+    fn allocate(&mut self, _ctx: &SchedContext<'_>) -> crate::sched::AllocationPlan {
+        crate::sched::AllocationPlan::new()
+    }
+}
+
+impl<S: Scheduler> Simulation<S> {
+    /// The scheduler's reported name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Runs the simulation to completion (or to the deadline) and reports
+    /// per-job outcomes.
+    pub fn run(mut self) -> SimulationReport {
+        while let Some(t) = self.events.peek_time() {
+            if let Some(deadline) = self.deadline {
+                if t > deadline {
+                    break;
+                }
+            }
+            self.now = t;
+            // Drain every event at this timestamp, then run at most one
+            // coalesced full pass.
+            while self.events.peek_time() == Some(t) {
+                let (_, event) = self.events.pop().expect("peeked event");
+                self.handle(event);
+            }
+            if self.needs_pass {
+                self.needs_pass = false;
+                self.full_pass();
+            }
+        }
+        self.finalize()
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::JobArrival { job } => self.handle_arrival(job),
+            Event::TaskFinish { job, stage, task, attempt } => {
+                self.handle_task_finish(job, stage, task, attempt)
+            }
+            Event::Tick => {
+                self.tick_scheduled = false;
+                if self.admission.running() > 0 {
+                    self.needs_pass = true;
+                    self.ensure_tick();
+                }
+            }
+            Event::Resched => self.needs_pass = true,
+        }
+    }
+
+    fn handle_arrival(&mut self, job: JobId) {
+        self.record(SimEvent::JobSubmitted { job, at: self.now });
+        if self.admission.offer(job).is_some() {
+            self.admit(job);
+        }
+    }
+
+    fn admit(&mut self, id: JobId) {
+        let now = self.now;
+        {
+            let job = &mut self.jobs[id.index()];
+            debug_assert!(!job.admitted(), "{id} admitted twice");
+            job.admitted_at = Some(now);
+            job.last_accrual = now;
+            job.stage = StageRt::new(&job.spec.stages()[0], now);
+            let ready_at = job.stage.ready_at;
+            if ready_at > now {
+                self.events.push(ready_at, Event::Resched);
+            }
+        }
+        self.admitted.push(id);
+        self.record(SimEvent::JobAdmitted { job: id, at: now });
+        let view = self.build_view(id);
+        self.scheduler.on_job_admitted(&view, now);
+        self.ensure_tick();
+        self.needs_pass = true;
+    }
+
+    fn ensure_tick(&mut self) {
+        if !self.tick_scheduled {
+            self.events.push(self.now + self.quantum, Event::Tick);
+            self.tick_scheduled = true;
+        }
+    }
+
+    fn handle_task_finish(&mut self, id: JobId, stage: StageId, task: TaskId, attempt: u32) {
+        let job = &self.jobs[id.index()];
+        if job.finished() || job.stage_index != stage.index() {
+            return; // stale: the job moved on (kill or completion races)
+        }
+        let Some(pos) = job
+            .stage
+            .running
+            .iter()
+            .position(|r| r.task_idx == task.index() && r.attempt == attempt)
+        else {
+            return; // stale: killed or superseded by a speculative copy
+        };
+
+        self.accrue_job(id);
+        self.update_util();
+        // Failed attempt: give back the containers, re-queue the task.
+        if self.jobs[id.index()].stage.running[pos].will_fail {
+            let job = &mut self.jobs[id.index()];
+            let failed = job.stage.running.swap_remove(pos);
+            job.held -= failed.containers;
+            self.cluster.release(failed.node, failed.containers);
+            if let Some(copy) = failed.spec_copy {
+                job.held -= copy.containers;
+                self.cluster.release(copy.node, copy.containers);
+            }
+            let failed_task = TaskId::new(failed.task_idx as u32);
+            job.stage.requeued.push(failed.task_idx);
+            self.stats.tasks_failed += 1;
+            self.record(SimEvent::TaskFailed { job: id, stage, task: failed_task, at: self.now });
+            if !self.needs_pass {
+                self.refill_after_completion(id);
+            }
+            return;
+        }
+        let task_service;
+        let stage_done;
+        {
+            let job = &mut self.jobs[id.index()];
+            let running = job.stage.running.swap_remove(pos);
+            job.held -= running.containers;
+            self.cluster.release(running.node, running.containers);
+            if let Some(copy) = running.spec_copy {
+                job.held -= copy.containers;
+                self.cluster.release(copy.node, copy.containers);
+            }
+            let spec_task = job.current_stage().tasks()[running.task_idx];
+            task_service = spec_task.service();
+            job.stage.completed += 1;
+            job.stage.completed_durations.push(spec_task.duration());
+            job.completed_service += task_service;
+            stage_done = job.stage.completed == job.stage.total;
+            let finished_task = TaskId::new(running.task_idx as u32);
+            let finished_attempt = running.attempt;
+            self.record(SimEvent::TaskFinished {
+                job: id,
+                stage,
+                task: finished_task,
+                attempt: finished_attempt,
+                at: self.now,
+            });
+        }
+
+        if stage_done {
+            self.advance_stage_or_finish(id);
+        } else if !self.needs_pass {
+            self.refill_after_completion(id);
+        }
+    }
+
+    fn advance_stage_or_finish(&mut self, id: JobId) {
+        let now = self.now;
+        let job = &mut self.jobs[id.index()];
+        debug_assert!(job.stage.running.is_empty());
+        debug_assert_eq!(job.held, 0, "{id} finished a stage while holding containers");
+        if job.stage_index + 1 < job.spec.stage_count() {
+            job.stage_index += 1;
+            job.stage = StageRt::new(&job.spec.stages()[job.stage_index], now);
+            job.attained_stage = Service::ZERO;
+            let ready_at = job.stage.ready_at;
+            let new_stage = job.stage_index;
+            if ready_at > now {
+                self.events.push(ready_at, Event::Resched);
+            }
+            self.record(SimEvent::StageCompleted {
+                job: id,
+                stage: StageId::new((new_stage - 1) as u16),
+                at: now,
+            });
+            self.scheduler.on_stage_completed(id, new_stage, now);
+        } else {
+            job.finished_at = Some(now);
+            self.finished_count += 1;
+            self.finished_in_admitted += 1;
+            self.record(SimEvent::JobCompleted { job: id, at: now });
+            self.scheduler.on_job_completed(id, now);
+            if let Some(next) = self.admission.on_completion(id) {
+                self.admit(next);
+            }
+        }
+        self.needs_pass = true;
+    }
+
+    /// O(plan) refill between full passes: top up the job whose task just
+    /// finished, then pour leftovers down the plan order from the cursor.
+    fn refill_after_completion(&mut self, id: JobId) {
+        {
+            let now = self.now;
+            let job = &self.jobs[id.index()];
+            let target = job.target;
+            if job.stage.startable(now) > 0 && job.held < target {
+                while self.jobs[id.index()].held < target
+                    && self.jobs[id.index()].stage.startable(now) > 0
+                {
+                    if !self.try_start_task(id) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.advance_refill_cursor();
+    }
+
+    fn advance_refill_cursor(&mut self) {
+        while self.cluster.free_containers() > 0 && self.refill_cursor < self.plan_order.len() {
+            let cand = self.plan_order[self.refill_cursor];
+            let job = &self.jobs[cand.index()];
+            if job.finished() || job.stage.startable(self.now) == 0 || job.held >= job.target {
+                self.refill_cursor += 1;
+                continue;
+            }
+            if !self.try_start_task(cand) {
+                break; // fragmentation: retry on the next completion/pass
+            }
+        }
+    }
+
+    /// Starts one task of `id`'s current stage. Returns `false` if nothing
+    /// is startable (no unstarted task, or no node can host it).
+    fn try_start_task(&mut self, id: JobId) -> bool {
+        let now = self.now;
+        let (task_idx, from_requeue) = {
+            let job = &mut self.jobs[id.index()];
+            if job.stage.startable(now) == 0 {
+                return false;
+            }
+            if let Some(idx) = job.stage.requeued.pop() {
+                (idx, true)
+            } else if job.stage.next_unstarted < job.stage.total as usize {
+                let idx = job.stage.next_unstarted;
+                job.stage.next_unstarted += 1;
+                (idx, false)
+            } else {
+                return false;
+            }
+        };
+        let spec_task = self.jobs[id.index()].current_stage().tasks()[task_idx];
+        self.update_util();
+        let Some(node) = self.cluster.allocate(spec_task.containers()) else {
+            // Roll the reservation back.
+            let job = &mut self.jobs[id.index()];
+            if from_requeue {
+                job.stage.requeued.push(task_idx);
+            } else {
+                job.stage.next_unstarted -= 1;
+            }
+            return false;
+        };
+        self.accrue_job(id);
+        // Slow nodes stretch the attempt; failure rolls truncate it.
+        let speed = self.cluster.config().speed_factor(node);
+        let mut duration = if speed > 1.0 {
+            SimDuration::from_secs_f64(spec_task.duration().as_secs_f64() * speed)
+        } else {
+            spec_task.duration()
+        };
+        let job = &mut self.jobs[id.index()];
+        let attempt = job.attempt_counter;
+        job.attempt_counter += 1;
+        let failure = self.failures.roll(id, task_idx, attempt);
+        if let Some(fraction) = failure {
+            duration = SimDuration::from_millis(
+                ((duration.as_millis() as f64 * fraction).round() as u64).max(1),
+            );
+        }
+        let finish = now + duration;
+        job.stage.running.push(RunningTask {
+            task_idx,
+            attempt,
+            node,
+            containers: spec_task.containers(),
+            started: now,
+            finish,
+            will_fail: failure.is_some(),
+            spec_copy: None,
+        });
+        job.held += spec_task.containers();
+        if job.first_alloc.is_none() {
+            job.first_alloc = Some(now);
+        }
+        let stage = StageId::new(job.stage_index as u16);
+        let containers = spec_task.containers();
+        self.events.push(
+            finish,
+            Event::TaskFinish { job: id, stage, task: TaskId::new(task_idx as u32), attempt },
+        );
+        self.record(SimEvent::TaskStarted {
+            job: id,
+            stage,
+            task: TaskId::new(task_idx as u32),
+            attempt,
+            node,
+            containers,
+            at: now,
+        });
+        true
+    }
+
+    fn accrue_job(&mut self, id: JobId) {
+        self.jobs[id.index()].accrue(self.now);
+    }
+
+    fn record(&mut self, event: SimEvent) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(event);
+        }
+    }
+
+    fn update_util(&mut self) {
+        let dt = self.now.saturating_since(self.last_util_update).as_secs_f64();
+        if dt > 0.0 {
+            self.util_integral += self.cluster.used_containers() as f64 * dt;
+        }
+        self.last_util_update = self.now;
+    }
+
+    fn build_view(&self, id: JobId) -> JobView {
+        let job = &self.jobs[id.index()];
+        let now = self.now;
+        let stage = job.current_stage();
+        let oracle = if self.expose_oracle {
+            let total_size = job.spec.total_service();
+            let mut done = job.completed_service;
+            for r in &job.stage.running {
+                let elapsed = now.saturating_since(r.started);
+                done += Service::accrued(r.containers, elapsed);
+            }
+            Some(OracleInfo { total_size, remaining: total_size - done })
+        } else {
+            None
+        };
+        JobView {
+            id,
+            arrival: job.spec.arrival(),
+            admitted_at: job.admitted_at.unwrap_or(job.spec.arrival()),
+            priority: job.spec.priority(),
+            attained: job.attained,
+            attained_stage: job.attained_stage,
+            stage_index: job.stage_index,
+            stage_count: job.spec.stage_count(),
+            stage_progress: job.stage_progress(now),
+            remaining_tasks: job.stage.remaining(),
+            unstarted_tasks: job.stage.startable(now),
+            containers_per_task: stage.containers_per_task(),
+            held: job.held,
+            oracle,
+        }
+    }
+
+    fn compact_admitted(&mut self) {
+        if self.finished_in_admitted * 2 > self.admitted.len() {
+            let jobs = &self.jobs;
+            self.admitted.retain(|id| !jobs[id.index()].finished());
+            self.finished_in_admitted = 0;
+        }
+    }
+
+    fn full_pass(&mut self) {
+        self.stats.scheduling_passes += 1;
+        self.compact_admitted();
+
+        for i in 0..self.admitted.len() {
+            let id = self.admitted[i];
+            if !self.jobs[id.index()].finished() {
+                self.accrue_job(id);
+            }
+        }
+
+        let views: Vec<JobView> = self
+            .admitted
+            .iter()
+            .filter(|id| !self.jobs[id.index()].finished())
+            .map(|&id| self.build_view(id))
+            .collect();
+        let ctx = SchedContext::new(self.now, self.cluster.config().total_containers(), &views);
+        let plan = self.scheduler.allocate(&ctx);
+
+        // Reset targets, then apply the plan (last entry wins; clamp to
+        // useful demand).
+        for &id in &self.admitted {
+            self.jobs[id.index()].target = 0;
+        }
+        let epoch = self.stats.scheduling_passes;
+        self.plan_order.clear();
+        for &(id, target) in plan.entries() {
+            let Some(job) = self.jobs.get_mut(id.index()) else { continue };
+            if !job.active() {
+                continue; // tolerate stale plan entries
+            }
+            let unstarted_demand = job
+                .stage
+                .startable(self.now)
+                .saturating_mul(job.current_stage().containers_per_task());
+            job.target = target.min(job.held + unstarted_demand);
+            if job.plan_epoch != epoch {
+                job.plan_epoch = epoch;
+                self.plan_order.push(id);
+            }
+        }
+
+        if self.preemption == PreemptionPolicy::Kill {
+            self.kill_over_target();
+        }
+
+        self.refill_cursor = 0;
+        self.advance_refill_cursor();
+
+        if self.speculation.is_enabled() && self.cluster.free_containers() > 0 {
+            self.launch_speculative_copies();
+        }
+    }
+
+    fn kill_over_target(&mut self) {
+        for i in 0..self.admitted.len() {
+            let id = self.admitted[i];
+            loop {
+                let job = &self.jobs[id.index()];
+                if job.finished() || job.held <= job.target || job.stage.running.is_empty() {
+                    break;
+                }
+                // Kill the youngest attempt (least wasted work).
+                let victim = job
+                    .stage
+                    .running
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, r)| (r.started, r.attempt))
+                    .map(|(idx, _)| idx)
+                    .expect("nonempty running set");
+                self.accrue_job(id);
+                self.update_util();
+                let job = &mut self.jobs[id.index()];
+                let killed = job.stage.running.swap_remove(victim);
+                job.held -= killed.containers;
+                self.cluster.release(killed.node, killed.containers);
+                if let Some(copy) = killed.spec_copy {
+                    job.held -= copy.containers;
+                    self.cluster.release(copy.node, copy.containers);
+                }
+                let killed_task = TaskId::new(killed.task_idx as u32);
+                let killed_stage = StageId::new(job.stage_index as u16);
+                job.stage.requeued.push(killed.task_idx);
+                self.stats.tasks_killed += 1;
+                self.record(SimEvent::TaskKilled {
+                    job: id,
+                    stage: killed_stage,
+                    task: killed_task,
+                    at: self.now,
+                });
+            }
+        }
+    }
+
+    fn launch_speculative_copies(&mut self) {
+        let now = self.now;
+        'outer: for i in 0..self.plan_order.len() {
+            let id = self.plan_order[i];
+            let job = &self.jobs[id.index()];
+            if job.finished()
+                || job.stage.completed_durations.len() < self.speculation.min_completed as usize
+            {
+                continue;
+            }
+            let median = median_duration(&job.stage.completed_durations);
+            let late_after =
+                SimDuration::from_secs_f64(median.as_secs_f64() * self.speculation.lateness_factor);
+            let candidates: Vec<usize> = job
+                .stage
+                .running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    r.spec_copy.is_none() && now.saturating_since(r.started) >= late_after
+                })
+                .map(|(idx, _)| idx)
+                .collect();
+            for pos in candidates {
+                let containers = self.jobs[id.index()].stage.running[pos].containers;
+                if self.cluster.free_containers() < containers {
+                    break 'outer;
+                }
+                self.update_util();
+                let Some(node) = self.cluster.allocate(containers) else { break 'outer };
+                self.accrue_job(id);
+                let job = &mut self.jobs[id.index()];
+                let running = &mut job.stage.running[pos];
+                running.spec_copy = Some(SpecCopy { node, containers });
+                job.held += containers;
+                self.stats.speculative_launched += 1;
+                let spec_task_id = TaskId::new(running.task_idx as u32);
+                let spec_stage = StageId::new(job.stage_index as u16);
+                let copy_finish = now + median;
+                if let Some(journal) = &mut self.journal {
+                    journal.push(SimEvent::SpeculativeLaunched {
+                        job: id,
+                        stage: spec_stage,
+                        task: spec_task_id,
+                        at: now,
+                    });
+                }
+                if copy_finish < running.finish {
+                    // The restarted copy wins: supersede the original
+                    // attempt and finish earlier.
+                    let attempt = job.attempt_counter;
+                    job.attempt_counter += 1;
+                    running.attempt = attempt;
+                    running.finish = copy_finish;
+                    running.will_fail = false;
+                    let stage = StageId::new(job.stage_index as u16);
+                    let task = TaskId::new(running.task_idx as u32);
+                    self.events.push(copy_finish, Event::TaskFinish { job: id, stage, task, attempt });
+                    self.stats.speculative_won += 1;
+                }
+            }
+        }
+    }
+
+    fn finalize(mut self) -> SimulationReport {
+        self.update_util();
+        self.stats.makespan = self.now;
+        let capacity = self.cluster.config().total_containers() as f64;
+        let span = self.now.as_secs_f64();
+        self.stats.mean_utilization =
+            if span > 0.0 { self.util_integral / (span * capacity) } else { 0.0 };
+
+        let total = self.cluster.config().total_containers();
+        let outcomes: Vec<JobOutcome> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| JobOutcome {
+                id: JobId::new(i as u32),
+                label: job.spec.label().to_string(),
+                bin: job.spec.bin(),
+                priority: job.spec.priority(),
+                arrival: job.spec.arrival(),
+                admitted_at: job.admitted_at,
+                first_allocation: job.first_alloc,
+                finish: job.finished_at,
+                true_size: job.spec.total_service(),
+                isolated: isolated_runtime(&job.spec, total),
+            })
+            .collect();
+        let report =
+            SimulationReport::new(self.scheduler.name().to_string(), outcomes, self.stats);
+        match self.journal {
+            Some(journal) => report.with_journal(journal),
+            None => report,
+        }
+    }
+}
+
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn requires_oracle(&self) -> bool {
+        (**self).requires_oracle()
+    }
+
+    fn on_job_admitted(&mut self, view: &JobView, now: SimTime) {
+        (**self).on_job_admitted(view, now)
+    }
+
+    fn on_stage_completed(&mut self, job: JobId, new_stage_index: usize, now: SimTime) {
+        (**self).on_stage_completed(job, new_stage_index, now)
+    }
+
+    fn on_job_completed(&mut self, job: JobId, now: SimTime) {
+        (**self).on_job_completed(job, now)
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> crate::sched::AllocationPlan {
+        (**self).allocate(ctx)
+    }
+}
+
+fn median_duration(durations: &[SimDuration]) -> SimDuration {
+    debug_assert!(!durations.is_empty());
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{StageKind, TaskSpec};
+    use crate::sched::AllocationPlan;
+
+    /// Gives jobs their full demand in admission order (a work-conserving
+    /// FIFO used to exercise the engine).
+    struct Greedy;
+
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+
+        fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+            ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+        }
+    }
+
+    /// Splits capacity evenly among jobs every pass (a crude fair share).
+    struct EvenSplit;
+
+    impl Scheduler for EvenSplit {
+        fn name(&self) -> &str {
+            "even"
+        }
+
+        fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+            let n = ctx.jobs().len().max(1) as u32;
+            let share = ctx.total_containers() / n;
+            ctx.jobs().iter().map(|j| (j.id, share)).collect()
+        }
+    }
+
+    struct NeedsOracle;
+
+    impl Scheduler for NeedsOracle {
+        fn name(&self) -> &str {
+            "oracle-test"
+        }
+
+        fn requires_oracle(&self) -> bool {
+            true
+        }
+
+        fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+            for j in ctx.jobs() {
+                assert!(j.oracle.is_some(), "oracle missing despite expose_oracle");
+            }
+            ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+        }
+    }
+
+    fn map_job(arrival: u64, tasks: u32, dur_secs: u64) -> JobSpec {
+        JobSpec::builder()
+            .arrival(SimTime::from_secs(arrival))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                tasks,
+                TaskSpec::new(SimDuration::from_secs(dur_secs)),
+            ))
+            .build()
+    }
+
+    fn two_stage_job(arrival: u64) -> JobSpec {
+        JobSpec::builder()
+            .arrival(SimTime::from_secs(arrival))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                4,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
+            .stage(StageSpec::uniform(
+                StageKind::Reduce,
+                2,
+                TaskSpec::new(SimDuration::from_secs(10)).with_containers(2),
+            ))
+            .build()
+    }
+
+    #[test]
+    fn lone_job_matches_isolated_runtime() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .job(two_stage_job(0))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let o = &report.outcomes()[0];
+        assert!(report.all_completed());
+        assert_eq!(o.response().unwrap(), o.isolated);
+        assert_eq!(o.slowdown().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn reduce_waits_for_all_maps() {
+        // 4 maps of 10 s on 8 containers finish together at t=10; reduces
+        // (2 × 10 s, width 2) then run in parallel: makespan 20 s.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(8))
+            .job(two_stage_job(0))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn greedy_serializes_competing_jobs() {
+        // Two 4-task jobs on 4 containers: FIFO finishes them at 10 and 20 s.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(vec![map_job(0, 4, 10), map_job(0, 4, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let responses: Vec<f64> =
+            report.outcomes().iter().map(|o| o.response().unwrap().as_secs_f64()).collect();
+        assert_eq!(responses, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn even_split_shares_cluster() {
+        // Two 8-task jobs on 4 containers under an even split: each runs 2
+        // containers, 8 tasks × 10 s / 2 = 40 s for both.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(vec![map_job(0, 8, 10), map_job(0, 8, 10)])
+            .build(EvenSplit)
+            .unwrap()
+            .run();
+        for o in report.outcomes() {
+            assert_eq!(o.response().unwrap().as_secs_f64(), 40.0);
+        }
+    }
+
+    #[test]
+    fn admission_limit_defers_jobs() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .admission_limit(1)
+            .jobs(vec![map_job(0, 4, 10), map_job(0, 4, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let second = &report.outcomes()[1];
+        // Admitted only when the first finished at t=10.
+        assert_eq!(second.admitted_at.unwrap(), SimTime::from_secs(10));
+        assert_eq!(second.finish.unwrap(), SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn utilization_integral_matches_work_done() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(vec![map_job(0, 4, 10), map_job(5, 8, 5)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let stats = report.stats();
+        let total_work: f64 =
+            report.outcomes().iter().map(|o| o.true_size.as_container_secs()).sum();
+        let integral = stats.mean_utilization * stats.makespan.as_secs_f64() * 4.0;
+        assert!((integral - total_work).abs() < 1e-6, "{integral} vs {total_work}");
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outcomes() {
+        let jobs = vec![map_job(0, 5, 7), map_job(3, 2, 13), map_job(4, 9, 3)];
+        let run = || {
+            Simulation::builder()
+                .cluster(ClusterConfig::new(2, 3))
+                .jobs(jobs.clone())
+                .build(EvenSplit)
+                .unwrap()
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes(), b.outcomes());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn deadline_truncates_run() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(1))
+            .deadline(SimTime::from_secs(15))
+            .jobs(vec![map_job(0, 10, 10)]) // needs 100 s alone
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(!report.all_completed());
+        assert_eq!(report.completed_count(), 0);
+    }
+
+    #[test]
+    fn oracle_gating_enforced() {
+        let build = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .job(map_job(0, 1, 1))
+            .build(NeedsOracle);
+        assert!(matches!(build.unwrap_err(), SimError::OracleNotExposed { .. }));
+
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .expose_oracle(true)
+            .job(map_job(0, 1, 1))
+            .build(NeedsOracle)
+            .unwrap()
+            .run();
+        assert!(report.all_completed());
+    }
+
+    #[test]
+    fn invalid_job_rejected_at_build() {
+        let bad = JobSpec::builder().build();
+        let err = Simulation::builder().job(bad).build(Greedy).unwrap_err();
+        assert!(matches!(err, SimError::InvalidJob { job_index: 0, .. }));
+    }
+
+    #[test]
+    fn zero_quantum_rejected() {
+        let err = Simulation::builder()
+            .quantum(SimDuration::ZERO)
+            .build(Greedy)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn kill_preemption_reclaims_containers() {
+        /// Gives everything to the newest job, starving older ones.
+        struct NewestFirst;
+        impl Scheduler for NewestFirst {
+            fn name(&self) -> &str {
+                "newest-first"
+            }
+            fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+                let mut plan = AllocationPlan::new();
+                if let Some(j) = ctx.jobs().iter().max_by_key(|j| j.arrival) {
+                    plan.push(j.id, j.max_useful_allocation());
+                }
+                plan
+            }
+        }
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .preemption(PreemptionPolicy::Kill)
+            .jobs(vec![map_job(0, 2, 100), map_job(10, 2, 10)])
+            .build(NewestFirst)
+            .unwrap()
+            .run();
+        assert!(report.stats().tasks_killed >= 1);
+        // The late job preempts the early one and finishes promptly.
+        assert_eq!(report.outcomes()[1].finish.unwrap(), SimTime::from_secs(20));
+        assert!(report.all_completed());
+    }
+
+    #[test]
+    fn speculation_rescues_straggler() {
+        // 3 fast tasks (10 s) + 1 straggler (100 s) on a roomy cluster.
+        let stage = StageSpec::new(
+            StageKind::Map,
+            vec![
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(100)),
+            ],
+        );
+        let job = JobSpec::builder().stage(stage).build();
+        let base = Simulation::builder()
+            .cluster(ClusterConfig::single_node(8))
+            .job(job.clone())
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert_eq!(base.outcomes()[0].response().unwrap(), SimDuration::from_secs(100));
+
+        let spec = Simulation::builder()
+            .cluster(ClusterConfig::single_node(8))
+            .speculation(SpeculationConfig::enabled(3, 1.5))
+            .job(job)
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(spec.stats().speculative_launched >= 1);
+        assert!(spec.stats().speculative_won >= 1);
+        let rescued = spec.outcomes()[0].response().unwrap();
+        assert!(
+            rescued < SimDuration::from_secs(100),
+            "speculation should beat the straggler, got {rescued}"
+        );
+    }
+
+    #[test]
+    fn stage_transfer_delays_gate_task_starts() {
+        // Map 10 s, then a 30 s inter-DC shuffle, then reduce 5 s.
+        let job = JobSpec::builder()
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                2,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
+            .stage(
+                StageSpec::uniform(StageKind::Reduce, 2, TaskSpec::new(SimDuration::from_secs(5)))
+                    .with_start_delay(SimDuration::from_secs(30)),
+            )
+            .build();
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .job(job)
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let o = &report.outcomes()[0];
+        assert_eq!(o.response().unwrap(), SimDuration::from_secs(45));
+        // The delay is part of the isolated runtime too, so slowdown = 1.
+        assert_eq!(o.slowdown().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn delayed_stage_frees_the_cluster_for_others() {
+        // Job 0 enters its 100 s transfer at t=10; job 1 (arriving at 5)
+        // must use the idle cluster meanwhile, not wait behind the barrier.
+        let delayed = JobSpec::builder()
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                2,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
+            .stage(
+                StageSpec::uniform(StageKind::Reduce, 2, TaskSpec::new(SimDuration::from_secs(5)))
+                    .with_start_delay(SimDuration::from_secs(100)),
+            )
+            .build();
+        let compact = JobSpec::builder()
+            .arrival(SimTime::from_secs(5))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                2,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
+            .build();
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .jobs(vec![delayed, compact])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        // Job 1 runs inside job 0's transfer window: 10 (wait for maps) +
+        // 10 (own wave) = finishes at 20, long before job 0's 115.
+        assert_eq!(report.outcomes()[1].finish.unwrap(), SimTime::from_secs(20));
+        assert_eq!(report.outcomes()[0].finish.unwrap(), SimTime::from_secs(115));
+    }
+
+    #[test]
+    fn failure_injection_retries_until_success() {
+        let jobs = vec![map_job(0, 10, 10)];
+        let clean = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(jobs.clone())
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let flaky = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .failures(FailureConfig::with_probability(0.3, 99))
+            .jobs(jobs)
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(flaky.all_completed(), "failures must not lose jobs");
+        assert!(flaky.stats().tasks_failed > 0, "0.3 over 10+ attempts should fail some");
+        assert!(
+            flaky.outcomes()[0].response().unwrap() >= clean.outcomes()[0].response().unwrap(),
+            "retries cannot speed a job up"
+        );
+        // Same seed, same failures: bit-identical reruns.
+        let again = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .failures(FailureConfig::with_probability(0.3, 99))
+            .jobs(vec![map_job(0, 10, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert_eq!(flaky.outcomes(), again.outcomes());
+        assert_eq!(flaky.stats(), again.stats());
+    }
+
+    #[test]
+    fn failure_probability_validated() {
+        assert!(std::panic::catch_unwind(|| FailureConfig::with_probability(0.95, 0)).is_err());
+        assert!(!FailureConfig::disabled().is_enabled());
+        assert!(FailureConfig::with_probability(0.1, 0).is_enabled());
+    }
+
+    #[test]
+    fn slow_nodes_stretch_task_durations() {
+        // One node, marked slow by 3×: a 10 s task takes 30 s.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::new(1, 4).with_heterogeneity(1, 3.0))
+            .job(map_job(0, 4, 10))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(30));
+        // Slowdown is measured against the nominal-speed isolated runtime.
+        assert_eq!(report.outcomes()[0].slowdown().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn heterogeneous_cluster_mixes_speeds() {
+        // Two nodes (2 containers each), second node 2× slower; 4 tasks of
+        // 10 s run in one wave: two finish at 10 s, two at 20 s.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::new(2, 2).with_heterogeneity(1, 2.0))
+            .job(map_job(0, 4, 10))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn speculation_can_rescue_slow_node_stragglers() {
+        // 8 tasks over 9 fast + 3 slow (5×) containers: tasks landing on
+        // the slow node tail out; speculation may re-run them on fast
+        // slots and must never make things worse.
+        let job = JobSpec::builder()
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                8,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
+            .build();
+        let cluster = ClusterConfig::new(4, 3).with_heterogeneity(1, 5.0);
+        let base = Simulation::builder()
+            .cluster(cluster)
+            .job(job.clone())
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let spec = Simulation::builder()
+            .cluster(cluster)
+            .speculation(SpeculationConfig::enabled(3, 1.5))
+            .job(job)
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(
+            spec.outcomes()[0].response().unwrap() <= base.outcomes()[0].response().unwrap(),
+            "speculation must not hurt the straggling job"
+        );
+    }
+
+    #[test]
+    fn boxed_scheduler_works() {
+        let boxed: Box<dyn Scheduler> = Box::new(Greedy);
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .job(map_job(0, 2, 5))
+            .build(boxed)
+            .unwrap()
+            .run();
+        assert!(report.all_completed());
+        assert_eq!(report.scheduler(), "greedy");
+    }
+
+    #[test]
+    fn journal_records_the_full_lifecycle() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .record_journal(true)
+            .jobs(vec![two_stage_job(0), map_job(3, 2, 5)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let journal = report.journal().expect("journal was requested");
+        use crate::journal::SimEvent as E;
+        let count = |pred: fn(&E) -> bool| journal.count_where(pred);
+        assert_eq!(count(|e| matches!(e, E::JobSubmitted { .. })), 2);
+        assert_eq!(count(|e| matches!(e, E::JobAdmitted { .. })), 2);
+        assert_eq!(count(|e| matches!(e, E::JobCompleted { .. })), 2);
+        // two_stage_job: 4 maps + 2 reduces; map_job: 2 tasks.
+        assert_eq!(count(|e| matches!(e, E::TaskStarted { .. })), 8);
+        assert_eq!(count(|e| matches!(e, E::TaskFinished { .. })), 8);
+        // One stage boundary (map -> reduce) for the two-stage job.
+        assert_eq!(count(|e| matches!(e, E::StageCompleted { .. })), 1);
+        // Events are chronological.
+        for pair in journal.events().windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+    }
+
+    #[test]
+    fn journal_is_off_by_default() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .job(map_job(0, 1, 1))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(report.journal().is_none());
+    }
+
+    #[test]
+    fn journal_captures_failures() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .record_journal(true)
+            .failures(FailureConfig::with_probability(0.4, 7))
+            .jobs(vec![map_job(0, 8, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let journal = report.journal().unwrap();
+        use crate::journal::SimEvent as E;
+        let failed = journal.count_where(|e| matches!(e, E::TaskFailed { .. }));
+        assert_eq!(failed as u64, report.stats().tasks_failed);
+        assert!(failed > 0);
+        // Starts = successes + failures (every attempt started once).
+        let started = journal.count_where(|e| matches!(e, E::TaskStarted { .. }));
+        let finished = journal.count_where(|e| matches!(e, E::TaskFinished { .. }));
+        assert_eq!(started, finished + failed);
+    }
+
+    #[test]
+    fn jobs_sorted_by_arrival_get_dense_ids() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(vec![map_job(20, 1, 1), map_job(0, 1, 1), map_job(10, 1, 1)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let arrivals: Vec<u64> =
+            report.outcomes().iter().map(|o| o.arrival.as_millis()).collect();
+        assert_eq!(arrivals, vec![0, 10_000, 20_000]);
+    }
+}

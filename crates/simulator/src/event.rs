@@ -1,0 +1,159 @@
+//! The discrete-event core: event kinds and a deterministic event queue.
+//!
+//! Events at equal timestamps are delivered in insertion order (a
+//! monotonically increasing sequence number breaks ties), which makes every
+//! simulation run a pure function of its inputs and seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{JobId, StageId, TaskId};
+use crate::time::SimTime;
+
+/// Something that happens at an instant of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A job is submitted to the cluster.
+    JobArrival {
+        /// The arriving job.
+        job: JobId,
+    },
+    /// A task attempt finishes. `attempt` guards against stale events: if
+    /// the attempt was killed (preemption) or superseded (a speculative copy
+    /// finished first), the engine ignores the event.
+    TaskFinish {
+        /// The job the task belongs to.
+        job: JobId,
+        /// The stage the task belongs to.
+        stage: StageId,
+        /// The task within the stage.
+        task: TaskId,
+        /// Attempt number distinguishing re-runs and speculative copies.
+        attempt: u32,
+    },
+    /// Periodic scheduling quantum: accrue service, re-evaluate queue
+    /// placement, rebalance allocations.
+    Tick,
+    /// An immediate full scheduling pass requested by the engine (coalesced:
+    /// at most one outstanding at a time).
+    Resched,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::event::{Event, EventQueue};
+/// use lasmq_simulator::{JobId, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(5), Event::Tick);
+/// q.push(SimTime::from_secs(1), Event::JobArrival { job: JobId::new(0) });
+/// let (at, event) = q.pop().unwrap();
+/// assert_eq!(at, SimTime::from_secs(1));
+/// assert!(matches!(event, Event::JobArrival { .. }));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, breaking timestamp ties by
+    /// insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), Event::Tick);
+        q.push(SimTime::from_secs(1), Event::Tick);
+        q.push(SimTime::from_secs(2), Event::Tick);
+        let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(times, vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..5 {
+            q.push(t, Event::JobArrival { job: JobId::new(i) });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival { job } => job.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7), Event::Resched);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Identifier newtypes for jobs, stages, tasks and nodes.
+//!
+//! Identifiers are dense indices assigned by the [`Simulation`] engine
+//! (`JobId` in arrival order, `NodeId` in cluster declaration order), wrapped
+//! in newtypes so the different index spaces cannot be mixed up.
+//!
+//! [`Simulation`]: crate::Simulation
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a job within one simulation run.
+///
+/// Ids are assigned densely in order of job arrival time (ties broken by the
+/// order jobs were supplied in), so a `JobId` doubles as an index into
+/// per-job result vectors.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::JobId;
+///
+/// let id = JobId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "job-3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(u32);
+
+impl JobId {
+    /// Creates a job id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        JobId(index)
+    }
+
+    /// The dense index of this job.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl From<JobId> for u32 {
+    fn from(id: JobId) -> u32 {
+        id.0
+    }
+}
+
+/// Index of a stage within a job (0-based; e.g. map = 0, reduce = 1 for a
+/// classic Hadoop job).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct StageId(u16);
+
+impl StageId {
+    /// Creates a stage id from its index within the job.
+    pub const fn new(index: u16) -> Self {
+        StageId(index)
+    }
+
+    /// The index of this stage within its job.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage-{}", self.0)
+    }
+}
+
+/// Index of a task within a stage.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from its index within the stage.
+    pub const fn new(index: u32) -> Self {
+        TaskId(index)
+    }
+
+    /// The index of this task within its stage.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// Identifies a node (NodeManager host) in the simulated cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(JobId::new(7).index(), 7);
+        assert_eq!(StageId::new(1).index(), 1);
+        assert_eq!(TaskId::new(42).index(), 42);
+        assert_eq!(NodeId::new(2).index(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert!(StageId::new(0) < StageId::new(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId::new(0).to_string(), "job-0");
+        assert_eq!(StageId::new(2).to_string(), "stage-2");
+        assert_eq!(TaskId::new(3).to_string(), "task-3");
+        assert_eq!(NodeId::new(1).to_string(), "node-1");
+    }
+}

@@ -1,0 +1,310 @@
+//! The scheduler interface: what a pluggable job scheduler observes and
+//! decides.
+//!
+//! The central design point of this module is **information hiding**. The
+//! paper's premise is that job sizes are *not* known in advance, so
+//! [`JobView`] — the only window a scheduler gets onto a job — exposes
+//! exactly the signals a real YARN scheduler can observe at runtime:
+//!
+//! * arrival/admission times and the job's configured priority,
+//! * attained service so far (total, and within the current stage),
+//! * the current stage's index, task counts and *progress* (fraction of the
+//!   stage's tasks completed, with partial credit for running tasks — the
+//!   counter Hadoop and Spark both export),
+//! * current container holdings and demand.
+//!
+//! True job sizes appear only in [`JobView::oracle`], which is `None` unless
+//! the simulation was explicitly built with
+//! [`SimulationBuilder::expose_oracle`](crate::SimulationBuilder::expose_oracle)
+//! — so "cheating" baselines such as SJF are visible in the type system.
+
+use crate::ids::JobId;
+use crate::time::{Service, SimTime};
+
+/// Ground-truth size information, available only to oracle schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleInfo {
+    /// The job's true total size in container-seconds.
+    pub total_size: Service,
+    /// The true service still required to finish the job.
+    pub remaining: Service,
+}
+
+/// A snapshot of one admitted, unfinished job, as visible to a scheduler.
+///
+/// All quantities are observable in a real cluster; see the module docs.
+/// The struct is plain data with public fields so scheduler implementations
+/// can construct views in their own unit tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// The job's identity.
+    pub id: JobId,
+    /// When the job was submitted.
+    pub arrival: SimTime,
+    /// When the job passed admission control (≥ `arrival`).
+    pub admitted_at: SimTime,
+    /// Configured priority in 1..=5 (used by the Fair baseline).
+    pub priority: u8,
+    /// Attained service across all stages so far — precise, Eq. (1).
+    pub attained: Service,
+    /// Attained service within the *current* stage — precise.
+    pub attained_stage: Service,
+    /// Index of the current stage (0-based).
+    pub stage_index: usize,
+    /// Total number of stages in the job. Known in advance for Hadoop
+    /// (map + reduce) and Spark (the DAG is submitted up front); knowing the
+    /// *count* does not reveal stage *sizes*.
+    pub stage_count: usize,
+    /// Fraction of the current stage completed, in `[0, 1]`: completed
+    /// tasks plus the fractional progress of running tasks, over the
+    /// stage's task count. This is the "stage progress" counter the paper's
+    /// stage-awareness strategy divides by (§III-B).
+    pub stage_progress: f64,
+    /// Tasks of the current stage not yet finished (running + unstarted) —
+    /// the "remaining tasks including running tasks" of §III-C.
+    pub remaining_tasks: u32,
+    /// Tasks of the current stage not yet started.
+    pub unstarted_tasks: u32,
+    /// Containers each task of the current stage occupies (1 for maps, 2
+    /// for reduces in the paper's implementation).
+    pub containers_per_task: u32,
+    /// Containers the job currently holds.
+    pub held: u32,
+    /// Ground truth sizes; `None` unless the engine exposes the oracle.
+    pub oracle: Option<OracleInfo>,
+}
+
+impl JobView {
+    /// Containers that would be used by the remaining tasks of the current
+    /// stage, including running ones — the paper's in-queue ordering key
+    /// (§III-C): `remaining_tasks × containers_per_task`.
+    pub fn remaining_demand(&self) -> u32 {
+        self.remaining_tasks.saturating_mul(self.containers_per_task)
+    }
+
+    /// The largest allocation the job can use right now: containers already
+    /// held plus what its unstarted ready tasks need.
+    pub fn max_useful_allocation(&self) -> u32 {
+        self.held + self.unstarted_tasks.saturating_mul(self.containers_per_task)
+    }
+
+    /// Whether the job could use more containers than it currently holds.
+    pub fn wants_more(&self) -> bool {
+        self.unstarted_tasks > 0
+    }
+}
+
+/// Everything a scheduler sees when asked to allocate: the clock, cluster
+/// capacity, and a view of every admitted unfinished job (in admission
+/// order).
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    now: SimTime,
+    total_containers: u32,
+    jobs: &'a [JobView],
+}
+
+impl<'a> SchedContext<'a> {
+    /// Creates a context. Used by the engine; exposed for scheduler unit
+    /// tests.
+    pub fn new(now: SimTime, total_containers: u32, jobs: &'a [JobView]) -> Self {
+        SchedContext { now, total_containers, jobs }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total containers in the cluster.
+    pub fn total_containers(&self) -> u32 {
+        self.total_containers
+    }
+
+    /// Views of all admitted, unfinished jobs, in admission order.
+    pub fn jobs(&self) -> &[JobView] {
+        self.jobs
+    }
+
+    /// Sum of all jobs' useful demand, capped at cluster capacity.
+    pub fn total_demand(&self) -> u32 {
+        let demand: u64 = self.jobs.iter().map(|j| j.max_useful_allocation() as u64).sum();
+        demand.min(self.total_containers as u64) as u32
+    }
+}
+
+/// The scheduler's decision: per-job container *targets*, in priority order.
+///
+/// The engine walks the plan in order, topping each job up toward its target
+/// while free containers last; the order therefore expresses which jobs get
+/// containers first when capacity is scarce, and which job is refilled first
+/// when containers free up between full passes.
+///
+/// Targets above a job's useful demand are clamped by the engine (the
+/// surplus stays in the pool for later entries / speculation).
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::{AllocationPlan, JobId};
+///
+/// let mut plan = AllocationPlan::new();
+/// plan.push(JobId::new(1), 8);
+/// plan.push(JobId::new(0), 4);
+/// assert_eq!(plan.entries().len(), 2);
+/// assert_eq!(plan.target_for(JobId::new(0)), Some(4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocationPlan {
+    entries: Vec<(JobId, u32)>,
+}
+
+impl AllocationPlan {
+    /// An empty plan (no job receives containers).
+    pub fn new() -> Self {
+        AllocationPlan::default()
+    }
+
+    /// Appends a job with its container target. Jobs earlier in the plan
+    /// are served first.
+    pub fn push(&mut self, job: JobId, target: u32) {
+        self.entries.push((job, target));
+    }
+
+    /// The planned `(job, target)` pairs in priority order.
+    pub fn entries(&self) -> &[(JobId, u32)] {
+        &self.entries
+    }
+
+    /// The target for `job`, if the plan mentions it. If a job appears more
+    /// than once the *last* entry wins (matching the engine's reconciliation).
+    pub fn target_for(&self, job: JobId) -> Option<u32> {
+        self.entries.iter().rev().find(|(j, _)| *j == job).map(|&(_, t)| t)
+    }
+
+    /// Sum of all targets.
+    pub fn total_target(&self) -> u64 {
+        self.entries.iter().map(|&(_, t)| t as u64).sum()
+    }
+
+    /// Whether the plan assigns nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(JobId, u32)> for AllocationPlan {
+    fn from_iter<I: IntoIterator<Item = (JobId, u32)>>(iter: I) -> Self {
+        AllocationPlan { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(JobId, u32)> for AllocationPlan {
+    fn extend<I: IntoIterator<Item = (JobId, u32)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// A pluggable job scheduler.
+///
+/// Implementations receive lifecycle notifications (admission, stage and job
+/// completion) and are periodically asked to [`allocate`](Self::allocate)
+/// the cluster's containers among admitted jobs.
+///
+/// The engine invokes `allocate` on job arrival, on stage/job completion,
+/// and once per scheduling quantum — so schedulers may keep incremental
+/// state keyed by [`JobId`] between calls.
+pub trait Scheduler {
+    /// A short human-readable name ("FIFO", "LAS_MQ", ...), used in reports.
+    fn name(&self) -> &str;
+
+    /// Whether this scheduler needs ground-truth job sizes
+    /// ([`JobView::oracle`]). The engine refuses to run oracle schedulers
+    /// unless built with `expose_oracle(true)`.
+    fn requires_oracle(&self) -> bool {
+        false
+    }
+
+    /// A job passed admission control and is now schedulable.
+    fn on_job_admitted(&mut self, _view: &JobView, _now: SimTime) {}
+
+    /// A job finished its current stage and moved to `new_stage_index`.
+    fn on_stage_completed(&mut self, _job: JobId, _new_stage_index: usize, _now: SimTime) {}
+
+    /// A job finished entirely and left the system.
+    fn on_job_completed(&mut self, _job: JobId, _now: SimTime) {}
+
+    /// Divides the cluster's containers among the jobs in `ctx`.
+    ///
+    /// Work conservation is the scheduler's responsibility: if total demand
+    /// meets or exceeds capacity, a well-behaved plan allocates every
+    /// container (the engine asserts this in debug builds).
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u32, remaining: u32, unstarted: u32, cpt: u32, held: u32) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority: 1,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: remaining,
+            unstarted_tasks: unstarted,
+            containers_per_task: cpt,
+            held,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn remaining_demand_counts_running_tasks() {
+        // 5 remaining tasks (2 running, 3 unstarted), 2 containers each.
+        let v = view(0, 5, 3, 2, 4);
+        assert_eq!(v.remaining_demand(), 10);
+        assert_eq!(v.max_useful_allocation(), 4 + 6);
+        assert!(v.wants_more());
+    }
+
+    #[test]
+    fn saturated_job_wants_no_more() {
+        let v = view(0, 2, 0, 1, 2);
+        assert!(!v.wants_more());
+        assert_eq!(v.max_useful_allocation(), 2);
+    }
+
+    #[test]
+    fn plan_last_entry_wins() {
+        let mut plan = AllocationPlan::new();
+        plan.push(JobId::new(0), 3);
+        plan.push(JobId::new(0), 7);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(7));
+        assert_eq!(plan.total_target(), 10);
+    }
+
+    #[test]
+    fn plan_collects_from_iterator() {
+        let plan: AllocationPlan =
+            vec![(JobId::new(0), 1), (JobId::new(1), 2)].into_iter().collect();
+        assert_eq!(plan.entries().len(), 2);
+        assert_eq!(plan.target_for(JobId::new(1)), Some(2));
+        assert_eq!(plan.target_for(JobId::new(9)), None);
+    }
+
+    #[test]
+    fn context_total_demand_caps_at_capacity() {
+        let jobs = vec![view(0, 100, 100, 1, 0), view(1, 100, 100, 1, 0)];
+        let ctx = SchedContext::new(SimTime::ZERO, 50, &jobs);
+        assert_eq!(ctx.total_demand(), 50);
+        assert_eq!(ctx.jobs().len(), 2);
+        assert_eq!(ctx.total_containers(), 50);
+    }
+}

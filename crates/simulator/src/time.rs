@@ -1,0 +1,437 @@
+//! Simulation time, durations, and the container-time service unit.
+//!
+//! The simulator uses a discrete millisecond clock. [`SimTime`] is an instant
+//! on that clock (milliseconds since the start of the simulation) and
+//! [`SimDuration`] a span between two instants. [`Service`] measures the
+//! *amount of service* a job has received in **container-seconds** — the
+//! paper's Eq. (1): a job holding `x` containers for `t` seconds receives
+//! `x · t` container-seconds of service.
+//!
+//! All three are thin newtypes so that instants, spans and service amounts
+//! cannot be confused with one another or with raw integers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in milliseconds since time zero.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(3);
+/// assert_eq!(t.as_millis(), 3_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(3));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `millis` milliseconds after time zero.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after time zero.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * 1_000.0).round() as u64)
+    }
+
+    /// Milliseconds since time zero.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since time zero, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// Returns [`SimDuration::ZERO`] if `earlier` is after `self`, mirroring
+    /// [`std::time::Instant::saturating_duration_since`].
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulation time, in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::SimDuration;
+///
+/// let d = SimDuration::from_secs(2) + SimDuration::from_millis(500);
+/// assert_eq!(d.as_secs_f64(), 2.5);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimDuration((secs * 1_000.0).round() as u64)
+    }
+
+    /// The span in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction underflow");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+/// An amount of service in **container-seconds** (paper Eq. 1: `js = x · t`).
+///
+/// Service is the quantity the multilevel feedback queue thresholds are
+/// expressed in: a job that has held 2 containers for 30 seconds has attained
+/// `Service::from_container_secs(60.0)`.
+///
+/// `Service` intentionally does **not** implement `Eq`/`Ord` (it wraps an
+/// `f64`); use [`Service::total_cmp`] for total ordering.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::{Service, SimDuration};
+///
+/// let s = Service::accrued(2, SimDuration::from_secs(30));
+/// assert_eq!(s.as_container_secs(), 60.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Service(f64);
+
+impl Service {
+    /// Zero service.
+    pub const ZERO: Service = Service(0.0);
+
+    /// Creates a service amount from container-seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs` is negative or not finite.
+    pub fn from_container_secs(cs: f64) -> Self {
+        assert!(
+            cs.is_finite() && cs >= 0.0,
+            "Service requires a finite non-negative value, got {cs}"
+        );
+        Service(cs)
+    }
+
+    /// The service accrued by holding `containers` containers for `dt`
+    /// (Eq. 1 of the paper).
+    pub fn accrued(containers: u32, dt: SimDuration) -> Self {
+        Service(containers as f64 * dt.as_secs_f64())
+    }
+
+    /// The amount in container-seconds.
+    pub const fn as_container_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Total ordering (IEEE 754 `totalOrder`), for sorting jobs by attained
+    /// service.
+    pub fn total_cmp(&self, other: &Service) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Service) -> Service {
+        Service(self.0.max(other.0))
+    }
+
+    /// Whether this amount is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} container-s", self.0)
+    }
+}
+
+impl Add for Service {
+    type Output = Service;
+
+    fn add(self, rhs: Service) -> Service {
+        Service(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Service {
+    fn add_assign(&mut self, rhs: Service) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Service {
+    type Output = Service;
+
+    /// Saturates at zero: service amounts are never negative.
+    fn sub(self, rhs: Service) -> Service {
+        Service((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Service {
+    type Output = Service;
+
+    /// # Panics
+    ///
+    /// Panics if the product is negative or not finite.
+    fn mul(self, rhs: f64) -> Service {
+        Service::from_container_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Service {
+    type Output = Service;
+
+    /// # Panics
+    ///
+    /// Panics if the quotient is negative or not finite (e.g. dividing by
+    /// zero).
+    fn div(self, rhs: f64) -> Service {
+        Service::from_container_secs(self.0 / rhs)
+    }
+}
+
+impl Sum for Service {
+    fn sum<I: Iterator<Item = Service>>(iter: I) -> Service {
+        iter.fold(Service::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(5);
+        assert_eq!(t.as_millis(), 5_000);
+        assert_eq!(t + SimDuration::from_millis(250), SimTime::from_millis(5_250));
+        assert_eq!(SimTime::from_millis(5_250) - t, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 4, SimDuration::from_millis(2_500));
+        assert_eq!(d - SimDuration::from_secs(4), SimDuration::from_secs(6));
+        let total: SimDuration = [d, d, d].into_iter().sum();
+        assert_eq!(total, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_millis() {
+        assert_eq!(SimDuration::from_secs_f64(1.2345), SimDuration::from_millis(1_235));
+        assert_eq!(SimTime::from_secs_f64(0.0004), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn service_follows_eq1() {
+        // Paper example: 1 container for 5 units, then 2 containers for 3
+        // units => 11 container-time.
+        let s = Service::accrued(1, SimDuration::from_secs(5))
+            + Service::accrued(2, SimDuration::from_secs(3));
+        assert_eq!(s.as_container_secs(), 11.0);
+    }
+
+    #[test]
+    fn service_subtraction_saturates() {
+        let a = Service::from_container_secs(2.0);
+        let b = Service::from_container_secs(5.0);
+        assert_eq!((a - b).as_container_secs(), 0.0);
+    }
+
+    #[test]
+    fn service_total_order_sorts() {
+        let mut v = [
+            Service::from_container_secs(3.0),
+            Service::from_container_secs(1.0),
+            Service::from_container_secs(2.0),
+        ];
+        v.sort_by(Service::total_cmp);
+        assert_eq!(v[0].as_container_secs(), 1.0);
+        assert_eq!(v[2].as_container_secs(), 3.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SimTime::ZERO).is_empty());
+        assert!(!format!("{}", SimDuration::ZERO).is_empty());
+        assert!(!format!("{}", Service::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Data-skew models for task durations.
+//!
+//! §II of the paper argues that per-task running times cannot be predicted
+//! because *data skews are common in each stage*: map records differ in
+//! cost, and reduce partitions are uneven because intermediate keys hash
+//! unevenly. This module turns a stage's *base* task duration into a vector
+//! of per-task durations exhibiting those skews:
+//!
+//! * **map-like stages**: multiplicative log-normal noise with unit mean,
+//!   plus a small probability of a straggler several times slower,
+//! * **reduce-like stages**: partition sizes follow normalized Zipf weights
+//!   (then the same noise), so a few reducers get most of the data.
+
+use rand::RngCore;
+
+use lasmq_simulator::SimDuration;
+
+use crate::dist::{uniform01, zipf_weights, LogNormal, Sample};
+
+/// Multiplicative skew applied to a stage's base task duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewModel {
+    noise_sigma: f64,
+    straggler_prob: f64,
+    straggler_factor: f64,
+    zipf_theta: f64,
+}
+
+impl SkewModel {
+    /// No skew at all: every task gets exactly the base duration.
+    pub fn none() -> Self {
+        SkewModel { noise_sigma: 0.0, straggler_prob: 0.0, straggler_factor: 1.0, zipf_theta: 0.0 }
+    }
+
+    /// Map-stage skew: log-normal noise (`sigma`) and stragglers
+    /// (probability `straggler_prob`, slowdown `straggler_factor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative parameters, a straggler probability above 1, or a
+    /// straggler factor below 1.
+    pub fn map_like(noise_sigma: f64, straggler_prob: f64, straggler_factor: f64) -> Self {
+        assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
+        assert!((0.0..=1.0).contains(&straggler_prob), "straggler probability in [0, 1]");
+        assert!(straggler_factor >= 1.0, "stragglers are slower, not faster");
+        SkewModel { noise_sigma, straggler_prob, straggler_factor, zipf_theta: 0.0 }
+    }
+
+    /// Reduce-stage skew: Zipf partition imbalance of strength `zipf_theta`
+    /// on top of map-like noise and stragglers.
+    ///
+    /// # Panics
+    ///
+    /// As [`SkewModel::map_like`], plus a negative `zipf_theta`.
+    pub fn reduce_like(
+        noise_sigma: f64,
+        straggler_prob: f64,
+        straggler_factor: f64,
+        zipf_theta: f64,
+    ) -> Self {
+        assert!(zipf_theta >= 0.0, "zipf theta must be non-negative");
+        let mut model = SkewModel::map_like(noise_sigma, straggler_prob, straggler_factor);
+        model.zipf_theta = zipf_theta;
+        model
+    }
+
+    /// Generates `count` task durations around `base`, preserving the
+    /// stage's expected total work: the Zipf weights are normalized and the
+    /// log-normal noise has unit mean.
+    ///
+    /// Durations are clamped below at one millisecond so every generated
+    /// task is valid.
+    pub fn task_durations(
+        &self,
+        rng: &mut dyn RngCore,
+        base: SimDuration,
+        count: u32,
+    ) -> Vec<SimDuration> {
+        let n = count as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let weights = if self.zipf_theta > 0.0 {
+            zipf_weights(n, self.zipf_theta)
+        } else {
+            vec![1.0 / n as f64; n]
+        };
+        let noise = LogNormal::unit_mean_noise(self.noise_sigma);
+        let base_secs = base.as_secs_f64();
+        weights
+            .into_iter()
+            .map(|w| {
+                // w * n has mean 1 across the stage.
+                let mut secs = base_secs * w * n as f64;
+                if self.noise_sigma > 0.0 {
+                    secs *= noise.sample(rng);
+                }
+                if self.straggler_prob > 0.0 && uniform01(rng) < self.straggler_prob {
+                    secs *= self.straggler_factor;
+                }
+                SimDuration::from_millis((secs * 1_000.0).round().max(1.0) as u64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn no_skew_is_exact() {
+        let durs = SkewModel::none().task_durations(&mut rng(), SimDuration::from_secs(30), 8);
+        assert_eq!(durs.len(), 8);
+        assert!(durs.iter().all(|&d| d == SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn map_like_preserves_mean_work() {
+        let base = SimDuration::from_secs(30);
+        let durs = SkewModel::map_like(0.3, 0.0, 1.0).task_durations(&mut rng(), base, 20_000);
+        let mean: f64 =
+            durs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durs.len() as f64;
+        assert!((mean - 30.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn stragglers_inflate_some_tasks() {
+        let base = SimDuration::from_secs(10);
+        let durs = SkewModel::map_like(0.0, 0.05, 4.0).task_durations(&mut rng(), base, 5_000);
+        let stragglers = durs.iter().filter(|&&d| d == SimDuration::from_secs(40)).count();
+        let frac = stragglers as f64 / durs.len() as f64;
+        assert!((frac - 0.05).abs() < 0.02, "straggler fraction {frac}");
+    }
+
+    #[test]
+    fn reduce_like_is_imbalanced_but_mean_preserving() {
+        let base = SimDuration::from_secs(100);
+        let durs =
+            SkewModel::reduce_like(0.0, 0.0, 1.0, 0.8).task_durations(&mut rng(), base, 20);
+        // First partition gets the biggest share.
+        assert!(durs[0] > durs[19]);
+        let total: f64 = durs.iter().map(|d| d.as_secs_f64()).sum();
+        assert!((total - 20.0 * 100.0).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn durations_never_zero() {
+        let base = SimDuration::from_millis(1);
+        let durs =
+            SkewModel::reduce_like(1.0, 0.0, 1.0, 2.0).task_durations(&mut rng(), base, 50);
+        assert!(durs.iter().all(|d| !d.is_zero()));
+    }
+
+    #[test]
+    fn empty_stage_yields_nothing() {
+        assert!(SkewModel::none()
+            .task_durations(&mut rng(), SimDuration::from_secs(1), 0)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "slower, not faster")]
+    fn straggler_factor_below_one_rejected() {
+        let _ = SkewModel::map_like(0.1, 0.01, 0.5);
+    }
+}

@@ -1,0 +1,317 @@
+//! SWIM trace ingestion.
+//!
+//! The Facebook traces the paper replays were published by Chen et al.
+//! through the SWIM project (Statistical Workload Injector for MapReduce)
+//! as plain-text files, one job per line:
+//!
+//! ```text
+//! job_id \t submit_time_ms \t inter_job_gap_ms \t map_input_bytes \t shuffle_bytes \t reduce_output_bytes
+//! ```
+//!
+//! This module parses and emits that format and converts records into
+//! [`JobSpec`]s, so when a real SWIM file is available the whole
+//! evaluation can run on it instead of the synthetic stand-in in
+//! [`facebook`](crate::facebook). The conversion mirrors the paper's size
+//! definition — "we calculate the job sizes by summing up the amount of
+//! data processed by each job including input data, intermediate data and
+//! output data" (§V-A) — by turning bytes into container-time through a
+//! configurable processing rate.
+
+use std::error::Error;
+use std::fmt;
+
+use lasmq_simulator::{JobSpec, SimDuration, SimTime, StageKind, StageSpec, TaskSpec};
+
+use crate::facebook::size_bin;
+
+/// One line of a SWIM trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwimRecord {
+    /// Job identifier (opaque).
+    pub job_id: String,
+    /// Submission time in milliseconds.
+    pub submit_ms: u64,
+    /// Bytes read by the map phase.
+    pub map_input_bytes: u64,
+    /// Bytes shuffled to the reduce phase.
+    pub shuffle_bytes: u64,
+    /// Bytes written by the reduce phase.
+    pub reduce_output_bytes: u64,
+}
+
+impl SwimRecord {
+    /// Total bytes processed — the paper's job-size definition.
+    pub fn total_bytes(&self) -> u64 {
+        self.map_input_bytes + self.shuffle_bytes + self.reduce_output_bytes
+    }
+}
+
+/// Errors from parsing a SWIM trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSwimError {
+    line: usize,
+    reason: String,
+}
+
+impl ParseSwimError {
+    /// The 1-based line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseSwimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "swim trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseSwimError {}
+
+/// Parses a SWIM trace. Blank lines and `#` comments are skipped; fields
+/// may be separated by any whitespace. The `inter_job_gap` column is
+/// accepted and ignored (submit times are authoritative).
+///
+/// # Errors
+///
+/// Returns the first malformed line with its number and reason.
+///
+/// # Examples
+///
+/// ```
+/// let text = "job1 0 0 1000000 500000 100000\njob2 2000 2000 5000000 0 0\n";
+/// let records = lasmq_workload::swim::parse_swim(text)?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].total_bytes(), 1_600_000);
+/// # Ok::<(), lasmq_workload::swim::ParseSwimError>(())
+/// ```
+pub fn parse_swim(text: &str) -> Result<Vec<SwimRecord>, ParseSwimError> {
+    let mut records = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 6 {
+            return Err(ParseSwimError {
+                line,
+                reason: format!("expected 6 fields, found {}", fields.len()),
+            });
+        }
+        let num = |idx: usize, name: &str| -> Result<u64, ParseSwimError> {
+            fields[idx].parse().map_err(|_| ParseSwimError {
+                line,
+                reason: format!("field '{name}' is not an integer: '{}'", fields[idx]),
+            })
+        };
+        records.push(SwimRecord {
+            job_id: fields[0].to_string(),
+            submit_ms: num(1, "submit_time_ms")?,
+            map_input_bytes: num(3, "map_input_bytes")?,
+            shuffle_bytes: num(4, "shuffle_bytes")?,
+            reduce_output_bytes: num(5, "reduce_output_bytes")?,
+        });
+    }
+    Ok(records)
+}
+
+/// Serializes records back to the SWIM line format (tab-separated, gap
+/// column recomputed from consecutive submit times).
+pub fn to_swim_string(records: &[SwimRecord]) -> String {
+    let mut out = String::new();
+    let mut prev = 0u64;
+    for r in records {
+        let gap = r.submit_ms.saturating_sub(prev);
+        prev = r.submit_ms;
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            r.job_id, r.submit_ms, gap, r.map_input_bytes, r.shuffle_bytes, r.reduce_output_bytes
+        ));
+    }
+    out
+}
+
+/// Converts SWIM records into simulator jobs.
+///
+/// Bytes become container-time through `bytes_per_container_sec`; each map
+/// task covers one `split_bytes` of input (Hadoop-style), and shuffle +
+/// output bytes form the reduce stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwimConverter {
+    bytes_per_container_sec: f64,
+    split_bytes: u64,
+    reduce_containers: u32,
+}
+
+impl SwimConverter {
+    /// A converter processing `bytes_per_container_sec` per container per
+    /// second with `split_bytes` per map task.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters.
+    pub fn new(bytes_per_container_sec: f64, split_bytes: u64) -> Self {
+        assert!(
+            bytes_per_container_sec.is_finite() && bytes_per_container_sec > 0.0,
+            "rate must be positive"
+        );
+        assert!(split_bytes > 0, "split size must be positive");
+        SwimConverter { bytes_per_container_sec, split_bytes, reduce_containers: 2 }
+    }
+
+    /// Hadoop-flavoured defaults: 4 MB/s per container, 128 MB splits,
+    /// 2-container reduce tasks (the paper's implementation).
+    pub fn hadoop_defaults() -> Self {
+        SwimConverter::new(4.0 * 1024.0 * 1024.0, 128 * 1024 * 1024)
+    }
+
+    /// Containers per reduce task (paper: 2).
+    pub fn with_reduce_containers(mut self, containers: u32) -> Self {
+        assert!(containers > 0, "reduce tasks need at least one container");
+        self.reduce_containers = containers;
+        self
+    }
+
+    /// Converts one record. Jobs with no shuffle and no output become
+    /// map-only; others get a reduce stage sized by shuffle + output.
+    pub fn job(&self, record: &SwimRecord) -> JobSpec {
+        let arrival = SimTime::from_millis(record.submit_ms);
+        let size = record.total_bytes() as f64 / self.bytes_per_container_sec;
+        let mut builder = JobSpec::builder()
+            .arrival(arrival)
+            .label(record.job_id.clone())
+            .bin(size_bin(size))
+            .stage(self.stage(
+                StageKind::Map,
+                record.map_input_bytes.max(1),
+                1,
+            ));
+        let reduce_bytes = record.shuffle_bytes + record.reduce_output_bytes;
+        if reduce_bytes > 0 {
+            builder = builder.stage(self.stage(
+                StageKind::Reduce,
+                reduce_bytes,
+                self.reduce_containers,
+            ));
+        }
+        builder.build()
+    }
+
+    fn stage(&self, kind: StageKind, bytes: u64, containers: u32) -> StageSpec {
+        let tasks = bytes.div_ceil(self.split_bytes).max(1) as u32;
+        // Spread the bytes' container-time evenly across tasks so the
+        // stage's total service equals bytes ÷ rate regardless of the
+        // split rounding.
+        let total_secs = bytes as f64 / self.bytes_per_container_sec;
+        let per_task = (total_secs / (tasks as f64 * containers as f64)).max(0.001);
+        let task = TaskSpec::new(SimDuration::from_secs_f64(per_task));
+        let task = if containers > 1 { task.with_containers(containers) } else { task };
+        StageSpec::uniform(kind, tasks, task)
+    }
+
+    /// Converts a whole trace, in order.
+    pub fn jobs(&self, records: &[SwimRecord]) -> Vec<JobSpec> {
+        records.iter().map(|r| self.job(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# synthetic SWIM sample
+job1\t0\t0\t268435456\t67108864\t1048576
+job2\t1500\t1500\t134217728\t0\t0
+
+job3  3000  1500  1073741824  536870912  268435456
+";
+
+    #[test]
+    fn parses_tabs_spaces_comments_and_blanks() {
+        let records = parse_swim(SAMPLE).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].job_id, "job1");
+        assert_eq!(records[2].submit_ms, 3_000);
+        assert_eq!(records[1].shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = parse_swim("job1 0 0 100").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("expected 6 fields"));
+        let err = parse_swim("ok 0 0 1 1 1\nbad 0 0 x 1 1").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("map_input_bytes"));
+    }
+
+    #[test]
+    fn roundtrip_through_the_line_format() {
+        let records = parse_swim(SAMPLE).unwrap();
+        let text = to_swim_string(&records);
+        let back = parse_swim(&text).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn conversion_preserves_total_service() {
+        let records = parse_swim(SAMPLE).unwrap();
+        let conv = SwimConverter::hadoop_defaults();
+        for r in &records {
+            let job = conv.job(r);
+            let expect = r.total_bytes() as f64 / (4.0 * 1024.0 * 1024.0);
+            let got = job.total_service().as_container_secs();
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.02, "{}: {got} vs {expect}", r.job_id);
+            assert_eq!(job.validate(120), Ok(()));
+        }
+    }
+
+    #[test]
+    fn map_only_jobs_have_one_stage() {
+        let records = parse_swim(SAMPLE).unwrap();
+        let conv = SwimConverter::hadoop_defaults();
+        assert_eq!(conv.job(&records[1]).stage_count(), 1);
+        assert_eq!(conv.job(&records[0]).stage_count(), 2);
+        // Reduce width follows the paper's 2-container reduces.
+        let job = conv.job(&records[0]);
+        assert_eq!(job.stages()[1].containers_per_task(), 2);
+    }
+
+    #[test]
+    fn split_size_controls_map_parallelism() {
+        let records = parse_swim(SAMPLE).unwrap();
+        // 256 MB input at 128 MB splits = 2 maps; at 64 MB splits = 4.
+        let coarse = SwimConverter::new(4e6, 128 * 1024 * 1024).job(&records[0]);
+        let fine = SwimConverter::new(4e6, 64 * 1024 * 1024).job(&records[0]);
+        assert_eq!(coarse.stages()[0].task_count() * 2, fine.stages()[0].task_count());
+    }
+
+    #[test]
+    fn converted_trace_runs_end_to_end() {
+        use lasmq_simulator::{ClusterConfig, Simulation};
+        struct Greedy;
+        impl lasmq_simulator::Scheduler for Greedy {
+            fn name(&self) -> &str {
+                "greedy"
+            }
+            fn allocate(
+                &mut self,
+                ctx: &lasmq_simulator::SchedContext<'_>,
+            ) -> lasmq_simulator::AllocationPlan {
+                ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+            }
+        }
+        let jobs = SwimConverter::hadoop_defaults().jobs(&parse_swim(SAMPLE).unwrap());
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::new(4, 30))
+            .jobs(jobs)
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(report.all_completed());
+    }
+}

@@ -1,0 +1,204 @@
+//! A JSON trace format for saving and replaying workloads.
+//!
+//! Generated workloads can be frozen to disk and replayed later (or shared
+//! between experiments), so a simulation run is reproducible even across
+//! changes to the generators.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use lasmq_simulator::JobSpec;
+
+/// A named, replayable workload.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_workload::trace::Trace;
+/// use lasmq_workload::uniform::UniformWorkload;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = Trace::new("uniform-mini", UniformWorkload::new().jobs(3).generate());
+/// let json = trace.to_json()?;
+/// let back = Trace::from_json(&json)?;
+/// assert_eq!(back.jobs().len(), 3);
+/// assert_eq!(back.name(), "uniform-mini");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    jobs: Vec<JobSpec>,
+}
+
+impl Trace {
+    /// Wraps a job list under a name.
+    pub fn new(name: impl Into<String>, jobs: Vec<JobSpec>) -> Self {
+        Trace { name: name.into(), jobs }
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The jobs, in generation order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
+    /// Consumes the trace, returning its jobs.
+    pub fn into_jobs(self) -> Vec<JobSpec> {
+        self.jobs
+    }
+
+    /// Summary statistics over the trace's job sizes.
+    pub fn summary(&self) -> TraceSummary {
+        let sizes: Vec<f64> =
+            self.jobs.iter().map(|j| j.total_service().as_container_secs()).collect();
+        let total: f64 = sizes.iter().sum();
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        let mean = if sizes.is_empty() { 0.0 } else { total / sizes.len() as f64 };
+        TraceSummary { job_count: self.jobs.len(), total_service: total, mean_size: mean, max_size: max }
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        serde_json::to_string(self).map_err(TraceError::Json)
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Json`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        serde_json::from_str(json).map_err(TraceError::Json)
+    }
+
+    /// Writes the trace to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::Json`] on serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let file = File::create(path).map_err(TraceError::Io)?;
+        let mut writer = BufWriter::new(file);
+        serde_json::to_writer(&mut writer, self).map_err(TraceError::Json)?;
+        writer.flush().map_err(TraceError::Io)
+    }
+
+    /// Reads a trace from a JSON file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::Json`] on malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let file = File::open(path).map_err(TraceError::Io)?;
+        let mut json = String::new();
+        BufReader::new(file).read_to_string(&mut json).map_err(TraceError::Io)?;
+        Trace::from_json(&json)
+    }
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct TraceSummary {
+    /// Number of jobs.
+    pub job_count: usize,
+    /// Sum of job sizes in container-seconds.
+    pub total_service: f64,
+    /// Mean job size in container-seconds.
+    pub mean_size: f64,
+    /// Largest job size in container-seconds.
+    pub max_size: f64,
+}
+
+/// Errors reading or writing traces.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or unserializable JSON.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceError::Json(e) => write!(f, "trace json invalid: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Json(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facebook::FacebookTrace;
+
+    #[test]
+    fn json_roundtrip_preserves_jobs() {
+        let trace = Trace::new("fb-mini", FacebookTrace::new().jobs(25).seed(1).generate());
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lasmq-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let trace = Trace::new("fb-mini", FacebookTrace::new().jobs(10).seed(2).generate());
+        trace.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn summary_stats() {
+        let trace = Trace::new("fb", FacebookTrace::new().jobs(1_000).seed(3).generate());
+        let s = trace.summary();
+        assert_eq!(s.job_count, 1_000);
+        assert!(s.mean_size > 1.0);
+        assert!(s.max_size >= s.mean_size);
+        assert!((s.total_service / s.job_count as f64 - s.mean_size).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Trace::load("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn malformed_json_is_json_error() {
+        let err = Trace::from_json("{not json").unwrap_err();
+        assert!(matches!(err, TraceError::Json(_)));
+    }
+}

@@ -1,0 +1,148 @@
+//! The light-tailed (uniform) workload of Fig. 7(b).
+//!
+//! "For the case of light-tailed distribution, we generate 10,000 jobs, all
+//! with the size of 10,000" (§V-A). All jobs are submitted together, which
+//! is exactly the regime where Fair scheduling and LAS collapse to
+//! processor sharing while FIFO and LAS_MQ serialize jobs and halve the
+//! mean response time.
+//!
+//! Each job is one stage of `tasks_per_job` equal tasks. The default 1,000
+//! tasks of 10 s make a size-10,000 job need ten full waves of a
+//! 100-container cluster, so schedulers genuinely choose between
+//! time-slicing jobs (processor sharing) and serializing them — a job must
+//! not fit in a single wave or every policy degenerates to FIFO.
+
+use lasmq_simulator::{JobSpec, SimDuration, StageKind, StageSpec, TaskSpec};
+
+/// Generator for the uniform batch workload.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_workload::uniform::UniformWorkload;
+///
+/// let jobs = UniformWorkload::new().jobs(50).generate();
+/// assert!(jobs.iter().all(|j| j.total_service().as_container_secs() == 10_000.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformWorkload {
+    jobs: usize,
+    size_units: f64,
+    tasks_per_job: u32,
+    seed: u64,
+}
+
+impl UniformWorkload {
+    /// The paper's setup: 10,000 jobs of size 10,000 container-seconds.
+    pub fn new() -> Self {
+        UniformWorkload { jobs: 10_000, size_units: 10_000.0, tasks_per_job: 1_000, seed: 0 }
+    }
+
+    /// Sets the number of jobs.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets every job's size in container-seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not positive and finite.
+    pub fn size_units(mut self, size: f64) -> Self {
+        assert!(size.is_finite() && size > 0.0, "size must be positive");
+        self.size_units = size;
+        self
+    }
+
+    /// Sets how many tasks each job splits into (task duration =
+    /// size / tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is zero.
+    pub fn tasks_per_job(mut self, tasks: u32) -> Self {
+        assert!(tasks > 0, "jobs need at least one task");
+        self.tasks_per_job = tasks;
+        self
+    }
+
+    /// Sets the RNG seed (reserved; the uniform batch is fully
+    /// deterministic).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the batch: all jobs arrive at time zero.
+    ///
+    /// Every job carries priority 1 — the uniform simulation exercises
+    /// *identical* featureless jobs, so weighted fair sharing must behave
+    /// as pure processor sharing (the regime Fig. 7(b) demonstrates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        assert!(self.jobs > 0, "workload needs at least one job");
+        let task_secs = self.size_units / self.tasks_per_job as f64;
+        (0..self.jobs)
+            .map(|_| {
+                JobSpec::builder()
+                    .priority(1)
+                    .label("uniform")
+                    .bin(1)
+                    .stage(StageSpec::uniform(
+                        StageKind::Generic,
+                        self.tasks_per_job,
+                        TaskSpec::new(SimDuration::from_secs_f64(task_secs)),
+                    ))
+                    .build()
+            })
+            .collect()
+    }
+}
+
+impl Default for UniformWorkload {
+    fn default() -> Self {
+        UniformWorkload::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::SimTime;
+
+    #[test]
+    fn defaults_match_paper() {
+        let w = UniformWorkload::new();
+        assert_eq!(w.jobs, 10_000);
+        assert_eq!(w.size_units, 10_000.0);
+    }
+
+    #[test]
+    fn all_jobs_identical_size_batch_arrival() {
+        let jobs = UniformWorkload::new().jobs(20).generate();
+        for j in &jobs {
+            assert_eq!(j.arrival(), SimTime::ZERO);
+            assert_eq!(j.total_service().as_container_secs(), 10_000.0);
+            assert_eq!(j.stage_count(), 1);
+            assert_eq!(j.validate(100), Ok(()));
+        }
+    }
+
+    #[test]
+    fn task_split_controls_granularity() {
+        let jobs = UniformWorkload::new().jobs(1).tasks_per_job(10).generate();
+        let stage = &jobs[0].stages()[0];
+        assert_eq!(stage.task_count(), 10);
+        assert_eq!(stage.tasks()[0].duration(), SimDuration::from_secs(1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let _ = UniformWorkload::new().tasks_per_job(0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the workload generators and distributions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lasmq_workload::dist::{zipf_weights, BoundedPareto, Exponential, LogNormal, Sample, Uniform};
+use lasmq_workload::skew::SkewModel;
+use lasmq_workload::{FacebookTrace, PumaWorkload, UniformWorkload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every PUMA workload, at any size and seed, is valid for the paper's
+    /// testbed and sorted by arrival.
+    #[test]
+    fn puma_workloads_are_valid(jobs in 1usize..150, seed in 0u64..1_000) {
+        let specs = PumaWorkload::new().jobs(jobs).seed(seed).generate();
+        prop_assert_eq!(specs.len(), jobs);
+        for pair in specs.windows(2) {
+            prop_assert!(pair[0].arrival() <= pair[1].arrival());
+        }
+        for j in &specs {
+            prop_assert_eq!(j.validate(120), Ok(()));
+            prop_assert!((1..=5).contains(&j.priority()));
+            prop_assert!((1..=4).contains(&j.bin()));
+            prop_assert_eq!(j.stage_count(), 2);
+        }
+    }
+
+    /// Facebook traces respect the size envelope and are valid for their
+    /// declared capacity.
+    #[test]
+    fn facebook_traces_are_valid(jobs in 1usize..400, seed in 0u64..1_000) {
+        let specs = FacebookTrace::new().jobs(jobs).seed(seed).generate();
+        prop_assert_eq!(specs.len(), jobs);
+        for j in &specs {
+            prop_assert_eq!(j.validate(100), Ok(()));
+            let size = j.total_service().as_container_secs();
+            prop_assert!((0.5..=1.01e4).contains(&size), "size {size}");
+        }
+    }
+
+    /// Uniform workloads: all sizes identical regardless of the task
+    /// split.
+    #[test]
+    fn uniform_jobs_all_equal(jobs in 1usize..50, tasks in 1u32..200) {
+        let specs = UniformWorkload::new().jobs(jobs).tasks_per_job(tasks).generate();
+        for j in &specs {
+            let size = j.total_service().as_container_secs();
+            prop_assert!((size - 10_000.0).abs() < 10.0, "size drifted: {size}");
+        }
+    }
+
+    /// Bounded Pareto samples always stay in their bounds, for any valid
+    /// parameterization.
+    #[test]
+    fn bounded_pareto_in_bounds(
+        alpha in 0.3f64..3.0,
+        low in 0.5f64..10.0,
+        span in 2.0f64..1e4,
+        seed in 0u64..100,
+    ) {
+        let high = low * span;
+        let d = BoundedPareto::new(alpha, low, high);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= low && x <= high, "{x} outside [{low}, {high}]");
+        }
+    }
+
+    /// All distributions produce finite, in-support samples.
+    #[test]
+    fn distributions_are_finite(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dists: Vec<Box<dyn Sample>> = vec![
+            Box::new(Uniform::new(1.0, 2.0)),
+            Box::new(Exponential::with_mean(5.0)),
+            Box::new(LogNormal::unit_mean_noise(0.8)),
+            Box::new(BoundedPareto::new(0.8, 1.0, 1e4)),
+        ];
+        for d in &dists {
+            for _ in 0..200 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0);
+            }
+        }
+    }
+
+    /// Zipf weights: a probability vector, non-increasing, for any theta.
+    #[test]
+    fn zipf_weights_are_a_distribution(n in 1usize..200, theta in 0.0f64..3.0) {
+        let w = zipf_weights(n, theta);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    /// Skew models keep a stage's expected total work within a tolerance
+    /// of `count × base` and never emit zero-length tasks.
+    #[test]
+    fn skew_preserves_work_in_expectation(
+        count in 50u32..400,
+        base_secs in 1u64..120,
+        theta in 0.0f64..1.5,
+        seed in 0u64..50,
+    ) {
+        let base = lasmq_simulator::SimDuration::from_secs(base_secs);
+        let model = SkewModel::reduce_like(0.2, 0.0, 1.0, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let durs = model.task_durations(&mut rng, base, count);
+        prop_assert_eq!(durs.len(), count as usize);
+        prop_assert!(durs.iter().all(|d| !d.is_zero()));
+        let total: f64 = durs.iter().map(|d| d.as_secs_f64()).sum();
+        let expected = count as f64 * base_secs as f64;
+        prop_assert!((total - expected).abs() / expected < 0.25,
+            "total {total} vs expected {expected}");
+    }
+
+    /// Generators are pure functions of their seed.
+    #[test]
+    fn generators_are_seed_deterministic(seed in 0u64..500) {
+        prop_assert_eq!(
+            PumaWorkload::new().jobs(20).seed(seed).generate(),
+            PumaWorkload::new().jobs(20).seed(seed).generate()
+        );
+        prop_assert_eq!(
+            FacebookTrace::new().jobs(50).seed(seed).generate(),
+            FacebookTrace::new().jobs(50).seed(seed).generate()
+        );
+    }
+}

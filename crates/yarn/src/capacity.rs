@@ -1,0 +1,234 @@
+//! An emulation of YARN's capacity scheduler, reduced to what the paper's
+//! deployment uses.
+//!
+//! "The capacity scheduler can change the capacities of queues by updating
+//! the configuration file on a real-time basis. In our implementation,
+//! each application is assigned to a unique queue. Thus, we can control
+//! the amount of resources for each application by setting the capacities
+//! of queues." (§IV)
+//!
+//! This module provides exactly that interface: a flat set of leaf queues,
+//! each holding at most one application, with **capacities** (fractions of
+//! the cluster) that an external controller updates between scheduling
+//! rounds. Allocation is work-conserving, like YARN's with elasticity on:
+//! a queue's unused guarantee spills over to queues that can use it.
+
+use std::collections::HashMap;
+
+use lasmq_schedulers::share::{weighted_shares, ShareRequest};
+use lasmq_simulator::{AllocationPlan, JobId, JobView, SchedContext, Scheduler, SimTime};
+
+/// Capacity granularity modes, mirroring how fine a real configuration
+/// file can express queue capacities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityGranularity {
+    /// Capacities are arbitrary `f64` fractions (an idealized deployment).
+    Exact,
+    /// Capacities are rounded to whole percent steps, as in a YARN
+    /// `capacity-scheduler.xml` holding percentages — the quantization a
+    /// real deployment of the paper's design pays.
+    WholePercent,
+}
+
+impl CapacityGranularity {
+    fn quantize(self, fraction: f64) -> f64 {
+        match self {
+            CapacityGranularity::Exact => fraction,
+            CapacityGranularity::WholePercent => (fraction * 100.0).round() / 100.0,
+        }
+    }
+}
+
+/// The emulated capacity scheduler: one leaf queue per application,
+/// runtime-updatable capacities, work-conserving elasticity.
+///
+/// On its own (no controller updating capacities) every queue keeps the
+/// capacity assigned at submission, which defaults to an equal share —
+/// i.e. plain YARN behaviour. The paper's LAS_MQ deployment drives it via
+/// [`CapacityController`](crate::CapacityController).
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_yarn::{CapacityGranularity, CapacityScheduler};
+///
+/// let sched = CapacityScheduler::new(CapacityGranularity::WholePercent);
+/// assert_eq!(sched.capacities().len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CapacityScheduler {
+    granularity: CapacityGranularity,
+    capacities: HashMap<JobId, f64>,
+}
+
+impl CapacityScheduler {
+    /// An empty scheduler with the given capacity granularity.
+    pub fn new(granularity: CapacityGranularity) -> Self {
+        CapacityScheduler { granularity, capacities: HashMap::new() }
+    }
+
+    /// Current per-application capacities (fractions of the cluster).
+    pub fn capacities(&self) -> &HashMap<JobId, f64> {
+        &self.capacities
+    }
+
+    /// Updates one application queue's capacity — the "update the
+    /// configuration file on a real-time basis" call. Fractions are
+    /// clamped to `[0, 1]` and quantized per the configured granularity.
+    pub fn set_capacity(&mut self, app: JobId, fraction: f64) {
+        let clamped = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
+        self.capacities.insert(app, self.granularity.quantize(clamped));
+    }
+
+    /// Replaces all capacities at once (one refresh round).
+    pub fn set_capacities(&mut self, fractions: impl IntoIterator<Item = (JobId, f64)>) {
+        self.capacities.clear();
+        for (app, fraction) in fractions {
+            self.set_capacity(app, fraction);
+        }
+    }
+
+    /// Removes a finished application's queue.
+    pub fn remove_app(&mut self, app: JobId) {
+        self.capacities.remove(&app);
+    }
+
+    /// Allocates the cluster per the current capacities: each app queue is
+    /// guaranteed `capacity × cluster` (rounded via weighted sharing), and
+    /// unused guarantees spill to queues with demand (YARN elasticity).
+    /// Apps without an explicit capacity get the mean capacity (a fresh
+    /// queue's default share).
+    pub fn allocate_by_capacity(&self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        let jobs = ctx.jobs();
+        if jobs.is_empty() {
+            return AllocationPlan::new();
+        }
+        let default_weight = if self.capacities.is_empty() {
+            1.0
+        } else {
+            (self.capacities.values().sum::<f64>() / self.capacities.len() as f64).max(1e-6)
+        };
+        // Serve queues in descending capacity so the rounding bonus lands
+        // on the largest guarantees; ties by id for determinism.
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        let weight_of = |view: &JobView| -> f64 {
+            self.capacities.get(&view.id).copied().unwrap_or(default_weight).max(1e-9)
+        };
+        order.sort_by(|&a, &b| {
+            weight_of(&jobs[b])
+                .total_cmp(&weight_of(&jobs[a]))
+                .then_with(|| jobs[a].id.cmp(&jobs[b].id))
+        });
+        let requests: Vec<ShareRequest> = order
+            .iter()
+            .map(|&i| ShareRequest::new(jobs[i].max_useful_allocation(), weight_of(&jobs[i])))
+            .collect();
+        let shares = weighted_shares(ctx.total_containers(), &requests);
+        order
+            .into_iter()
+            .zip(shares)
+            .filter(|(_, s)| *s > 0)
+            .map(|(i, s)| (jobs[i].id, s))
+            .collect()
+    }
+}
+
+impl Scheduler for CapacityScheduler {
+    fn name(&self) -> &str {
+        "CAPACITY"
+    }
+
+    fn on_job_completed(&mut self, job: JobId, _now: SimTime) {
+        self.remove_app(job);
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        self.allocate_by_capacity(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lasmq_simulator::Service;
+
+    fn view(id: u32, unstarted: u32) -> JobView {
+        JobView {
+            id: JobId::new(id),
+            arrival: SimTime::ZERO,
+            admitted_at: SimTime::ZERO,
+            priority: 1,
+            attained: Service::ZERO,
+            attained_stage: Service::ZERO,
+            stage_index: 0,
+            stage_count: 1,
+            stage_progress: 0.0,
+            remaining_tasks: unstarted,
+            unstarted_tasks: unstarted,
+            containers_per_task: 1,
+            held: 0,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn capacities_divide_the_cluster() {
+        let mut sched = CapacityScheduler::new(CapacityGranularity::Exact);
+        sched.set_capacities([(JobId::new(0), 0.75), (JobId::new(1), 0.25)]);
+        let jobs = vec![view(0, 100), view(1, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 40, &jobs);
+        let plan = sched.allocate_by_capacity(&ctx);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(30));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(10));
+    }
+
+    #[test]
+    fn unused_capacity_spills_over() {
+        let mut sched = CapacityScheduler::new(CapacityGranularity::Exact);
+        sched.set_capacities([(JobId::new(0), 0.9), (JobId::new(1), 0.1)]);
+        // App 0 can only use 5 containers; its guarantee flows to app 1.
+        let jobs = vec![view(0, 5), view(1, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 40, &jobs);
+        let plan = sched.allocate_by_capacity(&ctx);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(5));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(35));
+    }
+
+    #[test]
+    fn whole_percent_quantizes() {
+        let mut sched = CapacityScheduler::new(CapacityGranularity::WholePercent);
+        sched.set_capacity(JobId::new(0), 0.3333);
+        assert_eq!(sched.capacities()[&JobId::new(0)], 0.33);
+        sched.set_capacity(JobId::new(1), 0.0049);
+        assert_eq!(sched.capacities()[&JobId::new(1)], 0.0);
+    }
+
+    #[test]
+    fn unknown_apps_get_the_default_share() {
+        let sched = CapacityScheduler::new(CapacityGranularity::Exact);
+        let jobs = vec![view(0, 100), view(1, 100)];
+        let ctx = SchedContext::new(SimTime::ZERO, 10, &jobs);
+        let plan = sched.allocate_by_capacity(&ctx);
+        assert_eq!(plan.target_for(JobId::new(0)), Some(5));
+        assert_eq!(plan.target_for(JobId::new(1)), Some(5));
+    }
+
+    #[test]
+    fn bad_fractions_are_sanitized() {
+        let mut sched = CapacityScheduler::new(CapacityGranularity::Exact);
+        sched.set_capacity(JobId::new(0), f64::NAN);
+        sched.set_capacity(JobId::new(1), 7.0);
+        sched.set_capacity(JobId::new(2), -3.0);
+        assert_eq!(sched.capacities()[&JobId::new(0)], 0.0);
+        assert_eq!(sched.capacities()[&JobId::new(1)], 1.0);
+        assert_eq!(sched.capacities()[&JobId::new(2)], 0.0);
+    }
+
+    #[test]
+    fn completed_apps_drop_their_queue() {
+        let mut sched = CapacityScheduler::new(CapacityGranularity::Exact);
+        sched.set_capacity(JobId::new(0), 0.5);
+        sched.on_job_completed(JobId::new(0), SimTime::ZERO);
+        assert!(sched.capacities().is_empty());
+    }
+}

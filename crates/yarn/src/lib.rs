@@ -1,0 +1,54 @@
+//! YARN deployment layer for the LAS_MQ reproduction (§IV / Fig. 4 of the
+//! paper).
+//!
+//! The paper does not replace YARN's scheduler — it *drives* it: each
+//! application gets its own capacity-scheduler queue, and the LAS_MQ
+//! plug-in updates the queues' capacities on a real-time basis; the
+//! capacity scheduler then performs the actual container allocation. This
+//! crate reproduces that architecture on top of [`lasmq_simulator`]:
+//!
+//! * [`CapacityScheduler`] — the emulated capacity scheduler: one leaf
+//!   queue per application, runtime-updatable capacity fractions
+//!   (optionally quantized to whole percents like a real
+//!   `capacity-scheduler.xml`), work-conserving elasticity;
+//! * [`CapacityController`] — wraps any policy (LAS_MQ in the paper) and
+//!   deploys it through the capacity indirection.
+//!
+//! The equivalence tests in `tests/deployment_equivalence.rs` are the
+//! payoff: they show the capacity-mediated LAS_MQ matches the direct one,
+//! i.e. the paper's deployment mechanism faithfully carries its algorithm.
+//!
+//! # Examples
+//!
+//! ```
+//! use lasmq_core::LasMq;
+//! use lasmq_simulator::{ClusterConfig, Simulation};
+//! use lasmq_workload::PumaWorkload;
+//! use lasmq_yarn::{CapacityController, CapacityGranularity};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let jobs = PumaWorkload::new().jobs(10).seed(3).generate();
+//! let deployed = CapacityController::new(
+//!     LasMq::with_paper_defaults(),
+//!     CapacityGranularity::WholePercent,
+//! );
+//! let report = Simulation::builder()
+//!     .cluster(ClusterConfig::new(4, 30))
+//!     .admission_limit(30)
+//!     .jobs(jobs)
+//!     .build(deployed)?
+//!     .run();
+//! assert!(report.all_completed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod controller;
+
+pub use capacity::{CapacityGranularity, CapacityScheduler};
+pub use controller::CapacityController;

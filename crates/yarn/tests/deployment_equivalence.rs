@@ -1,0 +1,94 @@
+//! The crate's reason to exist: the paper's capacity-scheduler deployment
+//! (Fig. 4) must carry LAS_MQ faithfully.
+
+use lasmq_core::LasMq;
+use lasmq_simulator::{ClusterConfig, JobSpec, Scheduler, Simulation, SimulationReport};
+use lasmq_workload::{FacebookTrace, PumaWorkload};
+use lasmq_yarn::{CapacityController, CapacityGranularity, CapacityScheduler};
+
+fn run(
+    jobs: Vec<JobSpec>,
+    cluster: ClusterConfig,
+    admission: Option<usize>,
+    scheduler: impl Scheduler,
+) -> SimulationReport {
+    let mut builder = Simulation::builder().cluster(cluster).jobs(jobs);
+    if let Some(limit) = admission {
+        builder = builder.admission_limit(limit);
+    }
+    builder.build(scheduler).expect("valid setup").run()
+}
+
+#[test]
+fn capacity_mediated_lasmq_matches_direct_lasmq_on_puma() {
+    let jobs = PumaWorkload::new().jobs(40).mean_interval_secs(50.0).seed(11).generate();
+    let cluster = ClusterConfig::new(4, 30);
+    let direct =
+        run(jobs.clone(), cluster, Some(30), LasMq::with_paper_defaults());
+    let deployed = run(
+        jobs,
+        cluster,
+        Some(30),
+        CapacityController::new(LasMq::with_paper_defaults(), CapacityGranularity::Exact),
+    );
+    assert!(direct.all_completed() && deployed.all_completed());
+    let a = direct.mean_response_secs().unwrap();
+    let b = deployed.mean_response_secs().unwrap();
+    let rel = (a - b).abs() / a;
+    assert!(rel < 0.10, "direct {a:.0}s vs capacity-deployed {b:.0}s ({rel:.2} rel)");
+}
+
+#[test]
+fn whole_percent_quantization_costs_little() {
+    let jobs = FacebookTrace::new().jobs(2_000).seed(5).generate();
+    let cluster = ClusterConfig::single_node(100);
+    let direct = run(
+        jobs.clone(),
+        cluster,
+        None,
+        LasMq::new(lasmq_core::LasMqConfig::paper_simulations()),
+    );
+    let quantized = run(
+        jobs,
+        cluster,
+        None,
+        CapacityController::new(
+            LasMq::new(lasmq_core::LasMqConfig::paper_simulations()),
+            CapacityGranularity::WholePercent,
+        ),
+    );
+    let a = direct.mean_response_secs().unwrap();
+    let b = quantized.mean_response_secs().unwrap();
+    assert!(
+        b < a * 1.25,
+        "whole-percent capacities should cost <25%: direct {a:.2}s vs quantized {b:.2}s"
+    );
+}
+
+#[test]
+fn bare_capacity_scheduler_behaves_like_equal_sharing() {
+    // Without a controller, every app queue keeps the default (equal)
+    // share — i.e. the deployment degenerates to fair sharing, which is
+    // exactly what a YARN cluster does before the plug-in is installed.
+    let jobs = FacebookTrace::new().jobs(400).seed(6).generate();
+    let cluster = ClusterConfig::single_node(100);
+    let bare = run(jobs.clone(), cluster, None, CapacityScheduler::new(CapacityGranularity::Exact));
+    let fair = run(jobs, cluster, None, lasmq_schedulers::Fair::unweighted());
+    assert!(bare.all_completed());
+    let a = bare.mean_response_secs().unwrap();
+    let b = fair.mean_response_secs().unwrap();
+    let rel = (a - b).abs() / b;
+    assert!(rel < 0.35, "bare capacity {a:.2}s vs unweighted fair {b:.2}s");
+}
+
+#[test]
+fn deployment_is_deterministic() {
+    let jobs = PumaWorkload::new().jobs(20).seed(2).generate();
+    let cluster = ClusterConfig::new(4, 30);
+    let build = || {
+        CapacityController::new(LasMq::with_paper_defaults(), CapacityGranularity::WholePercent)
+    };
+    let a = run(jobs.clone(), cluster, Some(10), build());
+    let b = run(jobs, cluster, Some(10), build());
+    assert_eq!(a.outcomes(), b.outcomes());
+}

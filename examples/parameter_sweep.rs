@@ -1,0 +1,56 @@
+//! Sweeping LAS_MQ's parameters (queue count and first threshold) on a
+//! heavy-tailed trace, then asking the threshold auto-tuner for a
+//! suggestion — the workflow an operator would use to configure the
+//! scheduler for their own cluster.
+//!
+//! ```text
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use lasmq::core::{tuning, LasMq, LasMqConfig};
+use lasmq::schedulers::Fair;
+use lasmq::simulator::{ClusterConfig, JobSpec, Scheduler, Simulation};
+use lasmq::workload::FacebookTrace;
+
+fn mean_response(jobs: &[JobSpec], scheduler: impl Scheduler) -> f64 {
+    Simulation::builder()
+        .cluster(ClusterConfig::single_node(100))
+        .jobs(jobs.to_vec())
+        .build(scheduler)
+        .expect("valid setup")
+        .run()
+        .mean_response_secs()
+        .expect("all jobs complete")
+}
+
+fn main() {
+    let jobs = FacebookTrace::new().jobs(4_000).seed(5).generate();
+    let fair = mean_response(&jobs, Fair::new());
+    println!("Fair baseline: {fair:.2}s\n");
+
+    println!("queues  normalized (Fair/ours)");
+    for k in [1, 2, 4, 5, 10] {
+        let config = LasMqConfig::paper_simulations().with_num_queues(k);
+        let ours = mean_response(&jobs, LasMq::new(config));
+        println!("{k:>6}  {:.2}", fair / ours);
+    }
+
+    println!("\nfirst threshold  normalized (Fair/ours)");
+    for alpha in [0.01, 0.1, 1.0, 10.0, 100.0] {
+        let config = LasMqConfig::paper_simulations().with_first_threshold(alpha);
+        let ours = mean_response(&jobs, LasMq::new(config));
+        println!("{alpha:>15}  {:.2}", fair / ours);
+    }
+
+    // The tuner looks at a historical size sample (here: the trace's own
+    // sizes — in production, yesterday's jobs) and proposes (k, α₁).
+    let sizes: Vec<f64> = jobs.iter().map(|j| j.total_service().as_container_secs()).collect();
+    let suggestion = tuning::suggest(&sizes, 10.0).expect("sane sample");
+    println!(
+        "\nauto-tuner suggests: k = {}, α₁ = {:.2} (step {})",
+        suggestion.num_queues, suggestion.first_threshold, suggestion.step,
+    );
+    let tuned = suggestion.apply_to(LasMqConfig::paper_simulations());
+    let ours = mean_response(&jobs, LasMq::new(tuned));
+    println!("tuned LAS_MQ: normalized {:.2}", fair / ours);
+}

@@ -1,0 +1,49 @@
+//! Quickstart: schedule a mixed workload with every scheduler and compare
+//! mean response times.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lasmq::core::{LasMq, LasMqConfig};
+use lasmq::schedulers::{Fair, Fifo, Las};
+use lasmq::simulator::{ClusterConfig, Scheduler, SimulationReport, Simulation};
+use lasmq::workload::PumaWorkload;
+
+fn run(jobs: &[lasmq::simulator::JobSpec], scheduler: impl Scheduler) -> SimulationReport {
+    Simulation::builder()
+        .cluster(ClusterConfig::new(4, 30)) // the paper's 120-container testbed
+        .admission_limit(30)
+        .jobs(jobs.to_vec())
+        .build(scheduler)
+        .expect("workload validated at generation time")
+        .run()
+}
+
+fn main() {
+    // 40 Hadoop jobs sampled from the paper's Table I mix, Poisson
+    // arrivals with a 50 s mean interval.
+    let jobs = PumaWorkload::new().jobs(40).mean_interval_secs(50.0).seed(7).generate();
+
+    let reports = vec![
+        run(&jobs, LasMq::new(LasMqConfig::paper_experiments())),
+        run(&jobs, Las::new()),
+        run(&jobs, Fair::new()),
+        run(&jobs, Fifo::new()),
+    ];
+
+    println!("{:>8}  {:>14}  {:>12}  {:>11}", "policy", "mean resp (s)", "p90 resp (s)", "slowdown");
+    for report in &reports {
+        println!(
+            "{:>8}  {:>14.0}  {:>12.0}  {:>11.1}",
+            report.scheduler(),
+            report.mean_response_secs().unwrap(),
+            report.response_percentile(0.9).unwrap(),
+            report.mean_slowdown().unwrap(),
+        );
+    }
+
+    let fair = reports[2].mean_response_secs().unwrap();
+    let ours = reports[0].mean_response_secs().unwrap();
+    println!("\nLAS_MQ reduces the Fair scheduler's mean response time by {:.0}%", (1.0 - ours / fair) * 100.0);
+}

@@ -1,0 +1,65 @@
+//! Observability: record a run's event journal and print a per-job
+//! timeline plus a text Gantt chart of cluster usage.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use lasmq::core::{LasMq, LasMqConfig};
+use lasmq::simulator::{ClusterConfig, SimEvent, Simulation};
+use lasmq::workload::PumaWorkload;
+
+fn main() {
+    let jobs = PumaWorkload::new().jobs(6).mean_interval_secs(40.0).seed(13).generate();
+    let report = Simulation::builder()
+        .cluster(ClusterConfig::new(4, 30))
+        .record_journal(true)
+        .jobs(jobs)
+        .build(LasMq::new(LasMqConfig::paper_experiments()))
+        .expect("valid setup")
+        .run();
+    let journal = report.journal().expect("journal requested");
+    println!("{} events recorded\n", journal.len());
+
+    // Per-job lifecycle summary.
+    for outcome in report.outcomes() {
+        let starts = journal
+            .for_job(outcome.id)
+            .filter(|e| matches!(e, SimEvent::TaskStarted { .. }))
+            .count();
+        let stages = journal
+            .for_job(outcome.id)
+            .filter(|e| matches!(e, SimEvent::StageCompleted { .. }))
+            .count();
+        println!(
+            "{} [{}] submitted {} admitted {} finished {} — {} task starts, {} stage boundaries",
+            outcome.id,
+            outcome.label,
+            outcome.arrival,
+            outcome.admitted_at.expect("admitted"),
+            outcome.finish.expect("finished"),
+            starts,
+            stages + 1,
+        );
+    }
+
+    // A coarse text Gantt: one row per job, one column per time bucket.
+    let makespan = report.stats().makespan.as_secs_f64();
+    let buckets = 60usize;
+    let bucket = makespan / buckets as f64;
+    println!("\ntimeline (each column = {bucket:.0}s):");
+    for outcome in report.outcomes() {
+        let mut row = vec![' '; buckets];
+        let from = outcome.arrival.as_secs_f64();
+        let to = outcome.finish.expect("finished").as_secs_f64();
+        let first_alloc = outcome.first_allocation.expect("allocated").as_secs_f64();
+        for (i, cell) in row.iter_mut().enumerate() {
+            let t = i as f64 * bucket;
+            if t >= from && t <= to {
+                *cell = if t < first_alloc { '.' } else { '#' };
+            }
+        }
+        println!("{:>6} |{}|", outcome.id.to_string(), row.into_iter().collect::<String>());
+    }
+    println!("        '.' waiting, '#' holding containers");
+}

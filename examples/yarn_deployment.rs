@@ -1,0 +1,59 @@
+//! The paper's Fig. 4 deployment path, end to end: LAS_MQ driving an
+//! emulated YARN capacity scheduler by updating per-application queue
+//! capacities — compared against running LAS_MQ directly.
+//!
+//! ```text
+//! cargo run --release --example yarn_deployment
+//! ```
+
+use lasmq::core::{LasMq, LasMqConfig};
+use lasmq::simulator::{ClusterConfig, Scheduler, Simulation, SimulationReport};
+use lasmq::workload::PumaWorkload;
+use lasmq::yarn::{CapacityController, CapacityGranularity, CapacityScheduler};
+
+fn run(jobs: Vec<lasmq::simulator::JobSpec>, scheduler: impl Scheduler) -> SimulationReport {
+    Simulation::builder()
+        .cluster(ClusterConfig::new(4, 30))
+        .admission_limit(30)
+        .jobs(jobs)
+        .build(scheduler)
+        .expect("valid setup")
+        .run()
+}
+
+fn main() {
+    let jobs = PumaWorkload::new().jobs(60).mean_interval_secs(50.0).seed(99).generate();
+
+    // 1. Plain YARN: the capacity scheduler with nobody updating
+    //    capacities — every app keeps an equal default share.
+    let plain = run(jobs.clone(), CapacityScheduler::new(CapacityGranularity::WholePercent));
+    // 2. LAS_MQ wired directly into the simulator (the idealized plug-in).
+    let direct = run(jobs.clone(), LasMq::new(LasMqConfig::paper_experiments()));
+    // 3. LAS_MQ deployed the paper's way: recompute queue capacities every
+    //    round, quantized to whole percents like a real
+    //    capacity-scheduler.xml.
+    let deployed = run(
+        jobs,
+        CapacityController::new(
+            LasMq::new(LasMqConfig::paper_experiments()),
+            CapacityGranularity::WholePercent,
+        ),
+    );
+
+    println!("{:>18}  {:>14}  {:>14}", "deployment", "mean resp (s)", "mean slowdown");
+    for report in [&plain, &direct, &deployed] {
+        println!(
+            "{:>18}  {:>14.0}  {:>14.1}",
+            report.scheduler(),
+            report.mean_response_secs().unwrap(),
+            report.mean_slowdown().unwrap(),
+        );
+    }
+    let gap = (deployed.mean_response_secs().unwrap() / direct.mean_response_secs().unwrap()
+        - 1.0)
+        * 100.0;
+    println!(
+        "\ncapacity indirection (Fig. 4) costs {gap:+.1}% vs the direct plug-in — \
+         the paper's deployment mechanism carries its algorithm faithfully"
+    );
+}

@@ -1,0 +1,155 @@
+//! Property-based tests over the whole stack: random workloads, random
+//! clusters, every scheduler — the engine's core invariants must hold for
+//! all of them.
+
+use proptest::prelude::*;
+
+use lasmq::core::{LasMq, LasMqConfig};
+use lasmq::schedulers::{Fair, Fifo, Las};
+use lasmq::simulator::{
+    ClusterConfig, JobSpec, SimDuration, SimTime, Simulation, SimulationReport, StageKind,
+    StageSpec, TaskSpec,
+};
+
+/// Strategy: one random stage (1–12 tasks, 1–30 s, width 1 or 2).
+fn stage_strategy() -> impl Strategy<Value = StageSpec> {
+    (
+        1u32..=12,
+        prop::collection::vec(1u64..=30, 12),
+        prop::bool::ANY,
+    )
+        .prop_map(|(count, durations, wide)| {
+            let width = if wide { 2 } else { 1 };
+            let tasks: Vec<TaskSpec> = (0..count as usize)
+                .map(|i| {
+                    TaskSpec::new(SimDuration::from_secs(durations[i])).with_containers(width)
+                })
+                .collect();
+            StageSpec::new(if wide { StageKind::Reduce } else { StageKind::Map }, tasks)
+        })
+}
+
+/// Strategy: one random job (1–3 stages, arrival within 100 s, priority
+/// 1–5).
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (
+        prop::collection::vec(stage_strategy(), 1..=3),
+        0u64..100,
+        1u8..=5,
+    )
+        .prop_map(|(stages, arrival, priority)| {
+            JobSpec::builder()
+                .arrival(SimTime::from_secs(arrival))
+                .priority(priority)
+                .stages(stages)
+                .build()
+        })
+}
+
+fn run_all_schedulers(
+    jobs: &[JobSpec],
+    containers: u32,
+    admission: Option<usize>,
+) -> Vec<SimulationReport> {
+    let build = |scheduler: Box<dyn lasmq::simulator::Scheduler>| {
+        let mut builder =
+            Simulation::builder().cluster(ClusterConfig::single_node(containers)).jobs(jobs.to_vec());
+        if let Some(limit) = admission {
+            builder = builder.admission_limit(limit);
+        }
+        builder.build(scheduler).expect("valid setup").run()
+    };
+    vec![
+        build(Box::new(Fifo::new())),
+        build(Box::new(Fair::new())),
+        build(Box::new(Las::new())),
+        build(Box::new(LasMq::new(
+            LasMqConfig::paper_experiments().with_first_threshold(10.0).with_num_queues(4),
+        ))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheduler finishes every job, and no job finishes faster than
+    /// it could alone on the cluster.
+    #[test]
+    fn all_jobs_complete_with_sane_responses(
+        jobs in prop::collection::vec(job_strategy(), 1..12),
+        containers in 2u32..=16,
+        admission in prop::option::of(1usize..6),
+    ) {
+        for report in run_all_schedulers(&jobs, containers, admission) {
+            prop_assert!(report.all_completed(), "{} unfinished", report.scheduler());
+            for o in report.outcomes() {
+                let resp = o.response().expect("completed").as_secs_f64();
+                prop_assert!(resp + 1e-9 >= o.isolated.as_secs_f64(),
+                    "{}: {} responded {resp}s < isolated {}s",
+                    report.scheduler(), o.id, o.isolated.as_secs_f64());
+                prop_assert!(o.admitted_at.expect("admitted") >= o.arrival);
+                prop_assert!(o.finish.expect("finished") >= o.admitted_at.unwrap());
+            }
+        }
+    }
+
+    /// Graceful engines waste nothing: the utilization integral equals the
+    /// total work of the workload, for every scheduler.
+    #[test]
+    fn no_container_time_is_lost_or_invented(
+        jobs in prop::collection::vec(job_strategy(), 1..10),
+        containers in 2u32..=16,
+    ) {
+        let total_work: f64 = jobs.iter().map(|j| j.total_service().as_container_secs()).sum();
+        for report in run_all_schedulers(&jobs, containers, None) {
+            let s = report.stats();
+            let integral = s.mean_utilization * s.makespan.as_secs_f64() * containers as f64;
+            prop_assert!((integral - total_work).abs() < 1e-6 * total_work.max(1.0),
+                "{}: {integral} vs {total_work}", report.scheduler());
+        }
+    }
+
+    /// Bit-identical reruns: the whole stack is a pure function of its
+    /// inputs.
+    #[test]
+    fn reruns_are_bit_identical(
+        jobs in prop::collection::vec(job_strategy(), 1..8),
+        containers in 2u32..=12,
+    ) {
+        let a = run_all_schedulers(&jobs, containers, Some(3));
+        let b = run_all_schedulers(&jobs, containers, Some(3));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.outcomes(), y.outcomes());
+            prop_assert_eq!(x.stats(), y.stats());
+        }
+    }
+
+    /// The makespan never beats the theoretical lower bound
+    /// (total work / capacity), and a work-conserving schedule of a
+    /// saturating workload cannot dawdle beyond arrival + the full serial
+    /// drain.
+    #[test]
+    fn makespan_respects_capacity_bounds(
+        jobs in prop::collection::vec(job_strategy(), 1..10),
+        containers in 2u32..=8,
+    ) {
+        let total_work: f64 = jobs.iter().map(|j| j.total_service().as_container_secs()).sum();
+        let last_arrival =
+            jobs.iter().map(|j| j.arrival().as_secs_f64()).fold(0.0, f64::max);
+        for report in run_all_schedulers(&jobs, containers, None) {
+            let makespan = report.stats().makespan.as_secs_f64();
+            prop_assert!(makespan + 1e-9 >= total_work / containers as f64,
+                "{}: makespan {makespan} beats the capacity bound", report.scheduler());
+            // Loose upper bound: every job could run serially after the
+            // last arrival, one task at a time.
+            let serial: f64 = jobs
+                .iter()
+                .flat_map(|j| j.stages())
+                .flat_map(|s| s.tasks())
+                .map(|t| t.duration().as_secs_f64())
+                .sum();
+            prop_assert!(makespan <= last_arrival + serial + 1.0,
+                "{}: makespan {makespan} exceeds the serial bound", report.scheduler());
+        }
+    }
+}

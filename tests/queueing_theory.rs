@@ -1,0 +1,173 @@
+//! Validation against closed-form queueing theory.
+//!
+//! A scheduling simulator earns trust by matching theory where theory
+//! exists. On a single-container cluster with Poisson arrivals the engine
+//! is an M/G/1 queue, and classic results pin its mean response time:
+//!
+//! * **FCFS** (our FIFO): Pollaczek–Khinchine,
+//!   `E[T] = E[S] + λ E[S²] / (2 (1 − ρ))`;
+//! * **Processor sharing / foreground-background**: on a single container,
+//!   equal-share Fair always hands the server to the least-served job —
+//!   the **FB (least-attained-service)** discipline. Kleinrock's classic
+//!   results apply: for *exponential* service, `E[T]_FB = E[T]_PS =
+//!   E[S]/(1 − ρ)`; and unlike FCFS, FB *benefits* from service-time
+//!   variance (it is the optimal blind policy for decreasing hazard
+//!   rates).
+
+use lasmq::schedulers::{Fair, Fifo};
+use lasmq::simulator::{
+    ClusterConfig, JobSpec, Scheduler, SimDuration, Simulation, StageKind, StageSpec,
+    TaskSpec,
+};
+use lasmq::workload::arrivals::PoissonArrivals;
+use lasmq::workload::dist::{Exponential, Sample};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds `n` single-stage jobs with the given service times (seconds),
+/// split into `tasks` equal tasks each, arriving as a Poisson process of
+/// rate `lambda`.
+fn mg1_jobs(services: &[f64], tasks: u32, lambda: f64, rng: &mut StdRng) -> Vec<JobSpec> {
+    let arrivals = PoissonArrivals::with_rate(lambda).take(rng, services.len());
+    services
+        .iter()
+        .zip(arrivals)
+        .map(|(&s, arrival)| {
+            JobSpec::builder()
+                .arrival(arrival)
+                .stage(StageSpec::uniform(
+                    StageKind::Generic,
+                    tasks,
+                    TaskSpec::new(SimDuration::from_secs_f64(s / tasks as f64)),
+                ))
+                .build()
+        })
+        .collect()
+}
+
+fn run_single_server(
+    jobs: Vec<JobSpec>,
+    scheduler: impl Scheduler,
+    quantum: SimDuration,
+) -> f64 {
+    let report = Simulation::builder()
+        .cluster(ClusterConfig::single_node(1))
+        .quantum(quantum)
+        .jobs(jobs)
+        .build(scheduler)
+        .expect("valid setup")
+        .run();
+    assert!(report.all_completed());
+    report.mean_response_secs().expect("jobs completed")
+}
+
+#[test]
+fn mm1_fcfs_matches_pollaczek_khinchine() {
+    // M/M/1: E[S] = 10 s, ρ = 0.7 ⇒ E[T] = E[S] + λ·2E[S]²/(2(1−ρ))
+    //      = 10 + 0.07·200/0.6 = 33.33 s.
+    let mut rng = StdRng::seed_from_u64(1);
+    let dist = Exponential::with_mean(10.0);
+    let n = 12_000;
+    let services: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng).max(0.01)).collect();
+    let mean_s: f64 = services.iter().sum::<f64>() / n as f64;
+    let mean_s2: f64 = services.iter().map(|s| s * s).sum::<f64>() / n as f64;
+    let lambda = 0.07;
+    let rho = lambda * mean_s;
+    let analytic = mean_s + lambda * mean_s2 / (2.0 * (1.0 - rho));
+
+    let jobs = mg1_jobs(&services, 1, lambda, &mut rng);
+    let simulated = run_single_server(jobs, Fifo::new(), SimDuration::from_secs(1));
+    let rel = (simulated - analytic).abs() / analytic;
+    assert!(rel < 0.12, "M/M/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+}
+
+#[test]
+fn md1_fcfs_matches_pollaczek_khinchine() {
+    // M/D/1: deterministic S = 10 s halves the waiting time of M/M/1.
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 8_000;
+    let services = vec![10.0; n];
+    let lambda = 0.07;
+    let rho: f64 = lambda * 10.0;
+    let analytic = 10.0 + lambda * 100.0 / (2.0 * (1.0 - rho));
+
+    let jobs = mg1_jobs(&services, 1, lambda, &mut rng);
+    let simulated = run_single_server(jobs, Fifo::new(), SimDuration::from_secs(1));
+    let rel = (simulated - analytic).abs() / analytic;
+    assert!(rel < 0.10, "M/D/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+}
+
+#[test]
+fn mm1_fb_matches_the_ps_formula_for_exponential_service() {
+    // Kleinrock: for M/M/1, FB (least attained service first) has the
+    // same mean response as PS: E[T] = E[S]/(1−ρ). Jobs split into 50
+    // tasks of 0.2 s so the engine can time-slice them.
+    let mut rng = StdRng::seed_from_u64(3);
+    let dist = Exponential::with_mean(10.0);
+    let n = 3_000;
+    let services: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng).max(0.2)).collect();
+    let mean_s: f64 = services.iter().sum::<f64>() / n as f64;
+    let lambda = 0.06;
+    let rho = lambda * mean_s;
+    let analytic = mean_s / (1.0 - rho);
+
+    let mut jobs = mg1_jobs(&services, 50, lambda, &mut rng);
+    for job in &mut jobs {
+        // Equal priorities: weighted fair sharing must degenerate to PS.
+        assert_eq!(job.priority(), 1);
+    }
+    let simulated =
+        run_single_server(jobs, Fair::unweighted(), SimDuration::from_millis(200));
+    let rel = (simulated - analytic).abs() / analytic;
+    assert!(rel < 0.15, "M/M/1 PS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+}
+
+#[test]
+fn fcfs_suffers_from_variance_fb_benefits() {
+    // The canonical contrast. At fixed mean service (10 s): FCFS pays for
+    // variance through the E[S²] term of Pollaczek–Khinchine, while the
+    // blind FB discipline (least attained service — what equal-share Fair
+    // does on one container, and the heart of LAS and LAS_MQ) *gains*
+    // from it by letting the many short jobs overtake the rare long ones.
+    let lambda = 0.06;
+    let n = 5_000;
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // Bimodal: 90% of jobs take 1 s, 10% take 91 s — mean 10 s, huge
+    // variance.
+    let bimodal: Vec<f64> =
+        (0..n).map(|i| if i % 10 == 0 { 91.0 } else { 1.0 }).collect();
+    let det = vec![10.0; n];
+
+    let fifo_bimodal =
+        run_single_server(mg1_jobs(&bimodal, 1, lambda, &mut rng), Fifo::new(), SimDuration::from_secs(1));
+    let fifo_det =
+        run_single_server(mg1_jobs(&det, 1, lambda, &mut rng), Fifo::new(), SimDuration::from_secs(1));
+    assert!(
+        fifo_bimodal > 2.0 * fifo_det,
+        "FCFS must suffer from variance: bimodal {fifo_bimodal:.1}s vs det {fifo_det:.1}s"
+    );
+
+    let fb_bimodal = run_single_server(
+        mg1_jobs(&bimodal, 50, lambda, &mut rng),
+        Fair::unweighted(),
+        SimDuration::from_millis(200),
+    );
+    let fb_det = run_single_server(
+        mg1_jobs(&det, 50, lambda, &mut rng),
+        Fair::unweighted(),
+        SimDuration::from_millis(200),
+    );
+    assert!(
+        fb_bimodal < fb_det,
+        "FB must benefit from variance: bimodal {fb_bimodal:.1}s vs det {fb_det:.1}s"
+    );
+    // Deterministic service is FB's worst case: it degrades toward
+    // batch-style sharing, well above the PS mean E[S]/(1−ρ) = 25 s.
+    let ps_mean = 10.0 / (1.0 - lambda * 10.0);
+    assert!(
+        fb_det > ps_mean,
+        "deterministic FB {fb_det:.1}s should exceed the PS mean {ps_mean:.1}s"
+    );
+}

@@ -1,0 +1,70 @@
+//! Every shipped scheduler must satisfy the engine's scheduling-pass
+//! contracts on every pass of a realistic workload — checked live by the
+//! simulator's `InvariantSpy` test kit.
+
+use lasmq::core::{LasMq, LasMqConfig};
+use lasmq::schedulers::{EstimatedSjf, Fair, Fifo, Las, ShortestJobFirst, ShortestRemainingFirst};
+use lasmq::simulator::testkit::InvariantSpy;
+use lasmq::simulator::{ClusterConfig, JobSpec, Scheduler, Simulation};
+use lasmq::workload::{FacebookTrace, PumaWorkload};
+use lasmq::yarn::{CapacityController, CapacityGranularity};
+
+fn check(jobs: Vec<JobSpec>, cluster: ClusterConfig, scheduler: impl Scheduler, oracle: bool) {
+    let report = Simulation::builder()
+        .cluster(cluster)
+        .expose_oracle(oracle)
+        .jobs(jobs)
+        // The spy panics on the first contract violation.
+        .build(InvariantSpy::new(scheduler).check_work_conservation(true))
+        .expect("valid setup")
+        .run();
+    assert!(report.all_completed(), "{} left jobs unfinished", report.scheduler());
+}
+
+#[test]
+fn all_schedulers_honour_the_contracts_on_the_trace() {
+    let jobs = FacebookTrace::new().jobs(400).seed(8).generate();
+    let cluster = ClusterConfig::single_node(100);
+    check(jobs.clone(), cluster, Fifo::new(), false);
+    check(jobs.clone(), cluster, Fair::new(), false);
+    check(jobs.clone(), cluster, Las::new(), false);
+    check(jobs.clone(), cluster, LasMq::new(LasMqConfig::paper_simulations()), false);
+    check(jobs.clone(), cluster, ShortestJobFirst::new(), true);
+    check(jobs.clone(), cluster, ShortestRemainingFirst::new(), true);
+    check(jobs, cluster, EstimatedSjf::new(1.0, 0.05, 3), true);
+}
+
+#[test]
+fn all_schedulers_honour_the_contracts_on_puma() {
+    let jobs = PumaWorkload::new().jobs(25).seed(9).generate();
+    let cluster = ClusterConfig::new(4, 30);
+    check(jobs.clone(), cluster, Fifo::new(), false);
+    check(jobs.clone(), cluster, Fair::new(), false);
+    check(jobs.clone(), cluster, Las::new(), false);
+    check(jobs.clone(), cluster, LasMq::with_paper_defaults(), false);
+    check(
+        jobs,
+        cluster,
+        CapacityController::new(LasMq::with_paper_defaults(), CapacityGranularity::WholePercent),
+        false,
+    );
+}
+
+#[test]
+fn lasmq_honours_the_contracts_in_every_configuration_corner() {
+    use lasmq::core::{QueueOrdering, QueueSharing, QueueWeights};
+    let jobs = FacebookTrace::new().jobs(200).seed(10).generate();
+    let cluster = ClusterConfig::single_node(50);
+    for k in [1, 3, 10] {
+        for sharing in [QueueSharing::Weighted, QueueSharing::StrictPriority] {
+            for ordering in [QueueOrdering::RemainingDemand, QueueOrdering::Fifo] {
+                let config = LasMqConfig::paper_simulations()
+                    .with_num_queues(k)
+                    .with_sharing(sharing)
+                    .with_ordering(ordering)
+                    .with_weights(QueueWeights::Geometric { ratio: 3.0 });
+                check(jobs.clone(), cluster, LasMq::new(config), false);
+            }
+        }
+    }
+}
