@@ -56,7 +56,10 @@ pub fn bootstrap_ci(
 ) -> BootstrapCi {
     assert!(!values.is_empty(), "cannot bootstrap an empty sample");
     assert!(resamples > 0, "need at least one resample");
-    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
 
     let n = values.len();
     let point = statistic(values);
@@ -72,10 +75,14 @@ pub fn bootstrap_ci(
     }
     stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1)
-    };
-    BootstrapCi { point, low: stats[idx(alpha)], high: stats[idx(1.0 - alpha)], resamples }
+    let idx =
+        |q: f64| -> usize { ((q * (resamples - 1) as f64).round() as usize).min(resamples - 1) };
+    BootstrapCi {
+        point,
+        low: stats[idx(alpha)],
+        high: stats[idx(1.0 - alpha)],
+        resamples,
+    }
 }
 
 #[cfg(test)]

@@ -65,7 +65,11 @@ impl PairedComparison {
 /// assert!(cmp.improvement_pct() > 40.0);
 /// ```
 pub fn paired_compare(a: &[f64], b: &[f64]) -> PairedComparison {
-    assert_eq!(a.len(), b.len(), "paired comparison needs equal-length samples");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "paired comparison needs equal-length samples"
+    );
     assert!(!a.is_empty(), "paired comparison needs at least one pair");
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     PairedComparison {

@@ -28,7 +28,10 @@ pub struct SampleSummary {
 impl SampleSummary {
     /// The interval as `(low, high)`.
     pub fn ci95(&self) -> (f64, f64) {
-        (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+        (
+            self.mean - self.ci95_half_width,
+            self.mean + self.ci95_half_width,
+        )
     }
 
     /// Whether `value` lies inside the 95 % interval.
@@ -41,7 +44,11 @@ impl SampleSummary {
 impl fmt::Display for SampleSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.n > 1 {
-            write!(f, "{:.4} ± {:.4} (n={})", self.mean, self.ci95_half_width, self.n)
+            write!(
+                f,
+                "{:.4} ± {:.4} (n={})",
+                self.mean, self.ci95_half_width, self.n
+            )
         } else {
             write!(f, "{:.4} (n=1)", self.mean)
         }
@@ -52,9 +59,9 @@ impl fmt::Display for SampleSummary {
 /// (≥ 30 approximated by the normal 1.96).
 fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -87,12 +94,24 @@ pub fn summarize(values: &[f64]) -> SampleSummary {
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return SampleSummary { n, mean, std_dev: 0.0, sem: 0.0, ci95_half_width: 0.0 };
+        return SampleSummary {
+            n,
+            mean,
+            std_dev: 0.0,
+            sem: 0.0,
+            ci95_half_width: 0.0,
+        };
     }
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
     let std_dev = var.sqrt();
     let sem = std_dev / (n as f64).sqrt();
-    SampleSummary { n, mean, std_dev, sem, ci95_half_width: t_975(n - 1) * sem }
+    SampleSummary {
+        n,
+        mean,
+        std_dev,
+        sem,
+        ci95_half_width: t_975(n - 1) * sem,
+    }
 }
 
 #[cfg(test)]

@@ -27,13 +27,24 @@ fn engine_extensions_table(scale: &Scale) -> TextTable {
         .generate();
     let mut t = TextTable::new(
         "Extension: engine policies under LAS_MQ (PUMA workload)",
-        vec!["policy".into(), "mean response (s)".into(), "kills".into(), "spec copies".into()],
+        vec![
+            "policy".into(),
+            "mean response (s)".into(),
+            "kills".into(),
+            "spec copies".into(),
+        ],
     );
     let kind = SchedulerKind::las_mq_experiments();
     let variants: Vec<(&str, SimSetup)> = vec![
         ("graceful (paper)", SimSetup::testbed()),
-        ("kill preemption", SimSetup::testbed().preemption(PreemptionPolicy::Kill)),
-        ("speculation on", SimSetup::testbed().speculation(SpeculationConfig::enabled(3, 1.5))),
+        (
+            "kill preemption",
+            SimSetup::testbed().preemption(PreemptionPolicy::Kill),
+        ),
+        (
+            "speculation on",
+            SimSetup::testbed().speculation(SpeculationConfig::enabled(3, 1.5)),
+        ),
     ];
     for (label, setup) in variants {
         let report = setup.run(jobs.clone(), &kind);
@@ -56,7 +67,10 @@ fn bench_extensions(c: &mut Criterion) {
     tables.push(engine_extensions_table(&scale));
     print_series("Extensions (ablations beyond the paper)", &tables);
 
-    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let jobs = FacebookTrace::new()
+        .jobs(Scale::test().facebook_jobs)
+        .seed(1)
+        .generate();
     let setup = SimSetup::trace_sim();
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);

@@ -1,0 +1,51 @@
+//! Bench for the campaign executor: parallel speedup and warm-cache
+//! replay on the Fig. 3 ablation grid.
+//!
+//! Three configurations of the *same* campaign (which the determinism
+//! regression test proves produce byte-identical results):
+//!
+//! * `serial_no_cache` — 1 worker, every cell simulated,
+//! * `parallel_no_cache` — all cores, every cell simulated,
+//! * `parallel_warm_cache` — all cores, every cell replayed from the
+//!   content-addressed result cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_campaign::ExecOptions;
+use lasmq_experiments::{fig3, Scale};
+
+fn bench_campaign(c: &mut Criterion) {
+    let scale = Scale::test();
+    let cache_dir = std::env::temp_dir().join(format!("lasmq-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("serial_no_cache", |b| {
+        b.iter(|| {
+            black_box(fig3::run_with(
+                &scale,
+                &ExecOptions::with_threads(1).no_cache(),
+            ))
+        });
+    });
+    group.bench_function("parallel_no_cache", |b| {
+        b.iter(|| black_box(fig3::run_with(&scale, &ExecOptions::default().no_cache())));
+    });
+    // Populate once, then measure pure cache replay.
+    fig3::run_with(&scale, &ExecOptions::default().cache_dir(&cache_dir));
+    group.bench_function("parallel_warm_cache", |b| {
+        b.iter(|| {
+            black_box(fig3::run_with(
+                &scale,
+                &ExecOptions::default().cache_dir(&cache_dir),
+            ))
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -52,8 +52,9 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("primitives");
-    let requests: Vec<ShareRequest> =
-        (0..1_000).map(|i| ShareRequest::new(1 + (i % 50), 1.0 + (i % 5) as f64)).collect();
+    let requests: Vec<ShareRequest> = (0..1_000)
+        .map(|i| ShareRequest::new(1 + (i % 50), 1.0 + (i % 5) as f64))
+        .collect();
     group.throughput(Throughput::Elements(requests.len() as u64));
     group.bench_function("weighted_shares_1000_parties", |b| {
         b.iter(|| black_box(weighted_shares(black_box(120), &requests)));

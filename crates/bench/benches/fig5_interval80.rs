@@ -9,9 +9,16 @@ use lasmq_experiments::{fig56, Scale, SchedulerKind, SimSetup};
 use lasmq_workload::PumaWorkload;
 
 fn bench_fig5(c: &mut Criterion) {
-    print_series("Fig 5 (interval 80 s)", &fig56::run(&Scale::bench(), 80.0).tables());
+    print_series(
+        "Fig 5 (interval 80 s)",
+        &fig56::run(&Scale::bench(), 80.0).tables(),
+    );
 
-    let jobs = PumaWorkload::new().jobs(50).mean_interval_secs(80.0).seed(1).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(50)
+        .mean_interval_secs(80.0)
+        .seed(1)
+        .generate();
     let setup = SimSetup::testbed();
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);

@@ -8,7 +8,10 @@ use lasmq_bench::print_series;
 use lasmq_experiments::{fig56, Scale};
 
 fn bench_fig6(c: &mut Criterion) {
-    print_series("Fig 6 (interval 50 s)", &fig56::run(&Scale::bench(), 50.0).tables());
+    print_series(
+        "Fig 6 (interval 50 s)",
+        &fig56::run(&Scale::bench(), 50.0).tables(),
+    );
 
     let mut group = c.benchmark_group("fig6");
     group.sample_size(10);

@@ -8,9 +8,15 @@ use lasmq_experiments::{fig7, Scale, SchedulerKind, SimSetup};
 use lasmq_workload::FacebookTrace;
 
 fn bench_fig7(c: &mut Criterion) {
-    print_series("Fig 7 (distributions)", &fig7::run(&Scale::bench()).tables());
+    print_series(
+        "Fig 7 (distributions)",
+        &fig7::run(&Scale::bench()).tables(),
+    );
 
-    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let jobs = FacebookTrace::new()
+        .jobs(Scale::test().facebook_jobs)
+        .seed(1)
+        .generate();
     let setup = SimSetup::trace_sim();
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);

@@ -12,7 +12,10 @@ use lasmq_workload::FacebookTrace;
 fn bench_fig8(c: &mut Criterion) {
     print_series("Fig 8 (sensitivity)", &fig8::run(&Scale::bench()).tables());
 
-    let jobs = FacebookTrace::new().jobs(Scale::test().facebook_jobs).seed(1).generate();
+    let jobs = FacebookTrace::new()
+        .jobs(Scale::test().facebook_jobs)
+        .seed(1)
+        .generate();
     let setup = SimSetup::trace_sim();
     let mut group = c.benchmark_group("fig8");
     group.sample_size(10);

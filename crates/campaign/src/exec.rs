@@ -1,0 +1,400 @@
+//! The campaign executor: a sharded work-stealing thread pool over run
+//! cells.
+//!
+//! Cells are claimed from a shared atomic index — a worker that draws a
+//! cache hit (milliseconds) immediately claims the next cell while
+//! another worker is still simulating, so the pool load-balances without
+//! any queue structure. Results land in per-cell slots, so
+//! [`CampaignResult::reports`] is always in declaration order and the
+//! output of a campaign is **bit-identical regardless of worker count or
+//! cache state**: each cell's simulation is single-threaded and
+//! deterministic, the cache round-trips reports losslessly, and nothing
+//! about scheduling order can leak into the results.
+//!
+//! Progress telemetry goes to **stderr** (throttled), keeping stdout —
+//! tables and CSVs — byte-stable.
+
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use lasmq_simulator::SimulationReport;
+
+use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
+use crate::manifest::Manifest;
+use crate::run::RunCell;
+
+/// How a campaign executes: worker count, caching, telemetry.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads; `None` = `std::thread::available_parallelism()`.
+    pub threads: Option<NonZeroUsize>,
+    /// Whether to read and write the result cache.
+    pub use_cache: bool,
+    /// Cache directory; `None` = [`DEFAULT_CACHE_DIR`].
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to print progress telemetry to stderr.
+    pub telemetry: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: None,
+            use_cache: true,
+            cache_dir: None,
+            telemetry: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads: NonZeroUsize::new(threads),
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Disables the cache (every cell simulates).
+    pub fn no_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+
+    /// Redirects the cache (and manifest) directory.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables stderr progress telemetry.
+    pub fn verbose(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    fn resolved_cache(&self) -> Option<ResultCache> {
+        self.use_cache.then(|| {
+            ResultCache::new(
+                self.cache_dir
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR)),
+            )
+        })
+    }
+
+    fn resolved_threads(&self, cells: usize) -> usize {
+        let requested = match self.threads {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        requested.min(cells).max(1)
+    }
+}
+
+/// Execution statistics for one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// Total cells executed (including cache hits).
+    pub cells: usize,
+    /// Cells answered from the cache.
+    pub cache_hits: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time for the whole campaign.
+    pub wall: Duration,
+}
+
+/// A finished campaign: reports in declaration order, plus stats.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One report per cell, in the order the cells were added.
+    pub reports: Vec<SimulationReport>,
+    /// Execution statistics.
+    pub stats: CampaignStats,
+}
+
+/// A named grid of run cells.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    name: String,
+    cells: Vec<RunCell>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new(name: impl Into<String>) -> Self {
+        Campaign {
+            name: name.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// The campaign's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a cell, returning its index (the position of its report in
+    /// [`CampaignResult::reports`]).
+    pub fn push(&mut self, cell: RunCell) -> usize {
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// The declared cells.
+    pub fn cells(&self) -> &[RunCell] {
+        &self.cells
+    }
+
+    /// Executes every cell and returns the reports in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell's simulation does (malformed cells are
+    /// programming errors in an experiment definition, exactly as with
+    /// [`SimSetup::run`](crate::SimSetup::run)).
+    pub fn run(&self, opts: &ExecOptions) -> CampaignResult {
+        let start = Instant::now();
+        let total = self.cells.len();
+        let keys: Vec<String> = self.cells.iter().map(RunCell::fingerprint).collect();
+        let cache = opts.resolved_cache();
+        if let Some(cache) = &cache {
+            // Journal the full cell list up front so an interrupted
+            // campaign is inspectable and resumable.
+            let _ = Manifest::new(&self.name, &self.cells, &keys).write(cache.dir());
+        }
+        let threads = opts.resolved_threads(total);
+
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SimulationReport>> = (0..total).map(|_| OnceLock::new()).collect();
+        let progress = Mutex::new(Progress::new(start));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let cell = &self.cells[i];
+                    let key = &keys[i];
+                    let report = match cache.as_ref().and_then(|c| c.load(key)) {
+                        Some(cached) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            cached
+                        }
+                        None => {
+                            let report = cell.setup.run(cell.workload.generate(), &cell.scheduler);
+                            if let Some(cache) = &cache {
+                                let _ = cache.store(key, &report);
+                            }
+                            report
+                        }
+                    };
+                    slots[i]
+                        .set(report)
+                        .expect("each cell index is claimed once");
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if opts.telemetry {
+                        progress.lock().unwrap().tick(
+                            &self.name,
+                            &cell.label,
+                            completed,
+                            total,
+                            hits.load(Ordering::Relaxed),
+                            threads,
+                        );
+                    }
+                });
+            }
+        });
+
+        let reports: Vec<SimulationReport> = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every cell produced a report"))
+            .collect();
+        let stats = CampaignStats {
+            cells: total,
+            cache_hits: hits.into_inner(),
+            threads,
+            wall: start.elapsed(),
+        };
+        if opts.telemetry {
+            eprintln!(
+                "[campaign {}] done: {} cells in {:.2}s ({} cached, {} threads)",
+                self.name,
+                stats.cells,
+                stats.wall.as_secs_f64(),
+                stats.cache_hits,
+                stats.threads
+            );
+        }
+        CampaignResult { reports, stats }
+    }
+}
+
+/// Throttled stderr progress: cells done/total, cache hits, per-worker
+/// throughput, ETA.
+struct Progress {
+    started: Instant,
+    last_print: Option<Instant>,
+}
+
+impl Progress {
+    fn new(started: Instant) -> Self {
+        Progress {
+            started,
+            last_print: None,
+        }
+    }
+
+    fn tick(
+        &mut self,
+        campaign: &str,
+        label: &str,
+        done: usize,
+        total: usize,
+        hits: usize,
+        threads: usize,
+    ) {
+        let now = Instant::now();
+        let due = match self.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= Duration::from_millis(200),
+        };
+        if !due && done != total {
+            return;
+        }
+        self.last_print = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let eta = (total - done) as f64 / rate.max(1e-9);
+        eprintln!(
+            "[campaign {campaign}] {done}/{total} cells ({hits} cached) | \
+             {:.2} cells/s/worker | ETA {eta:.0}s | last: {label}",
+            rate / threads as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::SchedulerKind;
+    use crate::setup::SimSetup;
+    use crate::workload::WorkloadSpec;
+
+    fn small_campaign(name: &str) -> Campaign {
+        let mut campaign = Campaign::new(name);
+        for (i, kind) in SchedulerKind::paper_lineup_simulations()
+            .into_iter()
+            .enumerate()
+        {
+            campaign.push(RunCell::new(
+                format!("{name}/{i}"),
+                kind,
+                WorkloadSpec::Facebook {
+                    jobs: 60,
+                    seed: 5,
+                    load: None,
+                },
+                SimSetup::trace_sim(),
+            ));
+        }
+        campaign
+    }
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lasmq-exec-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fingerprint_reports(result: &CampaignResult) -> Vec<String> {
+        result
+            .reports
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn reports_come_back_in_declaration_order() {
+        let campaign = small_campaign("order");
+        let result = campaign.run(&ExecOptions::with_threads(4).no_cache());
+        assert_eq!(result.reports.len(), 4);
+        let names: Vec<&str> = result.reports.iter().map(|r| r.scheduler()).collect();
+        assert_eq!(names, ["LAS_MQ", "LAS", "FAIR", "FIFO"]);
+        assert_eq!(result.stats.cache_hits, 0);
+        assert_eq!(result.stats.threads, 4);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts_and_cache_states() {
+        let dir = temp_cache("det");
+        let campaign = small_campaign("det");
+
+        let serial = campaign.run(&ExecOptions::with_threads(1).no_cache());
+        let parallel = campaign.run(&ExecOptions::with_threads(8).no_cache());
+        assert_eq!(fingerprint_reports(&serial), fingerprint_reports(&parallel));
+
+        // Cold cache populates; warm cache answers everything, still
+        // bit-identically.
+        let cold = campaign.run(&ExecOptions::with_threads(4).cache_dir(&dir));
+        assert_eq!(cold.stats.cache_hits, 0);
+        let warm = campaign.run(&ExecOptions::with_threads(4).cache_dir(&dir));
+        assert_eq!(warm.stats.cache_hits, 4);
+        assert_eq!(fingerprint_reports(&serial), fingerprint_reports(&cold));
+        assert_eq!(fingerprint_reports(&serial), fingerprint_reports(&warm));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_is_written_and_tracks_completion() {
+        let dir = temp_cache("manifest");
+        let campaign = small_campaign("unit-manifest");
+        campaign.run(&ExecOptions::with_threads(2).cache_dir(&dir));
+        let manifests = Manifest::load_all(&dir);
+        assert_eq!(manifests.len(), 1);
+        assert_eq!(manifests[0].name, "unit-manifest");
+        assert_eq!(manifests[0].cells.len(), 4);
+        assert_eq!(manifests[0].cached_cells(&ResultCache::new(&dir)), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_cells_share_one_cache_entry() {
+        let dir = temp_cache("dup");
+        let mut campaign = Campaign::new("dup");
+        let cell = RunCell::new(
+            "a",
+            SchedulerKind::Fifo,
+            WorkloadSpec::Uniform {
+                jobs: 3,
+                tasks_per_job: 4,
+                seed: 2,
+            },
+            SimSetup::trace_sim(),
+        );
+        campaign.push(cell.clone());
+        campaign.push(RunCell {
+            label: "b".into(),
+            ..cell
+        });
+        // Serial execution: the second cell hits the entry the first stored.
+        let result = campaign.run(&ExecOptions::with_threads(1).cache_dir(&dir));
+        assert_eq!(result.stats.cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

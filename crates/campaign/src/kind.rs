@@ -6,9 +6,10 @@ use std::str::FromStr;
 use lasmq_core::{LasMq, LasMqConfig};
 use lasmq_schedulers::{EstimatedSjf, Fair, Fifo, Las, ShortestJobFirst, ShortestRemainingFirst};
 use lasmq_simulator::Scheduler;
+use serde::{Deserialize, Serialize};
 
 /// Which scheduler to run an experiment with.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum SchedulerKind {
     /// First-in-first-out.
@@ -54,9 +55,11 @@ impl SchedulerKind {
             SchedulerKind::LasMq(config) => Box::new(LasMq::new(config.clone())),
             SchedulerKind::Sjf => Box::new(ShortestJobFirst::new()),
             SchedulerKind::Srtf => Box::new(ShortestRemainingFirst::new()),
-            SchedulerKind::SjfEstimated { sigma, gross_underestimate_prob, seed } => {
-                Box::new(EstimatedSjf::new(*sigma, *gross_underestimate_prob, *seed))
-            }
+            SchedulerKind::SjfEstimated {
+                sigma,
+                gross_underestimate_prob,
+                seed,
+            } => Box::new(EstimatedSjf::new(*sigma, *gross_underestimate_prob, *seed)),
         }
     }
 
@@ -111,7 +114,11 @@ pub struct ParseSchedulerError(String);
 
 impl fmt::Display for ParseSchedulerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown scheduler '{}' (expected fifo, fair, las, las_mq, sjf or srtf)", self.0)
+        write!(
+            f,
+            "unknown scheduler '{}' (expected fifo, fair, las, las_mq, sjf or srtf)",
+            self.0
+        )
     }
 }
 
@@ -159,8 +166,10 @@ mod tests {
 
     #[test]
     fn lineup_is_the_papers_legend() {
-        let names: Vec<String> =
-            SchedulerKind::paper_lineup_experiments().iter().map(|k| k.to_string()).collect();
+        let names: Vec<String> = SchedulerKind::paper_lineup_experiments()
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
         assert_eq!(names, ["LAS_MQ", "LAS", "FAIR", "FIFO"]);
     }
 

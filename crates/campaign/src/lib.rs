@@ -1,0 +1,59 @@
+//! Declarative experiment campaigns for the LAS_MQ reproduction.
+//!
+//! An experiment here is a *campaign*: a named grid of [`RunCell`]s,
+//! each pinning a [`SchedulerKind`], a [`WorkloadSpec`] and a
+//! [`SimSetup`]. The [`Campaign`] executor runs the grid on a
+//! work-stealing thread pool with:
+//!
+//! * a **content-addressed result cache** — every cell hashes its full
+//!   run description ([`RunCell::fingerprint`]) and stores its
+//!   [`SimulationReport`](lasmq_simulator::SimulationReport) as JSON
+//!   under `target/campaign-cache/`, so repeated and overlapping
+//!   campaigns re-simulate nothing;
+//! * a **resumable manifest/journal** ([`Manifest`]) — interrupted
+//!   campaigns pick up where they left off on the next run, and
+//!   `repro campaign-status` shows per-campaign completion;
+//! * **progress telemetry** on stderr (cells done/total, cache hits,
+//!   per-worker throughput, ETA), keeping stdout byte-stable.
+//!
+//! Results are **bit-identical regardless of worker count or cache
+//! state**: cell simulations are single-threaded and deterministic,
+//! reports are returned in declaration order, and the cache's JSON float
+//! encoding is shortest-round-trip.
+//!
+//! # Examples
+//!
+//! ```
+//! use lasmq_campaign::{Campaign, ExecOptions, RunCell, SchedulerKind, SimSetup, WorkloadSpec};
+//!
+//! let mut campaign = Campaign::new("demo");
+//! for kind in SchedulerKind::paper_lineup_simulations() {
+//!     campaign.push(RunCell::new(
+//!         format!("demo/{kind}"),
+//!         kind,
+//!         WorkloadSpec::Facebook { jobs: 40, seed: 1, load: None },
+//!         SimSetup::trace_sim(),
+//!     ));
+//! }
+//! let result = campaign.run(&ExecOptions::with_threads(2).no_cache());
+//! assert_eq!(result.reports.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod exec;
+pub mod kind;
+pub mod manifest;
+pub mod run;
+pub mod setup;
+pub mod workload;
+
+pub use cache::{ResultCache, DEFAULT_CACHE_DIR};
+pub use exec::{Campaign, CampaignResult, CampaignStats, ExecOptions};
+pub use kind::{ParseSchedulerError, SchedulerKind};
+pub use manifest::{status_report, Manifest, ManifestCell};
+pub use run::{RunCell, CACHE_SCHEMA_VERSION};
+pub use setup::SimSetup;
+pub use workload::WorkloadSpec;

@@ -4,12 +4,13 @@ use lasmq_simulator::{
     ClusterConfig, FailureConfig, JobSpec, PreemptionPolicy, SimDuration, Simulation,
     SimulationReport, SpeculationConfig,
 };
+use serde::{Deserialize, Serialize};
 
 use crate::kind::SchedulerKind;
 
 /// How a batch of jobs is run: cluster, quantum, admission and engine
 /// extensions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimSetup {
     cluster: ClusterConfig,
     quantum: SimDuration,

@@ -66,7 +66,10 @@ impl QueueWeights {
         match self {
             QueueWeights::Equal => vec![1.0; k],
             QueueWeights::Geometric { ratio } => {
-                assert!(ratio.is_finite() && *ratio >= 1.0, "geometric ratio must be >= 1");
+                assert!(
+                    ratio.is_finite() && *ratio >= 1.0,
+                    "geometric ratio must be >= 1"
+                );
                 (0..k).map(|i| ratio.powi(-(i as i32))).collect()
             }
             QueueWeights::Custom(weights) => {
@@ -162,7 +165,10 @@ impl LasMqConfig {
     ///
     /// Panics if the threshold is not positive and finite.
     pub fn with_first_threshold(mut self, threshold: f64) -> Self {
-        assert!(threshold.is_finite() && threshold > 0.0, "threshold must be positive");
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
         self.first_threshold = threshold;
         self
     }

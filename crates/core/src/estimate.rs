@@ -90,7 +90,10 @@ mod tests {
     fn past_stages_stay_precise() {
         // 40 from finished stages + 10 in the current stage at 50%.
         let v = view(50.0, 10.0, 0.5);
-        assert_eq!(effective_service(&v, true, 0.05).as_container_secs(), 40.0 + 20.0);
+        assert_eq!(
+            effective_service(&v, true, 0.05).as_container_secs(),
+            40.0 + 20.0
+        );
     }
 
     #[test]

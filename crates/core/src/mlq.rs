@@ -49,7 +49,11 @@ impl MultilevelQueue {
     /// Panics if `k` is zero.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "at least one queue is required");
-        MultilevelQueue { queues: vec![Vec::new(); k], index: HashMap::new(), next_seq: 0 }
+        MultilevelQueue {
+            queues: vec![Vec::new(); k],
+            index: HashMap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Number of queues.
@@ -75,7 +79,14 @@ impl MultilevelQueue {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.index.insert(job, Entry { queue: 0, seq, max_effective: 0.0 });
+        self.index.insert(
+            job,
+            Entry {
+                queue: 0,
+                seq,
+                max_effective: 0.0,
+            },
+        );
         self.queues[0].push(job);
     }
 
@@ -160,8 +171,7 @@ impl MultilevelQueue {
     /// Panics if `i` is out of range.
     pub fn sort_queue_with_seq<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId, u64) -> K) {
         let index = &self.index;
-        self.queues[i]
-            .sort_by_key(|&j| key(j, index.get(&j).map(|e| e.seq).unwrap_or(u64::MAX)));
+        self.queues[i].sort_by_key(|&j| key(j, index.get(&j).map(|e| e.seq).unwrap_or(u64::MAX)));
     }
 
     /// Per-queue job counts (handy for tests and introspection).
@@ -175,7 +185,10 @@ mod tests {
     use super::*;
 
     fn thresholds(values: &[f64]) -> Vec<Service> {
-        values.iter().map(|&v| Service::from_container_secs(v)).collect()
+        values
+            .iter()
+            .map(|&v| Service::from_container_secs(v))
+            .collect()
     }
 
     #[test]
@@ -196,9 +209,18 @@ mod tests {
         let mut mlq = MultilevelQueue::new(3);
         let j = JobId::new(0);
         mlq.insert(j);
-        assert_eq!(mlq.observe(j, Service::from_container_secs(5.0), &t), Some(0));
-        assert_eq!(mlq.observe(j, Service::from_container_secs(50.0), &t), Some(1));
-        assert_eq!(mlq.observe(j, Service::from_container_secs(5_000.0), &t), Some(2));
+        assert_eq!(
+            mlq.observe(j, Service::from_container_secs(5.0), &t),
+            Some(0)
+        );
+        assert_eq!(
+            mlq.observe(j, Service::from_container_secs(50.0), &t),
+            Some(1)
+        );
+        assert_eq!(
+            mlq.observe(j, Service::from_container_secs(5_000.0), &t),
+            Some(2)
+        );
         assert_eq!(mlq.queue_lengths(), vec![0, 0, 1]);
     }
 
@@ -254,7 +276,10 @@ mod tests {
     #[test]
     fn observe_unknown_job_is_none() {
         let mut mlq = MultilevelQueue::new(2);
-        assert_eq!(mlq.observe(JobId::new(9), Service::ZERO, &thresholds(&[1.0])), None);
+        assert_eq!(
+            mlq.observe(JobId::new(9), Service::ZERO, &thresholds(&[1.0])),
+            None
+        );
     }
 
     #[test]

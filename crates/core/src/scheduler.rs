@@ -70,7 +70,12 @@ impl LasMq {
         let thresholds = config.thresholds();
         let weights = config.weight_vector();
         let mlq = MultilevelQueue::new(config.num_queues());
-        LasMq { config, thresholds, weights, mlq }
+        LasMq {
+            config,
+            thresholds,
+            weights,
+            mlq,
+        }
     }
 
     /// With the paper's testbed defaults (k = 10, α₁ = 100, p = 10).
@@ -112,8 +117,10 @@ impl LasMq {
             match self.config.ordering() {
                 QueueOrdering::RemainingDemand => {
                     self.mlq.sort_queue_with_seq(i, |job, seq| {
-                        let demand =
-                            views.get(&job).map(|v| v.remaining_demand()).unwrap_or(u32::MAX);
+                        let demand = views
+                            .get(&job)
+                            .map(|v| v.remaining_demand())
+                            .unwrap_or(u32::MAX);
                         (demand, seq)
                     });
                 }
@@ -196,7 +203,9 @@ impl Scheduler for LasMq {
                 if budget == 0 {
                     break;
                 }
-                let Some(view) = views.get(&job) else { continue };
+                let Some(view) = views.get(&job) else {
+                    continue;
+                };
                 let grant = view.max_useful_allocation().min(budget);
                 if grant > 0 {
                     plan.push(job, grant);
@@ -216,7 +225,9 @@ impl Scheduler for LasMq {
                     if leftover == 0 {
                         break 'outer;
                     }
-                    let Some(view) = views.get(&job) else { continue };
+                    let Some(view) = views.get(&job) else {
+                        continue;
+                    };
                     let already = granted.get(&job).copied().unwrap_or(0);
                     let unmet = view.max_useful_allocation().saturating_sub(already);
                     let extra = unmet.min(leftover);
@@ -267,7 +278,9 @@ mod tests {
 
     fn config() -> LasMqConfig {
         // Thresholds 10, 100 with 3 queues.
-        LasMqConfig::paper_experiments().with_num_queues(3).with_first_threshold(10.0)
+        LasMqConfig::paper_experiments()
+            .with_num_queues(3)
+            .with_first_threshold(10.0)
     }
 
     fn admit_all(sched: &mut LasMq, views: &[JobView]) {
@@ -288,7 +301,7 @@ mod tests {
     fn attained_service_demotes_jobs() {
         let mut sched = LasMq::new(config());
         let views = vec![
-            view(0, 5.0, 5.0, 0.0, 10, 10, 0),    // stays in queue 0
+            view(0, 5.0, 5.0, 0.0, 10, 10, 0),     // stays in queue 0
             view(1, 50.0, 50.0, 0.0, 10, 10, 0),   // queue 1
             view(2, 500.0, 500.0, 0.0, 10, 10, 0), // queue 2
         ];
@@ -332,7 +345,11 @@ mod tests {
         // big job still gets a share (no starvation) plus all leftovers.
         assert_eq!(plan.target_for(JobId::new(1)), Some(4));
         assert_eq!(plan.target_for(JobId::new(0)), Some(8));
-        assert_eq!(plan.entries()[0].0, JobId::new(1), "top queue is served first");
+        assert_eq!(
+            plan.entries()[0].0,
+            JobId::new(1),
+            "top queue is served first"
+        );
     }
 
     #[test]
@@ -340,7 +357,7 @@ mod tests {
         let mut sched = LasMq::new(config());
         // Both queues saturated: demand everywhere.
         let views = vec![
-            view(0, 0.0, 0.0, 0.0, 100, 100, 0),    // queue 0
+            view(0, 0.0, 0.0, 0.0, 100, 100, 0),         // queue 0
             view(1, 5_000.0, 5_000.0, 0.0, 100, 100, 0), // queue 2
         ];
         admit_all(&mut sched, &views);
@@ -348,7 +365,10 @@ mod tests {
         let plan = sched.allocate(&ctx);
         let low = plan.target_for(JobId::new(1)).unwrap_or(0);
         assert!(low > 0, "demoted job must keep progressing, got {low}");
-        assert!(plan.target_for(JobId::new(0)).unwrap() > low, "top queue weighs more");
+        assert!(
+            plan.target_for(JobId::new(0)).unwrap() > low,
+            "top queue weighs more"
+        );
     }
 
     #[test]
@@ -415,8 +435,7 @@ mod tests {
     fn single_queue_degenerates_to_ordered_fifo_like_service() {
         // k = 1: no thresholds, everything in one queue — the Fig. 8(a)
         // leftmost point.
-        let mut sched =
-            LasMq::new(LasMqConfig::paper_experiments().with_num_queues(1));
+        let mut sched = LasMq::new(LasMqConfig::paper_experiments().with_num_queues(1));
         let views = vec![
             view(0, 1_000.0, 1_000.0, 0.0, 10, 10, 0),
             view(1, 0.0, 0.0, 0.0, 10, 10, 0),

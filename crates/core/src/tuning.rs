@@ -78,7 +78,11 @@ pub fn suggest(sizes: &[f64], step: f64) -> Result<TuningSuggestion, String> {
     // biggest jobs are separable: α₁ · p^(k−2) ≥ max.
     let decades = (max / first_threshold).log(step).ceil().max(0.0) as usize;
     let num_queues = decades + 2;
-    Ok(TuningSuggestion { num_queues, first_threshold, step })
+    Ok(TuningSuggestion {
+        num_queues,
+        first_threshold,
+        step,
+    })
 }
 
 #[cfg(test)]
@@ -91,7 +95,10 @@ mod tests {
         let s = suggest(&sizes, 10.0).unwrap();
         let config = s.apply_to(LasMqConfig::paper_simulations());
         let last_threshold = config.thresholds().last().unwrap().as_container_secs();
-        assert!(last_threshold >= 10_000.0, "last threshold {last_threshold}");
+        assert!(
+            last_threshold >= 10_000.0,
+            "last threshold {last_threshold}"
+        );
     }
 
     #[test]
@@ -102,7 +109,11 @@ mod tests {
         sizes.extend([5_000.0, 9_000.0]);
         let s = suggest(&sizes, 10.0).unwrap();
         let mean: f64 = sizes.iter().sum::<f64>() / sizes.len() as f64;
-        assert!(s.first_threshold <= mean, "{} vs mean {mean}", s.first_threshold);
+        assert!(
+            s.first_threshold <= mean,
+            "{} vs mean {mean}",
+            s.first_threshold
+        );
     }
 
     #[test]
@@ -125,6 +136,9 @@ mod tests {
         let s = suggest(&[1.0, 50.0, 2_000.0], 10.0).unwrap();
         let config = s.apply_to(LasMqConfig::paper_simulations());
         assert_eq!(config.num_queues(), s.num_queues);
-        assert_eq!(config.thresholds()[0].as_container_secs(), s.first_threshold);
+        assert_eq!(
+            config.thresholds()[0].as_container_secs(),
+            s.first_threshold
+        );
     }
 }

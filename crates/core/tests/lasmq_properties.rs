@@ -8,8 +8,15 @@ use lasmq_core::{LasMq, LasMqConfig, QueueOrdering, QueueSharing, QueueWeights};
 use lasmq_simulator::{JobId, JobView, SchedContext, Scheduler, Service, SimTime};
 
 fn view_strategy() -> impl Strategy<Value = JobView> {
-    (0u32..500, 0.0f64..2e4, 0.0f64..1.0, 0.0f64..=1.0, 0u32..100, 1u32..=2).prop_map(
-        |(id, attained, stage_frac, progress, unstarted, width)| {
+    (
+        0u32..500,
+        0.0f64..2e4,
+        0.0f64..1.0,
+        0.0f64..=1.0,
+        0u32..100,
+        1u32..=2,
+    )
+        .prop_map(|(id, attained, stage_frac, progress, unstarted, width)| {
             let attained_stage = attained * stage_frac;
             JobView {
                 id: JobId::new(id),
@@ -27,8 +34,7 @@ fn view_strategy() -> impl Strategy<Value = JobView> {
                 held: 0,
                 oracle: None,
             }
-        },
-    )
+        })
 }
 
 fn dedup_by_id(mut views: Vec<JobView>) -> Vec<JobView> {

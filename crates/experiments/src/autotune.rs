@@ -43,12 +43,23 @@ impl GridSearchResult {
     pub fn table(&self, n: usize) -> TextTable {
         let mut t = TextTable::new(
             "Grid search: best LAS_MQ configurations on the sample workload",
-            vec!["queues".into(), "first threshold".into(), "step".into(), "mean response (s)".into()],
+            vec![
+                "queues".into(),
+                "first threshold".into(),
+                "step".into(),
+                "mean response (s)".into(),
+            ],
         );
         for p in self.points.iter().take(n) {
             t.row(vec![
                 p.config.num_queues().to_string(),
-                fmt_num(p.config.thresholds().first().map(|s| s.as_container_secs()).unwrap_or(f64::NAN)),
+                fmt_num(
+                    p.config
+                        .thresholds()
+                        .first()
+                        .map(|s| s.as_container_secs())
+                        .unwrap_or(f64::NAN),
+                ),
                 p.config.step().to_string(),
                 fmt_num(p.mean_response),
             ]);
@@ -96,9 +107,13 @@ pub fn grid_search(
                     .with_first_threshold(alpha)
                     .with_step(step);
                 let report = setup.run(jobs.to_vec(), &SchedulerKind::LasMq(config.clone()));
-                let mean_response =
-                    report.mean_response_secs().expect("sample workload must complete");
-                points.push(GridPoint { config, mean_response });
+                let mean_response = report
+                    .mean_response_secs()
+                    .expect("sample workload must complete");
+                points.push(GridPoint {
+                    config,
+                    mean_response,
+                });
             }
         }
     }
@@ -115,9 +130,11 @@ mod tests {
     #[test]
     fn search_ranks_configurations_and_prefers_many_queues() {
         let scale = Scale::test();
-        let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
-        let result =
-            grid_search(&jobs, &SimSetup::trace_sim(), &[1, 5, 10], &[1.0], &[10.0]);
+        let jobs = FacebookTrace::new()
+            .jobs(scale.facebook_jobs)
+            .seed(scale.seed)
+            .generate();
+        let result = grid_search(&jobs, &SimSetup::trace_sim(), &[1, 5, 10], &[1.0], &[10.0]);
         assert_eq!(result.points.len(), 3);
         // Ascending order.
         for pair in result.points.windows(2) {

@@ -2,25 +2,32 @@
 //! work with trace files.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+//! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
+//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+//! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
 //! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|sjf|srtf] [--containers N]
 //! ```
 //!
 //! Experiment subcommands print paper-style tables and write them as CSV
 //! under `--out` (default `target/experiments`); `--quick` runs the
-//! reduced bench scale. `trace-gen` freezes a workload to a JSON trace
-//! file; `trace-run` replays one under any scheduler and prints summary
-//! metrics.
+//! reduced bench scale. Runs execute as campaigns on a worker pool
+//! (`--threads`, default all cores) backed by a content-addressed result
+//! cache under `target/campaign-cache` (`--no-cache` bypasses it;
+//! `campaign-status` summarizes it). Results are bit-identical regardless
+//! of worker count or cache state. `trace-gen` freezes a workload to a
+//! JSON trace file; `trace-run` replays one under any scheduler and
+//! prints summary metrics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use lasmq_campaign::{status_report, ExecOptions, DEFAULT_CACHE_DIR};
 use lasmq_experiments::table::TextTable;
 use lasmq_experiments::{
-    ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, fig3, fig56, fig7, fig8, table1, Scale,
-    SchedulerKind, SimSetup,
+    ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, fig3, fig56, fig7, fig8,
+    table1, Scale, SchedulerKind, SimSetup,
 };
 use lasmq_simulator::ClusterConfig;
 use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
@@ -28,23 +35,45 @@ use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
 struct Args {
     quick: bool,
     out: PathBuf,
+    threads: Option<usize>,
+    no_cache: bool,
+    seed: Option<u64>,
     experiments: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// `Ok(None)` means `--help` was requested (print usage, exit 0).
+fn parse_args() -> Result<Option<Args>, String> {
     let mut quick = false;
     let mut out = PathBuf::from("target/experiments");
+    let mut threads = None;
+    let mut no_cache = false;
+    let mut seed = None;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--no-cache" => no_cache = true,
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a directory argument")?);
             }
-            "--help" | "-h" => {
-                return Err(USAGE.to_string());
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a worker count")?;
+                threads = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--threads needs a positive integer, got '{v}'"))?,
+                );
             }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs an integer seed")?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed needs a u64, got '{v}'"))?,
+                );
+            }
+            "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -52,34 +81,70 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         experiments.push("all".into());
     }
-    Ok(Args { quick, out, experiments })
+    Ok(Some(Args {
+        quick,
+        out,
+        threads,
+        no_cache,
+        seed,
+        experiments,
+    }))
 }
 
-const USAGE: &str = "usage: repro [--quick] [--out DIR] \
-    <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>";
+const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
+    <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+       repro campaign-status
+       repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
+       repro trace-run <FILE> [--scheduler NAME] [--containers N]";
 
 fn main() -> ExitCode {
-    // Trace tooling subcommands take their own argument shapes.
+    // Trace and status subcommands take their own argument shapes.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("trace-gen") => return trace_gen(&argv[1..]),
         Some("trace-run") => return trace_run(&argv[1..]),
+        Some("campaign-status") => return campaign_status(),
         _ => {}
     }
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
-    let scale = if args.quick { Scale::bench() } else { Scale::paper() };
+    let mut scale = if args.quick {
+        Scale::bench()
+    } else {
+        Scale::paper()
+    };
+    if let Some(seed) = args.seed {
+        scale.seed = seed;
+    }
+    let mut exec = ExecOptions::default().verbose();
+    exec.threads = args.threads.and_then(std::num::NonZeroUsize::new);
+    if args.no_cache {
+        exec = exec.no_cache();
+    }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create output directory {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
 
-    let known = ["table1", "fig3", "fig5", "fig6", "fig7", "fig8", "extensions", "all"];
+    let known = [
+        "table1",
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "extensions",
+        "all",
+    ];
     for e in &args.experiments {
         if !known.contains(&e.as_str()) {
             eprintln!("unknown experiment '{e}'\n{USAGE}");
@@ -89,52 +154,100 @@ fn main() -> ExitCode {
     let wants = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
 
     println!(
-        "LAS_MQ reproduction — scale: {}\n",
-        if args.quick { "quick (bench)" } else { "paper (full)" }
+        "LAS_MQ reproduction — scale: {}, cache: {}\n",
+        if args.quick {
+            "quick (bench)"
+        } else {
+            "paper (full)"
+        },
+        if args.no_cache { "off" } else { "on" },
     );
 
     if wants("table1") {
         emit("table1", table1::run(&scale).tables(), &args.out);
     }
     if wants("fig3") {
-        emit("fig3", fig3::run(&scale).tables(), &args.out);
+        emit("fig3", fig3::run_with(&scale, &exec).tables(), &args.out);
     }
     if wants("fig5") {
-        emit("fig5", fig56::run(&scale, 80.0).tables(), &args.out);
+        emit(
+            "fig5",
+            fig56::run_with(&scale, 80.0, &exec).tables(),
+            &args.out,
+        );
     }
     if wants("fig6") {
-        emit("fig6", fig56::run(&scale, 50.0).tables(), &args.out);
+        emit(
+            "fig6",
+            fig56::run_with(&scale, 50.0, &exec).tables(),
+            &args.out,
+        );
     }
     if wants("fig7") {
-        emit("fig7", fig7::run(&scale).tables(), &args.out);
+        emit("fig7", fig7::run_with(&scale, &exec).tables(), &args.out);
     }
     if wants("fig8") {
-        emit("fig8", fig8::run(&scale).tables(), &args.out);
+        emit("fig8", fig8::run_with(&scale, &exec).tables(), &args.out);
     }
     if wants("extensions") {
-        emit("ext_estimation", ext_estimation::run(&scale).tables(), &args.out);
-        emit("ext_robustness", ext_robustness::run(&scale).tables(), &args.out);
-        emit("ext_fairness", ext_fairness::run(&scale).tables(), &args.out);
-        emit("ext_geo", ext_geo::run(&scale).tables(), &args.out);
-        emit("ext_load", ext_load::run(&scale).tables(), &args.out);
+        emit(
+            "ext_estimation",
+            ext_estimation::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+        emit(
+            "ext_robustness",
+            ext_robustness::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+        emit(
+            "ext_fairness",
+            ext_fairness::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+        emit(
+            "ext_geo",
+            ext_geo::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+        emit(
+            "ext_load",
+            ext_load::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn campaign_status() -> ExitCode {
+    match status_report(std::path::Path::new(DEFAULT_CACHE_DIR)) {
+        Some(report) => println!("{report}"),
+        None => println!("no campaigns recorded under {DEFAULT_CACHE_DIR}"),
     }
     ExitCode::SUCCESS
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn trace_gen(args: &[String]) -> ExitCode {
     let Some(kind) = args.first() else {
-        eprintln!("usage: repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]");
+        eprintln!(
+            "usage: repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]"
+        );
         return ExitCode::FAILURE;
     };
-    let jobs: usize = flag_value(args, "--jobs").and_then(|v| v.parse().ok()).unwrap_or(1_000);
-    let seed: u64 = flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let out = PathBuf::from(
-        flag_value(args, "--out").unwrap_or("trace.json"),
-    );
+    let jobs: usize = flag_value(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("trace.json"));
     let (name, specs) = match kind.as_str() {
         "facebook" => (
             format!("facebook-synthetic-{jobs}-seed{seed}"),
@@ -189,8 +302,9 @@ fn trace_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let containers: u32 =
-        flag_value(args, "--containers").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let containers: u32 = flag_value(args, "--containers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
     let setup = SimSetup::trace_sim().cluster(ClusterConfig::single_node(containers));
     let name = trace.name().to_string();
     let count = trace.jobs().len();
@@ -222,5 +336,9 @@ fn emit(name: &str, tables: Vec<TextTable>, out: &std::path::Path) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
-    println!("[{name} done in {:.1}s; CSVs in {}]\n", start.elapsed().as_secs_f64(), out.display());
+    println!(
+        "[{name} done in {:.1}s; CSVs in {}]\n",
+        start.elapsed().as_secs_f64(),
+        out.display()
+    );
 }

@@ -22,7 +22,7 @@ use crate::scale::Scale;
 use crate::setup::SimSetup;
 use crate::table::{fmt_num, TextTable};
 
-use lasmq_workload::FacebookTrace;
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 
 /// One estimator variant's outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,10 +52,18 @@ impl EstimationResult {
     pub fn tables(&self) -> Vec<TextTable> {
         let mut t = TextTable::new(
             "Extension: the price of bad size estimates (heavy-tailed trace)",
-            vec!["scheduler".into(), "mean response (s)".into(), "p99 response (s)".into()],
+            vec![
+                "scheduler".into(),
+                "mean response (s)".into(),
+                "p99 response (s)".into(),
+            ],
         );
         for r in &self.rows {
-            t.row(vec![r.label.clone(), fmt_num(r.mean_response), fmt_num(r.p99_response)]);
+            t.row(vec![
+                r.label.clone(),
+                fmt_num(r.mean_response),
+                fmt_num(r.p99_response),
+            ]);
         }
         vec![t]
     }
@@ -76,7 +84,10 @@ pub fn lineup(seed: u64) -> Vec<(String, SchedulerKind)> {
         ("SJF-est σ=1".into(), est(1.0, 0.0)),
         ("SJF-est σ=2".into(), est(2.0, 0.0)),
         ("SJF-est σ=1 + 5% gross-under".into(), est(1.0, 0.05)),
-        ("LAS_MQ (no estimates)".into(), SchedulerKind::las_mq_simulations()),
+        (
+            "LAS_MQ (no estimates)".into(),
+            SchedulerKind::las_mq_simulations(),
+        ),
         ("LAS (no estimates)".into(), SchedulerKind::Las),
         ("FAIR".into(), SchedulerKind::Fair),
     ]
@@ -84,17 +95,35 @@ pub fn lineup(seed: u64) -> Vec<(String, SchedulerKind)> {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: &Scale) -> EstimationResult {
-    let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
-    let setup = SimSetup::trace_sim();
-    let rows = lineup(scale.seed)
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs the experiment as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> EstimationResult {
+    let workload = WorkloadSpec::Facebook {
+        jobs: scale.facebook_jobs,
+        seed: scale.seed,
+        load: None,
+    };
+    let lineup = lineup(scale.seed);
+    let mut campaign = Campaign::new("ext_estimation");
+    for (label, kind) in &lineup {
+        campaign.push(RunCell::new(
+            format!("ext_estimation/{label}"),
+            kind.clone(),
+            workload.clone(),
+            SimSetup::trace_sim(),
+        ));
+    }
+    let result = campaign.run(exec);
+
+    let rows = lineup
         .into_iter()
-        .map(|(label, kind)| {
-            let report = setup.run(jobs.clone(), &kind);
-            EstimationRow {
-                label,
-                mean_response: report.mean_response_secs().unwrap_or(f64::NAN),
-                p99_response: report.response_percentile(0.99).unwrap_or(f64::NAN),
-            }
+        .zip(&result.reports)
+        .map(|((label, _), report)| EstimationRow {
+            label,
+            mean_response: report.mean_response_secs().unwrap_or(f64::NAN),
+            p99_response: report.response_percentile(0.99).unwrap_or(f64::NAN),
         })
         .collect();
     EstimationResult { rows }
@@ -109,7 +138,10 @@ mod tests {
         // Gross under-estimates only bite when a *large* job gets
         // mis-filed; at 5 % over a heavy tail that needs a few thousand
         // jobs to happen reliably, so this test runs above Scale::test.
-        let r = run(&Scale { facebook_jobs: 4_000, ..Scale::test() });
+        let r = run(&Scale {
+            facebook_jobs: 8_000,
+            ..Scale::test()
+        });
         let mean = |label: &str| r.row(label).unwrap().mean_response;
         let p99 = |label: &str| r.row(label).unwrap().p99_response;
 

@@ -18,8 +18,8 @@
 //! exactly why the paper defaults to weighted sharing rather than strict
 //! priority (§III-A) — not as a free lunch.
 
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_core::{LasMqConfig, QueueSharing, QueueWeights};
-use lasmq_workload::FacebookTrace;
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -107,12 +107,32 @@ pub fn knob_settings() -> Vec<(String, LasMqConfig)> {
 
 /// Runs the sweep at the given scale.
 pub fn run(scale: &Scale) -> FairnessResult {
-    let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
-    let setup = SimSetup::trace_sim();
-    let rows = knob_settings()
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs the sweep as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> FairnessResult {
+    let workload = WorkloadSpec::Facebook {
+        jobs: scale.facebook_jobs,
+        seed: scale.seed,
+        load: None,
+    };
+    let settings = knob_settings();
+    let mut campaign = Campaign::new("ext_fairness");
+    for (label, config) in &settings {
+        campaign.push(RunCell::new(
+            format!("ext_fairness/{label}"),
+            SchedulerKind::LasMq(config.clone()),
+            workload.clone(),
+            SimSetup::trace_sim(),
+        ));
+    }
+    let result = campaign.run(exec);
+
+    let rows = settings
         .into_iter()
-        .map(|(label, config)| {
-            let report = setup.run(jobs.clone(), &SchedulerKind::LasMq(config));
+        .zip(&result.reports)
+        .map(|((label, _), report)| {
             let slowdowns = report.slowdown_cdf();
             let p99 = crate::stats::percentile(&slowdowns, 0.99).unwrap_or(f64::NAN);
             // The largest 1% of jobs by true size: the knob's victims.
@@ -163,7 +183,11 @@ mod tests {
             assert!(row.mean_slowdown >= 1.0, "{}", row.label);
             assert!(row.p99_slowdown >= row.mean_slowdown * 0.5, "{}", row.label);
             assert!(row.large_job_slowdown >= 1.0, "{}", row.label);
-            assert!(row.max_slowdown >= row.large_job_slowdown * 0.5, "{}", row.label);
+            assert!(
+                row.max_slowdown >= row.large_job_slowdown * 0.5,
+                "{}",
+                row.label
+            );
         }
         // The documented one-sidedness at moderate load: harsher settings
         // do not worsen the mean (equal weights are the most expensive).

@@ -16,7 +16,7 @@
 //! windows, and the freed containers flow to other jobs (the engine's
 //! work conservation).
 
-use lasmq_workload::PumaWorkload;
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -82,30 +82,55 @@ impl GeoResult {
 
 /// Runs the bandwidth sweep at the given scale.
 pub fn run(scale: &Scale) -> GeoResult {
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs the bandwidth sweep as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> GeoResult {
     let setup = SimSetup::testbed();
+    let lineup = [
+        SchedulerKind::las_mq_experiments(),
+        SchedulerKind::Fair,
+        SchedulerKind::Fifo,
+    ];
+    let link_label = |bandwidth: Option<f64>| match bandwidth {
+        Some(bw) => format!("{bw:.0} MB/s WAN"),
+        None => "co-located".to_string(),
+    };
+
+    let mut campaign = Campaign::new("ext_geo");
+    for &bandwidth in &BANDWIDTH_SWEEP {
+        let workload = WorkloadSpec::Puma {
+            jobs: scale.puma_jobs,
+            mean_interval_secs: 50.0,
+            seed: scale.seed,
+            geo_bandwidth_mb_per_s: bandwidth,
+        };
+        for kind in &lineup {
+            campaign.push(RunCell::new(
+                format!("ext_geo/{}/{kind}", link_label(bandwidth)),
+                kind.clone(),
+                workload.clone(),
+                setup.clone(),
+            ));
+        }
+    }
+    let result = campaign.run(exec);
+
     let rows = BANDWIDTH_SWEEP
         .iter()
-        .map(|&bandwidth| {
-            let mut workload = PumaWorkload::new()
-                .jobs(scale.puma_jobs)
-                .mean_interval_secs(50.0)
-                .seed(scale.seed);
-            let link = match bandwidth {
-                Some(bw) => {
-                    workload = workload.geo_bandwidth_mb_per_s(bw);
-                    format!("{bw:.0} MB/s WAN")
-                }
-                None => "co-located".into(),
-            };
-            let jobs = workload.generate();
-            let mean = |kind: &SchedulerKind| {
-                setup.run(jobs.clone(), kind).mean_response_secs().unwrap_or(f64::NAN)
+        .enumerate()
+        .map(|(row, &bandwidth)| {
+            let mean = |col: usize| {
+                result.reports[row * lineup.len() + col]
+                    .mean_response_secs()
+                    .unwrap_or(f64::NAN)
             };
             GeoRow {
-                link,
-                las_mq: mean(&SchedulerKind::las_mq_experiments()),
-                fair: mean(&SchedulerKind::Fair),
-                fifo: mean(&SchedulerKind::Fifo),
+                link: link_label(bandwidth),
+                las_mq: mean(0),
+                fair: mean(1),
+                fifo: mean(2),
             }
         })
         .collect();
@@ -123,7 +148,10 @@ mod tests {
         // Responses grow monotonically-ish as the link shrinks.
         let colo = r.rows[0].las_mq;
         let wan = r.rows[3].las_mq;
-        assert!(wan > colo, "25 MB/s WAN {wan} must cost more than co-located {colo}");
+        assert!(
+            wan > colo,
+            "25 MB/s WAN {wan} must cost more than co-located {colo}"
+        );
         // LAS_MQ keeps beating Fair on every link.
         for row in &r.rows {
             assert!(

@@ -12,7 +12,7 @@
 //!   serialize the cluster (everyone converges toward FIFO), very large
 //!   caps leave LAS_MQ's scheduling to do all the work.
 
-use lasmq_workload::{FacebookTrace, PumaWorkload};
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -74,7 +74,12 @@ impl LoadResult {
                 .chain(
                     self.by_load
                         .first()
-                        .map(|r| r.mean_response.iter().map(|(n, _)| n.clone()).collect::<Vec<String>>())
+                        .map(|r| {
+                            r.mean_response
+                                .iter()
+                                .map(|(n, _)| n.clone())
+                                .collect::<Vec<String>>()
+                        })
                         .unwrap_or_default(),
                 )
                 .collect(),
@@ -88,10 +93,18 @@ impl LoadResult {
         }
         let mut b = TextTable::new(
             "Extension: the admission cap (PUMA workload, §IV's limit of 30)",
-            vec!["max running jobs".into(), "LAS_MQ (s)".into(), "FIFO (s)".into()],
+            vec![
+                "max running jobs".into(),
+                "LAS_MQ (s)".into(),
+                "FIFO (s)".into(),
+            ],
         );
         for row in &self.by_admission {
-            b.row(vec![row.cap.clone(), fmt_num(row.las_mq), fmt_num(row.fifo)]);
+            b.row(vec![
+                row.cap.clone(),
+                fmt_num(row.las_mq),
+                fmt_num(row.fifo),
+            ]);
         }
         vec![a, b]
     }
@@ -99,53 +112,75 @@ impl LoadResult {
 
 /// Runs both sweeps.
 pub fn run(scale: &Scale) -> LoadResult {
-    let setup = SimSetup::trace_sim();
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs both sweeps as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> LoadResult {
+    let lineup = SchedulerKind::paper_lineup_simulations();
+    let mut campaign = Campaign::new("ext_load");
+    for &load in &LOAD_SWEEP {
+        for kind in &lineup {
+            campaign.push(RunCell::new(
+                format!("ext_load/rho{load}/{kind}"),
+                kind.clone(),
+                WorkloadSpec::Facebook {
+                    jobs: scale.facebook_jobs,
+                    seed: scale.seed,
+                    load: Some(load),
+                },
+                SimSetup::trace_sim(),
+            ));
+        }
+    }
+    let puma = WorkloadSpec::Puma {
+        jobs: scale.puma_jobs,
+        mean_interval_secs: 50.0,
+        seed: scale.seed,
+        geo_bandwidth_mb_per_s: None,
+    };
+    for &cap in &ADMISSION_SWEEP {
+        let setup = SimSetup::testbed().admission(cap);
+        let tag = cap.map_or("unlimited".into(), |n| n.to_string());
+        for kind in [SchedulerKind::las_mq_experiments(), SchedulerKind::Fifo] {
+            campaign.push(RunCell::new(
+                format!("ext_load/cap-{tag}/{kind}"),
+                kind,
+                puma.clone(),
+                setup.clone(),
+            ));
+        }
+    }
+    let result = campaign.run(exec);
+
+    let mean_of = |i: usize| -> f64 { result.reports[i].mean_response_secs().unwrap_or(f64::NAN) };
     let by_load = LOAD_SWEEP
         .iter()
-        .map(|&load| {
-            let jobs =
-                FacebookTrace::new().jobs(scale.facebook_jobs).load(load).seed(scale.seed).generate();
-            LoadRow {
-                load,
-                mean_response: SchedulerKind::paper_lineup_simulations()
-                    .iter()
-                    .map(|kind| {
-                        let report = setup.run(jobs.clone(), kind);
-                        (kind.to_string(), report.mean_response_secs().unwrap_or(f64::NAN))
-                    })
-                    .collect(),
-            }
+        .enumerate()
+        .map(|(row, &load)| LoadRow {
+            load,
+            mean_response: lineup
+                .iter()
+                .enumerate()
+                .map(|(col, kind)| (kind.to_string(), mean_of(row * lineup.len() + col)))
+                .collect(),
         })
         .collect();
-
-    let puma = PumaWorkload::new()
-        .jobs(scale.puma_jobs)
-        .mean_interval_secs(50.0)
-        .seed(scale.seed)
-        .generate();
+    let admission_base = LOAD_SWEEP.len() * lineup.len();
     let by_admission = ADMISSION_SWEEP
         .iter()
-        .map(|&cap| {
-            let setup = SimSetup::testbed().admission(cap);
-            let label = match cap {
-                Some(n) => n.to_string(),
-                None => "unlimited".into(),
-            };
-            AdmissionRow {
-                cap: label,
-                las_mq: setup
-                    .run(puma.clone(), &SchedulerKind::las_mq_experiments())
-                    .mean_response_secs()
-                    .unwrap_or(f64::NAN),
-                fifo: setup
-                    .run(puma.clone(), &SchedulerKind::Fifo)
-                    .mean_response_secs()
-                    .unwrap_or(f64::NAN),
-            }
+        .enumerate()
+        .map(|(row, &cap)| AdmissionRow {
+            cap: cap.map_or("unlimited".into(), |n| n.to_string()),
+            las_mq: mean_of(admission_base + 2 * row),
+            fifo: mean_of(admission_base + 2 * row + 1),
         })
         .collect();
 
-    LoadResult { by_load, by_admission }
+    LoadResult {
+        by_load,
+        by_admission,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +215,11 @@ mod tests {
             "looser admission should not shrink the margin much: {margin_at5} -> {margin_wide}"
         );
         for row in &r.by_admission {
-            assert!(row.las_mq.is_finite() && row.fifo.is_finite(), "{}", row.cap);
+            assert!(
+                row.las_mq.is_finite() && row.fifo.is_finite(),
+                "{}",
+                row.cap
+            );
         }
     }
 }

@@ -8,8 +8,8 @@
 //! (one of four at 2.5×), and failures + slow node + speculation — and
 //! compares LAS_MQ against Fair in each.
 
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_simulator::{ClusterConfig, FailureConfig, SpeculationConfig};
-use lasmq_workload::PumaWorkload;
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -82,7 +82,10 @@ fn environments(seed: u64) -> Vec<(String, SimSetup)> {
             "10% task failures".into(),
             SimSetup::testbed().failures(FailureConfig::with_probability(0.10, seed)),
         ),
-        ("1 slow node (2.5x)".into(), SimSetup::testbed().cluster(hetero)),
+        (
+            "1 slow node (2.5x)".into(),
+            SimSetup::testbed().cluster(hetero),
+        ),
         (
             "failures + slow node + speculation".into(),
             SimSetup::testbed()
@@ -95,16 +98,37 @@ fn environments(seed: u64) -> Vec<(String, SimSetup)> {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: &Scale) -> RobustnessResult {
-    let jobs = PumaWorkload::new()
-        .jobs(scale.puma_jobs)
-        .mean_interval_secs(50.0)
-        .seed(scale.seed)
-        .generate();
-    let rows = environments(scale.seed)
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs the experiment as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> RobustnessResult {
+    let workload = WorkloadSpec::Puma {
+        jobs: scale.puma_jobs,
+        mean_interval_secs: 50.0,
+        seed: scale.seed,
+        geo_bandwidth_mb_per_s: None,
+    };
+    let environments = environments(scale.seed);
+    let mut campaign = Campaign::new("ext_robustness");
+    for (environment, setup) in &environments {
+        for kind in [SchedulerKind::las_mq_experiments(), SchedulerKind::Fair] {
+            campaign.push(RunCell::new(
+                format!("ext_robustness/{environment}/{kind}"),
+                kind,
+                workload.clone(),
+                setup.clone(),
+            ));
+        }
+    }
+    let result = campaign.run(exec);
+
+    let rows = environments
         .into_iter()
-        .map(|(environment, setup)| {
-            let ours = setup.run(jobs.clone(), &SchedulerKind::las_mq_experiments());
-            let fair = setup.run(jobs.clone(), &SchedulerKind::Fair);
+        .enumerate()
+        .map(|(i, (environment, _))| {
+            let ours = &result.reports[2 * i];
+            let fair = &result.reports[2 * i + 1];
             RobustnessRow {
                 environment,
                 las_mq: ours.mean_response_secs().unwrap_or(f64::NAN),
@@ -126,7 +150,11 @@ mod tests {
         let r = run(&Scale::test());
         assert_eq!(r.rows.len(), 4);
         for row in &r.rows {
-            assert!(row.las_mq.is_finite() && row.fair.is_finite(), "{}", row.environment);
+            assert!(
+                row.las_mq.is_finite() && row.fair.is_finite(),
+                "{}",
+                row.environment
+            );
             assert!(
                 row.reduction() > 0.0,
                 "LAS_MQ must keep beating Fair under '{}': {:.0} vs {:.0}",

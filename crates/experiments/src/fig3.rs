@@ -10,8 +10,8 @@
 //! * **Case 3** — in-queue demand ordering only: a wide margin.
 //! * **Case 4** — both (the shipped design): best.
 
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_core::{LasMqConfig, QueueOrdering};
-use lasmq_workload::PumaWorkload;
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -25,10 +25,18 @@ pub fn cases() -> Vec<(&'static str, LasMqConfig)> {
     vec![
         (
             "Case 1 (neither)",
-            base.clone().with_stage_awareness(false).with_ordering(QueueOrdering::Fifo),
+            base.clone()
+                .with_stage_awareness(false)
+                .with_ordering(QueueOrdering::Fifo),
         ),
-        ("Case 2 (stage awareness)", base.clone().with_ordering(QueueOrdering::Fifo)),
-        ("Case 3 (queue ordering)", base.clone().with_stage_awareness(false)),
+        (
+            "Case 2 (stage awareness)",
+            base.clone().with_ordering(QueueOrdering::Fifo),
+        ),
+        (
+            "Case 3 (queue ordering)",
+            base.clone().with_stage_awareness(false),
+        ),
         ("Case 4 (both = LAS_MQ)", base),
     ]
 }
@@ -62,25 +70,52 @@ impl Fig3Result {
 /// Runs the ablation at the given scale (mean arrival interval 50 s, as in
 /// the paper).
 pub fn run(scale: &Scale) -> Fig3Result {
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs the ablation as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> Fig3Result {
     let setup = SimSetup::testbed();
     let case_list = cases();
-    // normalized[case][rep]
-    let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); case_list.len()];
 
+    // Per repetition: one Fair baseline cell, then the four ablation cells.
+    let mut campaign = Campaign::new("fig3");
     for rep in 0..scale.puma_repetitions {
-        let jobs = PumaWorkload::new()
-            .jobs(scale.puma_jobs)
-            .mean_interval_secs(50.0)
-            .seed(scale.seed + rep as u64)
-            .generate();
-        let fair_mean = setup
-            .run(jobs.clone(), &SchedulerKind::Fair)
+        let workload = WorkloadSpec::Puma {
+            jobs: scale.puma_jobs,
+            mean_interval_secs: 50.0,
+            seed: scale.seed + rep as u64,
+            geo_bandwidth_mb_per_s: None,
+        };
+        campaign.push(RunCell::new(
+            format!("fig3/rep{rep}/FAIR"),
+            SchedulerKind::Fair,
+            workload.clone(),
+            setup.clone(),
+        ));
+        for (label, config) in &case_list {
+            campaign.push(RunCell::new(
+                format!("fig3/rep{rep}/{label}"),
+                SchedulerKind::LasMq(config.clone()),
+                workload.clone(),
+                setup.clone(),
+            ));
+        }
+    }
+    let result = campaign.run(exec);
+
+    // normalized[case][rep]
+    let stride = 1 + case_list.len();
+    let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); case_list.len()];
+    for rep in 0..scale.puma_repetitions {
+        let fair_mean = result.reports[rep * stride]
             .mean_response_secs()
             .expect("fair run completes jobs");
-        for (i, (_, config)) in case_list.iter().enumerate() {
-            let report = setup.run(jobs.clone(), &SchedulerKind::LasMq(config.clone()));
-            let ours = report.mean_response_secs().expect("ablation run completes jobs");
-            normalized[i].push(fair_mean / ours);
+        for (i, per_case) in normalized.iter_mut().enumerate() {
+            let ours = result.reports[rep * stride + 1 + i]
+                .mean_response_secs()
+                .expect("ablation run completes jobs");
+            per_case.push(fair_mean / ours);
         }
     }
 

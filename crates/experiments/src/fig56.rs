@@ -13,8 +13,8 @@
 //! gap *widening* at higher load; FIFO is competitive only in bin 4.
 
 use lasmq_analysis::{paired_compare, PairedComparison};
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_simulator::JobOutcome;
-use lasmq_workload::PumaWorkload;
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -90,7 +90,10 @@ impl Fig56Result {
         let mut out = Vec::new();
 
         let mut a = TextTable::new(
-            format!("{fig}(a): response-time CDF (quantiles, s) — interval {} s", self.interval_secs),
+            format!(
+                "{fig}(a): response-time CDF (quantiles, s) — interval {} s",
+                self.interval_secs
+            ),
             std::iter::once("scheduler".to_string())
                 .chain(CDF_QUANTILES.iter().map(|q| format!("p{:02.0}", q * 100.0)))
                 .collect(),
@@ -159,7 +162,11 @@ impl Fig56Result {
                             "{:.0} ± {:.0}",
                             cmp.difference.mean, cmp.difference.ci95_half_width
                         ),
-                        if cmp.is_significant() { "resolved" } else { "not resolved" },
+                        if cmp.is_significant() {
+                            "resolved"
+                        } else {
+                            "not resolved"
+                        },
                     ),
                     None => ("-".into(), "-"),
                 };
@@ -173,25 +180,47 @@ impl Fig56Result {
 
 /// Runs the Fig. 5/6 experiment at the given arrival interval.
 pub fn run(scale: &Scale, interval_secs: f64) -> Fig56Result {
+    run_with(scale, interval_secs, &ExecOptions::default().no_cache())
+}
+
+/// Runs the Fig. 5/6 experiment as a campaign under `exec`.
+pub fn run_with(scale: &Scale, interval_secs: f64, exec: &ExecOptions) -> Fig56Result {
     let setup = SimSetup::testbed();
     let lineup = SchedulerKind::paper_lineup_experiments();
+    let name = if interval_secs >= 65.0 {
+        "fig5"
+    } else {
+        "fig6"
+    };
 
-    // outcomes[scheduler][rep] = completed job outcomes
+    // One cell per (repetition, scheduler), repetition-major.
+    let mut campaign = Campaign::new(name);
+    for rep in 0..scale.puma_repetitions {
+        for kind in &lineup {
+            campaign.push(RunCell::new(
+                format!("{name}/rep{rep}/{kind}"),
+                kind.clone(),
+                WorkloadSpec::Puma {
+                    jobs: scale.puma_jobs,
+                    mean_interval_secs: interval_secs,
+                    seed: scale.seed + rep as u64,
+                    geo_bandwidth_mb_per_s: None,
+                },
+                setup.clone(),
+            ));
+        }
+    }
+    let result = campaign.run(exec);
+
+    // outcomes[scheduler] pools completed jobs across repetitions.
     let mut pooled: Vec<Vec<JobOutcome>> = vec![Vec::new(); lineup.len()];
     let mut per_rep: Vec<Vec<f64>> = vec![Vec::new(); lineup.len()];
-    for rep in 0..scale.puma_repetitions {
-        let jobs = PumaWorkload::new()
-            .jobs(scale.puma_jobs)
-            .mean_interval_secs(interval_secs)
-            .seed(scale.seed + rep as u64)
-            .generate();
-        for (i, kind) in lineup.iter().enumerate() {
-            let report = setup.run(jobs.clone(), kind);
-            if let Some(mean) = report.mean_response_secs() {
-                per_rep[i].push(mean);
-            }
-            pooled[i].extend(report.outcomes().iter().filter(|o| o.completed()).cloned());
+    for (cell, report) in result.reports.iter().enumerate() {
+        let i = cell % lineup.len();
+        if let Some(mean) = report.mean_response_secs() {
+            per_rep[i].push(mean);
         }
+        pooled[i].extend(report.outcomes().iter().filter(|o| o.completed()).cloned());
     }
 
     let schedulers = lineup
@@ -200,7 +229,10 @@ pub fn run(scale: &Scale, interval_secs: f64) -> Fig56Result {
         .zip(per_rep)
         .map(|((kind, outcomes), reps)| summarize_outcomes(kind.to_string(), &outcomes, reps))
         .collect();
-    Fig56Result { interval_secs, schedulers }
+    Fig56Result {
+        interval_secs,
+        schedulers,
+    }
 }
 
 fn summarize_outcomes(
@@ -208,8 +240,10 @@ fn summarize_outcomes(
     outcomes: &[JobOutcome],
     per_rep_mean_response: Vec<f64>,
 ) -> SchedulerSummary {
-    let responses: Vec<f64> =
-        outcomes.iter().filter_map(|o| o.response().map(|r| r.as_secs_f64())).collect();
+    let responses: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.response().map(|r| r.as_secs_f64()))
+        .collect();
     let slowdowns: Vec<f64> = outcomes.iter().filter_map(JobOutcome::slowdown).collect();
     let mut mean_by_bin = [f64::NAN; 4];
     for bin in 1..=4u8 {

@@ -9,7 +9,7 @@
 //!
 //! Both use LAS_MQ's simulation config: k = 10, p = 10, α₁ = 1 (§V-C1).
 
-use lasmq_workload::{FacebookTrace, UniformWorkload};
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -26,7 +26,10 @@ pub struct DistributionResult {
 impl DistributionResult {
     /// Mean response for one scheduler by name.
     pub fn mean_for(&self, name: &str) -> Option<f64> {
-        self.mean_response.iter().find(|(n, _)| n == name).map(|&(_, m)| m)
+        self.mean_response
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, m)| m)
     }
 }
 
@@ -44,11 +47,16 @@ impl Fig7Result {
     pub fn tables(&self) -> Vec<TextTable> {
         let mut out = Vec::new();
         for (title, panel) in [
-            ("Fig 7(a): heavy-tailed distribution — avg job response time (s)", &self.heavy_tailed),
-            ("Fig 7(b): uniform distribution — avg job response time (s)", &self.uniform),
+            (
+                "Fig 7(a): heavy-tailed distribution — avg job response time (s)",
+                &self.heavy_tailed,
+            ),
+            (
+                "Fig 7(b): uniform distribution — avg job response time (s)",
+                &self.uniform,
+            ),
         ] {
-            let mut t =
-                TextTable::new(title, vec!["scheduler".into(), "avg response (s)".into()]);
+            let mut t = TextTable::new(title, vec!["scheduler".into(), "avg response (s)".into()]);
             for (name, mean) in &panel.mean_response {
                 t.row(vec![name.clone(), fmt_num(*mean)]);
             }
@@ -60,35 +68,55 @@ impl Fig7Result {
 
 /// Runs Fig. 7 at the given scale.
 pub fn run(scale: &Scale) -> Fig7Result {
-    let heavy_jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
-    let heavy_setup = SimSetup::trace_sim();
-    let heavy_tailed = DistributionResult {
-        mean_response: SchedulerKind::paper_lineup_simulations()
+    run_with(scale, &ExecOptions::default().no_cache())
+}
+
+/// Runs Fig. 7 as a campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> Fig7Result {
+    let lineup = SchedulerKind::paper_lineup_simulations();
+    let mut campaign = Campaign::new("fig7");
+    for kind in &lineup {
+        campaign.push(RunCell::new(
+            format!("fig7/heavy/{kind}"),
+            kind.clone(),
+            WorkloadSpec::Facebook {
+                jobs: scale.facebook_jobs,
+                seed: scale.seed,
+                load: None,
+            },
+            SimSetup::trace_sim(),
+        ));
+    }
+    for kind in &lineup {
+        campaign.push(RunCell::new(
+            format!("fig7/uniform/{kind}"),
+            kind.clone(),
+            WorkloadSpec::Uniform {
+                jobs: scale.uniform_jobs,
+                tasks_per_job: scale.uniform_tasks_per_job,
+                seed: scale.seed,
+            },
+            SimSetup::uniform_sim(),
+        ));
+    }
+    let result = campaign.run(exec);
+
+    let panel = |reports: &[lasmq_simulator::SimulationReport]| DistributionResult {
+        mean_response: lineup
             .iter()
-            .map(|kind| {
-                let report = heavy_setup.run(heavy_jobs.clone(), kind);
-                (kind.to_string(), report.mean_response_secs().unwrap_or(f64::NAN))
+            .zip(reports)
+            .map(|(kind, report)| {
+                (
+                    kind.to_string(),
+                    report.mean_response_secs().unwrap_or(f64::NAN),
+                )
             })
             .collect(),
     };
-
-    let uniform_jobs = UniformWorkload::new()
-        .jobs(scale.uniform_jobs)
-        .tasks_per_job(scale.uniform_tasks_per_job)
-        .seed(scale.seed)
-        .generate();
-    let uniform_setup = SimSetup::uniform_sim();
-    let uniform = DistributionResult {
-        mean_response: SchedulerKind::paper_lineup_simulations()
-            .iter()
-            .map(|kind| {
-                let report = uniform_setup.run(uniform_jobs.clone(), kind);
-                (kind.to_string(), report.mean_response_secs().unwrap_or(f64::NAN))
-            })
-            .collect(),
-    };
-
-    Fig7Result { heavy_tailed, uniform }
+    Fig7Result {
+        heavy_tailed: panel(&result.reports[..lineup.len()]),
+        uniform: panel(&result.reports[lineup.len()..]),
+    }
 }
 
 #[cfg(test)]
@@ -111,8 +139,14 @@ mod tests {
         // The FIFO gap grows with trace length (heavier realized tail); at
         // the tiny test scale a 1.8× margin already shows the blow-up —
         // the full-scale shape test lives in tests/paper_shapes.rs.
-        assert!(fifo > 1.8 * lasmq, "FIFO {fifo} must trail far behind LAS_MQ {lasmq}");
-        assert!(las < 1.5 * lasmq, "LAS {las} should be in LAS_MQ's neighbourhood {lasmq}");
+        assert!(
+            fifo > 1.8 * lasmq,
+            "FIFO {fifo} must trail far behind LAS_MQ {lasmq}"
+        );
+        assert!(
+            las < 1.5 * lasmq,
+            "LAS {las} should be in LAS_MQ's neighbourhood {lasmq}"
+        );
 
         // 7(b): LAS_MQ ≈ FIFO, both well ahead of FAIR ≈ LAS.
         let u = &r.uniform;
@@ -122,9 +156,15 @@ mod tests {
             u.mean_for("FAIR").unwrap(),
             u.mean_for("FIFO").unwrap(),
         );
-        assert!(lasmq < 0.7 * fair, "LAS_MQ {lasmq} must clearly beat FAIR {fair}");
+        assert!(
+            lasmq < 0.7 * fair,
+            "LAS_MQ {lasmq} must clearly beat FAIR {fair}"
+        );
         assert!(fifo < 0.7 * las, "FIFO {fifo} must clearly beat LAS {las}");
-        assert!((lasmq / fifo - 1.0).abs() < 0.35, "LAS_MQ {lasmq} ≈ FIFO {fifo}");
+        assert!(
+            (lasmq / fifo - 1.0).abs() < 0.35,
+            "LAS_MQ {lasmq} ≈ FIFO {fifo}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! Both report the paper's normalized metric: Fair's mean response over
 //! LAS_MQ's (> 1 beats Fair).
 
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_core::LasMqConfig;
-use lasmq_workload::FacebookTrace;
 
 use crate::kind::SchedulerKind;
 use crate::scale::Scale;
@@ -42,12 +42,18 @@ pub struct Fig8Result {
 impl Fig8Result {
     /// The normalized value for a queue count.
     pub fn normalized_for_queues(&self, k: usize) -> Option<f64> {
-        self.by_queues.iter().find(|&&(q, _)| q == k).map(|&(_, v)| v)
+        self.by_queues
+            .iter()
+            .find(|&&(q, _)| q == k)
+            .map(|&(_, v)| v)
     }
 
     /// The normalized value for a first threshold.
     pub fn normalized_for_threshold(&self, alpha: f64) -> Option<f64> {
-        self.by_threshold.iter().find(|&&(a, _)| a == alpha).map(|&(_, v)| v)
+        self.by_threshold
+            .iter()
+            .find(|&&(a, _)| a == alpha)
+            .map(|&(_, v)| v)
     }
 
     /// Paper-style tables for both panels.
@@ -72,35 +78,64 @@ impl Fig8Result {
 
 /// Runs both sweeps at the given scale.
 pub fn run(scale: &Scale) -> Fig8Result {
-    let jobs = FacebookTrace::new().jobs(scale.facebook_jobs).seed(scale.seed).generate();
-    let setup = SimSetup::trace_sim();
-    let fair_mean = setup
-        .run(jobs.clone(), &SchedulerKind::Fair)
-        .mean_response_secs()
-        .expect("fair trace run completes");
+    run_with(scale, &ExecOptions::default().no_cache())
+}
 
-    let lasmq_mean = |config: LasMqConfig| -> f64 {
-        setup
-            .run(jobs.clone(), &SchedulerKind::LasMq(config))
-            .mean_response_secs()
-            .expect("las_mq trace run completes")
+/// Runs both sweeps as one campaign under `exec`.
+pub fn run_with(scale: &Scale, exec: &ExecOptions) -> Fig8Result {
+    let workload = WorkloadSpec::Facebook {
+        jobs: scale.facebook_jobs,
+        seed: scale.seed,
+        load: None,
     };
+    let setup = SimSetup::trace_sim();
 
+    // Cell 0 is the shared Fair baseline; then one cell per swept config.
+    let mut campaign = Campaign::new("fig8");
+    campaign.push(RunCell::new(
+        "fig8/FAIR",
+        SchedulerKind::Fair,
+        workload.clone(),
+        setup.clone(),
+    ));
+    for &k in &QUEUE_SWEEP {
+        campaign.push(RunCell::new(
+            format!("fig8/queues{k}"),
+            SchedulerKind::LasMq(LasMqConfig::paper_simulations().with_num_queues(k)),
+            workload.clone(),
+            setup.clone(),
+        ));
+    }
+    for &alpha in &THRESHOLD_SWEEP {
+        campaign.push(RunCell::new(
+            format!("fig8/threshold{alpha}"),
+            SchedulerKind::LasMq(LasMqConfig::paper_simulations().with_first_threshold(alpha)),
+            workload.clone(),
+            setup.clone(),
+        ));
+    }
+    let result = campaign.run(exec);
+
+    let mean_of = |i: usize| -> f64 {
+        result.reports[i]
+            .mean_response_secs()
+            .expect("trace run completes")
+    };
+    let fair_mean = mean_of(0);
     let by_queues = QUEUE_SWEEP
         .iter()
-        .map(|&k| {
-            let config = LasMqConfig::paper_simulations().with_num_queues(k);
-            (k, fair_mean / lasmq_mean(config))
-        })
+        .enumerate()
+        .map(|(i, &k)| (k, fair_mean / mean_of(1 + i)))
         .collect();
     let by_threshold = THRESHOLD_SWEEP
         .iter()
-        .map(|&alpha| {
-            let config = LasMqConfig::paper_simulations().with_first_threshold(alpha);
-            (alpha, fair_mean / lasmq_mean(config))
-        })
+        .enumerate()
+        .map(|(i, &alpha)| (alpha, fair_mean / mean_of(1 + QUEUE_SWEEP.len() + i)))
         .collect();
-    Fig8Result { by_queues, by_threshold }
+    Fig8Result {
+        by_queues,
+        by_threshold,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +148,10 @@ mod tests {
         let at_10 = r.normalized_for_queues(10).unwrap();
         assert!(at_10 > 1.0, "10 queues must beat Fair, got {at_10}");
         let at_1 = r.normalized_for_queues(1).unwrap();
-        assert!(at_10 >= at_1 * 0.9, "more queues should not hurt much: {at_1} -> {at_10}");
+        assert!(
+            at_10 >= at_1 * 0.9,
+            "more queues should not hurt much: {at_1} -> {at_10}"
+        );
     }
 
     #[test]

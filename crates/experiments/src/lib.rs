@@ -47,12 +47,15 @@ pub mod fig3;
 pub mod fig56;
 pub mod fig7;
 pub mod fig8;
-pub mod kind;
 pub mod scale;
-pub mod setup;
 pub mod stats;
 pub mod table;
 pub mod table1;
+
+// The scheduler/setup layer moved to `lasmq-campaign` (the campaign
+// subsystem needs it without depending on the experiment definitions);
+// re-exported here so `lasmq_experiments::kind::…` paths keep working.
+pub use lasmq_campaign::{kind, setup};
 
 pub use kind::SchedulerKind;
 pub use scale::Scale;

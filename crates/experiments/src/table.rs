@@ -27,7 +27,11 @@ pub struct TextTable {
 impl TextTable {
     /// A new table with the given title and column headers.
     pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
-        TextTable { title: title.into(), headers, rows: Vec::new() }
+        TextTable {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row. Rows shorter than the header are padded with blanks;
@@ -98,7 +102,11 @@ impl fmt::Display for TextTable {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
@@ -140,7 +148,11 @@ mod tests {
 
     #[test]
     fn csv_escapes_commas_and_quotes() {
-        let row = vec!["a,b".to_string(), "say \"hi\"".to_string(), "plain".to_string()];
+        let row = vec![
+            "a,b".to_string(),
+            "say \"hi\"".to_string(),
+            "plain".to_string(),
+        ];
         assert_eq!(escape_csv_row(&row), "\"a,b\",\"say \"\"hi\"\"\",plain");
     }
 

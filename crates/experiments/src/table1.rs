@@ -112,7 +112,9 @@ fn row_for(template: &PumaTemplate) -> Table1Row {
 /// Builds the reproduced Table I (the scale is accepted for interface
 /// uniformity; the table is workload metadata and does not depend on it).
 pub fn run(_scale: &Scale) -> Table1Result {
-    Table1Result { rows: table1_templates().iter().map(row_for).collect() }
+    Table1Result {
+        rows: table1_templates().iter().map(row_for).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -133,7 +135,11 @@ mod tests {
     fn derived_quantities_are_sane() {
         let t = run(&Scale::test());
         for r in &t.rows {
-            assert!(r.map_task_secs > 1.0 && r.map_task_secs < 300.0, "{}", r.name);
+            assert!(
+                r.map_task_secs > 1.0 && r.map_task_secs < 300.0,
+                "{}",
+                r.name
+            );
             assert!(r.isolated_secs > 0.0);
             assert!(r.job_service > 0.0);
         }

@@ -49,12 +49,20 @@ impl EstimatedSjf {
     /// Panics if `sigma` is negative/not finite or the probability is
     /// outside `[0, 1]`.
     pub fn new(sigma: f64, gross_underestimate_prob: f64, seed: u64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&gross_underestimate_prob),
             "probability must be in [0, 1]"
         );
-        EstimatedSjf { sigma, gross_underestimate_prob, seed, estimates: HashMap::new() }
+        EstimatedSjf {
+            sigma,
+            gross_underestimate_prob,
+            seed,
+            estimates: HashMap::new(),
+        }
     }
 
     /// A perfectly informed instance (sanity baseline: behaves as SJF).
@@ -114,8 +122,10 @@ impl Scheduler for EstimatedSjf {
             .iter()
             .enumerate()
             .map(|(i, j)| {
-                let true_size =
-                    j.oracle.expect("engine guarantees oracle info for oracle schedulers").total_size;
+                let true_size = j
+                    .oracle
+                    .expect("engine guarantees oracle info for oracle schedulers")
+                    .total_size;
                 (self.estimate(j.id, true_size), i)
             })
             .collect();
@@ -189,7 +199,10 @@ mod tests {
         let mut b = EstimatedSjf::new(1.5, 0.1, 42);
         for i in 0..50 {
             let size = Service::from_container_secs(10.0 + i as f64);
-            assert_eq!(a.estimate(JobId::new(i), size), b.estimate(JobId::new(i), size));
+            assert_eq!(
+                a.estimate(JobId::new(i), size),
+                b.estimate(JobId::new(i), size)
+            );
         }
     }
 
@@ -220,7 +233,10 @@ mod tests {
                 inversions += 1;
             }
         }
-        assert!(inversions < 5, "{inversions} decade inversions at sigma 0.5");
+        assert!(
+            inversions < 5,
+            "{inversions} decade inversions at sigma 0.5"
+        );
     }
 
     #[test]

@@ -32,12 +32,16 @@ pub struct Fair {
 impl Fair {
     /// Fair sharing weighted by job priorities (the paper's configuration).
     pub fn new() -> Self {
-        Fair { ignore_priorities: false }
+        Fair {
+            ignore_priorities: false,
+        }
     }
 
     /// Plain equal-weight fair sharing, ignoring priorities.
     pub fn unweighted() -> Self {
-        Fair { ignore_priorities: true }
+        Fair {
+            ignore_priorities: true,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ impl Scheduler for Fair {
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by(|&a, &b| {
             let usage = |i: usize| {
-                let weight = if self.ignore_priorities { 1.0 } else { f64::from(jobs[i].priority) };
+                let weight = if self.ignore_priorities {
+                    1.0
+                } else {
+                    f64::from(jobs[i].priority)
+                };
                 jobs[i].attained.as_container_secs() / weight
             };
             usage(a)
@@ -67,7 +75,11 @@ impl Scheduler for Fair {
             .iter()
             .map(|&i| {
                 let j = &jobs[i];
-                let weight = if self.ignore_priorities { 1.0 } else { f64::from(j.priority) };
+                let weight = if self.ignore_priorities {
+                    1.0
+                } else {
+                    f64::from(j.priority)
+                };
                 ShareRequest::new(j.max_useful_allocation(), weight)
             })
             .collect();

@@ -45,7 +45,9 @@ impl Scheduler for ShortestJobFirst {
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
         allocate_by_key(ctx, |j| {
-            j.oracle.expect("engine guarantees oracle info for oracle schedulers").total_size
+            j.oracle
+                .expect("engine guarantees oracle info for oracle schedulers")
+                .total_size
         })
     }
 }
@@ -74,7 +76,9 @@ impl Scheduler for ShortestRemainingFirst {
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
         allocate_by_key(ctx, |j| {
-            j.oracle.expect("engine guarantees oracle info for oracle schedulers").remaining
+            j.oracle
+                .expect("engine guarantees oracle info for oracle schedulers")
+                .remaining
         })
     }
 }

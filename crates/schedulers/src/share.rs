@@ -53,12 +53,16 @@ impl ShareRequest {
 /// ```
 pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
     for r in requests {
-        assert!(r.weight.is_finite() && r.weight >= 0.0, "weights must be non-negative");
+        assert!(
+            r.weight.is_finite() && r.weight >= 0.0,
+            "weights must be non-negative"
+        );
     }
     let n = requests.len();
     let mut alloc = vec![0.0_f64; n];
-    let mut active: Vec<usize> =
-        (0..n).filter(|&i| requests[i].demand > 0 && requests[i].weight > 0.0).collect();
+    let mut active: Vec<usize> = (0..n)
+        .filter(|&i| requests[i].demand > 0 && requests[i].weight > 0.0)
+        .collect();
     let mut remaining =
         (capacity as f64).min(requests.iter().map(|r| r.demand as f64).sum::<f64>());
 
@@ -101,8 +105,11 @@ pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
 /// leftover containers to the largest fractional parts that still have
 /// demand headroom.
 fn round_largest_remainder(capacity: u32, requests: &[ShareRequest], alloc: &[f64]) -> Vec<u32> {
-    let mut ints: Vec<u32> =
-        alloc.iter().zip(requests).map(|(&a, r)| (a.floor() as u32).min(r.demand)).collect();
+    let mut ints: Vec<u32> = alloc
+        .iter()
+        .zip(requests)
+        .map(|(&a, r)| (a.floor() as u32).min(r.demand))
+        .collect();
     let target: u32 = {
         let total_demand: u64 = requests.iter().map(|r| r.demand as u64).sum();
         (capacity as u64).min(total_demand) as u32
@@ -152,16 +159,20 @@ mod tests {
 
     #[test]
     fn weights_bias_the_split() {
-        let alloc =
-            weighted_shares(10, &[ShareRequest::new(100, 1.0), ShareRequest::new(100, 4.0)]);
+        let alloc = weighted_shares(
+            10,
+            &[ShareRequest::new(100, 1.0), ShareRequest::new(100, 4.0)],
+        );
         assert_eq!(alloc, vec![2, 8]);
     }
 
     #[test]
     fn demand_caps_redistribute() {
         // Party 0 only wants 1; the rest flows to party 1.
-        let alloc =
-            weighted_shares(10, &[ShareRequest::new(1, 1.0), ShareRequest::new(100, 1.0)]);
+        let alloc = weighted_shares(
+            10,
+            &[ShareRequest::new(1, 1.0), ShareRequest::new(100, 1.0)],
+        );
         assert_eq!(alloc, vec![1, 9]);
     }
 
@@ -194,8 +205,7 @@ mod tests {
 
     #[test]
     fn zero_weight_gets_nothing_while_others_starve() {
-        let alloc =
-            weighted_shares(5, &[ShareRequest::new(10, 0.0), ShareRequest::new(10, 1.0)]);
+        let alloc = weighted_shares(5, &[ShareRequest::new(10, 0.0), ShareRequest::new(10, 1.0)]);
         assert_eq!(alloc, vec![0, 5]);
     }
 

@@ -8,24 +8,32 @@ use lasmq_schedulers::{Fair, Fifo, Las};
 use lasmq_simulator::{JobId, JobView, SchedContext, Scheduler, Service, SimTime};
 
 fn view_strategy() -> impl Strategy<Value = JobView> {
-    (0u32..1_000, 0.0f64..1e4, 0u32..200, 1u8..=5, 1u32..=2, 0u64..1_000).prop_map(
-        |(id, attained, unstarted, priority, width, admitted)| JobView {
-            id: JobId::new(id),
-            arrival: SimTime::from_millis(admitted),
-            admitted_at: SimTime::from_millis(admitted),
-            priority,
-            attained: Service::from_container_secs(attained),
-            attained_stage: Service::from_container_secs(attained / 2.0),
-            stage_index: 0,
-            stage_count: 2,
-            stage_progress: 0.5,
-            remaining_tasks: unstarted,
-            unstarted_tasks: unstarted,
-            containers_per_task: width,
-            held: 0,
-            oracle: None,
-        },
+    (
+        0u32..1_000,
+        0.0f64..1e4,
+        0u32..200,
+        1u8..=5,
+        1u32..=2,
+        0u64..1_000,
     )
+        .prop_map(
+            |(id, attained, unstarted, priority, width, admitted)| JobView {
+                id: JobId::new(id),
+                arrival: SimTime::from_millis(admitted),
+                admitted_at: SimTime::from_millis(admitted),
+                priority,
+                attained: Service::from_container_secs(attained),
+                attained_stage: Service::from_container_secs(attained / 2.0),
+                stage_index: 0,
+                stage_count: 2,
+                stage_progress: 0.5,
+                remaining_tasks: unstarted,
+                unstarted_tasks: unstarted,
+                containers_per_task: width,
+                held: 0,
+                oracle: None,
+            },
+        )
 }
 
 fn dedup_by_id(mut views: Vec<JobView>) -> Vec<JobView> {
@@ -46,7 +54,10 @@ fn assert_plan_sound(
         totals.insert(id, t);
     }
     let granted: u64 = totals.values().map(|&t| t as u64).sum();
-    prop_assert!(granted <= capacity as u64, "{name} over-allocated: {granted} > {capacity}");
+    prop_assert!(
+        granted <= capacity as u64,
+        "{name} over-allocated: {granted} > {capacity}"
+    );
     let demand: u64 = views.iter().map(|v| v.max_useful_allocation() as u64).sum();
     if demand >= capacity as u64 {
         prop_assert_eq!(

@@ -32,7 +32,11 @@ pub struct AdmissionController {
 impl AdmissionController {
     /// Admission with no concurrency cap (every job is admitted on arrival).
     pub fn unlimited() -> Self {
-        AdmissionController { max_running: None, running: 0, waiting: VecDeque::new() }
+        AdmissionController {
+            max_running: None,
+            running: 0,
+            waiting: VecDeque::new(),
+        }
     }
 
     /// Admission capped at `max_running` concurrent jobs (the paper's
@@ -43,7 +47,11 @@ impl AdmissionController {
     /// Panics if `max_running` is zero (no job could ever run).
     pub fn with_limit(max_running: usize) -> Self {
         assert!(max_running > 0, "admission limit must be at least 1");
-        AdmissionController { max_running: Some(max_running), running: 0, waiting: VecDeque::new() }
+        AdmissionController {
+            max_running: Some(max_running),
+            running: 0,
+            waiting: VecDeque::new(),
+        }
     }
 
     /// The configured cap, if any.

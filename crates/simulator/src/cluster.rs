@@ -151,7 +151,9 @@ impl ClusterConfig {
             return Err(SimError::InvalidCluster("cluster has zero nodes".into()));
         }
         if self.containers_per_node == 0 {
-            return Err(SimError::InvalidCluster("nodes host zero containers".into()));
+            return Err(SimError::InvalidCluster(
+                "nodes host zero containers".into(),
+            ));
         }
         Ok(())
     }
@@ -180,7 +182,11 @@ impl ClusterState {
     /// Creates an all-free cluster from its configuration.
     pub fn new(config: ClusterConfig) -> Self {
         let free_per_node = vec![config.containers_per_node(); config.nodes() as usize];
-        ClusterState { config, free_total: config.total_containers(), free_per_node }
+        ClusterState {
+            config,
+            free_total: config.total_containers(),
+            free_per_node,
+        }
     }
 
     /// The static configuration.

@@ -36,7 +36,7 @@ use crate::time::{Service, SimDuration, SimTime};
 
 /// How the engine reclaims containers from jobs whose allocation target
 /// dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum PreemptionPolicy {
     /// Never kill running tasks; over-target jobs shrink as their tasks
     /// finish (the paper's deployment behaviour).
@@ -51,7 +51,7 @@ pub enum PreemptionPolicy {
 /// Configuration for speculative execution (an engine extension modelling
 /// the work-conservation clause of Algorithm 2: leftover containers "launch
 /// a few speculative tasks that may further improve the performance").
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SpeculationConfig {
     enabled: bool,
     min_completed: u32,
@@ -61,7 +61,11 @@ pub struct SpeculationConfig {
 impl SpeculationConfig {
     /// Speculation off (the default — keeps baseline comparisons clean).
     pub fn disabled() -> Self {
-        SpeculationConfig { enabled: false, min_completed: 3, lateness_factor: 1.0 }
+        SpeculationConfig {
+            enabled: false,
+            min_completed: 3,
+            lateness_factor: 1.0,
+        }
     }
 
     /// Speculation on: once a stage has at least `min_completed` finished
@@ -80,7 +84,11 @@ impl SpeculationConfig {
             lateness_factor > 0.0 && lateness_factor.is_finite(),
             "lateness_factor must be positive and finite"
         );
-        SpeculationConfig { enabled: true, min_completed, lateness_factor }
+        SpeculationConfig {
+            enabled: true,
+            min_completed,
+            lateness_factor,
+        }
     }
 
     /// Whether speculation is active.
@@ -104,7 +112,7 @@ impl Default for SpeculationConfig {
 /// its duration (and the containers it held), then is re-queued and re-run.
 /// Failures are drawn from a deterministic per-attempt hash, so runs remain
 /// bit-reproducible.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FailureConfig {
     probability: f64,
     seed: u64,
@@ -113,7 +121,10 @@ pub struct FailureConfig {
 impl FailureConfig {
     /// No failures (the default).
     pub fn disabled() -> Self {
-        FailureConfig { probability: 0.0, seed: 0 }
+        FailureConfig {
+            probability: 0.0,
+            seed: 0,
+        }
     }
 
     /// Fail each task attempt with `probability`, deterministically per
@@ -440,15 +451,22 @@ impl SimulationBuilder {
     pub fn build<S: Scheduler>(self, scheduler: S) -> Result<Simulation<S>, SimError> {
         self.cluster.validate()?;
         if self.quantum.is_zero() {
-            return Err(SimError::InvalidConfig("scheduling quantum must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "scheduling quantum must be positive".into(),
+            ));
         }
         if scheduler.requires_oracle() && !self.expose_oracle {
-            return Err(SimError::OracleNotExposed { scheduler: scheduler.name().to_string() });
+            return Err(SimError::OracleNotExposed {
+                scheduler: scheduler.name().to_string(),
+            });
         }
         let total = self.cluster.total_containers();
         for (i, spec) in self.jobs.iter().enumerate() {
             spec.validate(total)
-                .map_err(|reason| SimError::InvalidJob { job_index: i, reason })?;
+                .map_err(|reason| SimError::InvalidJob {
+                    job_index: i,
+                    reason,
+                })?;
         }
 
         // Stable sort by arrival: JobIds are dense in arrival order.
@@ -456,7 +474,12 @@ impl SimulationBuilder {
         specs.sort_by_key(JobSpec::arrival);
         let mut events = EventQueue::new();
         for (i, spec) in specs.iter().enumerate() {
-            events.push(spec.arrival(), Event::JobArrival { job: JobId::new(i as u32) });
+            events.push(
+                spec.arrival(),
+                Event::JobArrival {
+                    job: JobId::new(i as u32),
+                },
+            );
         }
         let jobs: Vec<Job> = specs.into_iter().map(Job::new).collect();
         let admission = match self.admission_limit {
@@ -474,7 +497,11 @@ impl SimulationBuilder {
             failures: self.failures,
             expose_oracle: self.expose_oracle,
             deadline: self.deadline,
-            journal: if self.record_journal { Some(Journal::new()) } else { None },
+            journal: if self.record_journal {
+                Some(Journal::new())
+            } else {
+                None
+            },
             jobs,
             events,
             admitted: Vec::new(),
@@ -620,9 +647,12 @@ impl<S: Scheduler> Simulation<S> {
     fn handle(&mut self, event: Event) {
         match event {
             Event::JobArrival { job } => self.handle_arrival(job),
-            Event::TaskFinish { job, stage, task, attempt } => {
-                self.handle_task_finish(job, stage, task, attempt)
-            }
+            Event::TaskFinish {
+                job,
+                stage,
+                task,
+                attempt,
+            } => self.handle_task_finish(job, stage, task, attempt),
             Event::Tick => {
                 self.tick_scheduled = false;
                 if self.admission.running() > 0 {
@@ -698,7 +728,12 @@ impl<S: Scheduler> Simulation<S> {
             let failed_task = TaskId::new(failed.task_idx as u32);
             job.stage.requeued.push(failed.task_idx);
             self.stats.tasks_failed += 1;
-            self.record(SimEvent::TaskFailed { job: id, stage, task: failed_task, at: self.now });
+            self.record(SimEvent::TaskFailed {
+                job: id,
+                stage,
+                task: failed_task,
+                at: self.now,
+            });
             if !self.needs_pass {
                 self.refill_after_completion(id);
             }
@@ -743,7 +778,10 @@ impl<S: Scheduler> Simulation<S> {
         let now = self.now;
         let job = &mut self.jobs[id.index()];
         debug_assert!(job.stage.running.is_empty());
-        debug_assert_eq!(job.held, 0, "{id} finished a stage while holding containers");
+        debug_assert_eq!(
+            job.held, 0,
+            "{id} finished a stage while holding containers"
+        );
         if job.stage_index + 1 < job.spec.stage_count() {
             job.stage_index += 1;
             job.stage = StageRt::new(&job.spec.stages()[job.stage_index], now);
@@ -873,7 +911,12 @@ impl<S: Scheduler> Simulation<S> {
         let containers = spec_task.containers();
         self.events.push(
             finish,
-            Event::TaskFinish { job: id, stage, task: TaskId::new(task_idx as u32), attempt },
+            Event::TaskFinish {
+                job: id,
+                stage,
+                task: TaskId::new(task_idx as u32),
+                attempt,
+            },
         );
         self.record(SimEvent::TaskStarted {
             job: id,
@@ -898,7 +941,10 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     fn update_util(&mut self) {
-        let dt = self.now.saturating_since(self.last_util_update).as_secs_f64();
+        let dt = self
+            .now
+            .saturating_since(self.last_util_update)
+            .as_secs_f64();
         if dt > 0.0 {
             self.util_integral += self.cluster.used_containers() as f64 * dt;
         }
@@ -916,7 +962,10 @@ impl<S: Scheduler> Simulation<S> {
                 let elapsed = now.saturating_since(r.started);
                 done += Service::accrued(r.containers, elapsed);
             }
-            Some(OracleInfo { total_size, remaining: total_size - done })
+            Some(OracleInfo {
+                total_size,
+                remaining: total_size - done,
+            })
         } else {
             None
         };
@@ -974,7 +1023,9 @@ impl<S: Scheduler> Simulation<S> {
         let epoch = self.stats.scheduling_passes;
         self.plan_order.clear();
         for &(id, target) in plan.entries() {
-            let Some(job) = self.jobs.get_mut(id.index()) else { continue };
+            let Some(job) = self.jobs.get_mut(id.index()) else {
+                continue;
+            };
             if !job.active() {
                 continue; // tolerate stale plan entries
             }
@@ -1071,7 +1122,9 @@ impl<S: Scheduler> Simulation<S> {
                     break 'outer;
                 }
                 self.update_util();
-                let Some(node) = self.cluster.allocate(containers) else { break 'outer };
+                let Some(node) = self.cluster.allocate(containers) else {
+                    break 'outer;
+                };
                 self.accrue_job(id);
                 let job = &mut self.jobs[id.index()];
                 let running = &mut job.stage.running[pos];
@@ -1099,7 +1152,15 @@ impl<S: Scheduler> Simulation<S> {
                     running.will_fail = false;
                     let stage = StageId::new(job.stage_index as u16);
                     let task = TaskId::new(running.task_idx as u32);
-                    self.events.push(copy_finish, Event::TaskFinish { job: id, stage, task, attempt });
+                    self.events.push(
+                        copy_finish,
+                        Event::TaskFinish {
+                            job: id,
+                            stage,
+                            task,
+                            attempt,
+                        },
+                    );
                     self.stats.speculative_won += 1;
                 }
             }
@@ -1111,8 +1172,11 @@ impl<S: Scheduler> Simulation<S> {
         self.stats.makespan = self.now;
         let capacity = self.cluster.config().total_containers() as f64;
         let span = self.now.as_secs_f64();
-        self.stats.mean_utilization =
-            if span > 0.0 { self.util_integral / (span * capacity) } else { 0.0 };
+        self.stats.mean_utilization = if span > 0.0 {
+            self.util_integral / (span * capacity)
+        } else {
+            0.0
+        };
 
         let total = self.cluster.config().total_containers();
         let outcomes: Vec<JobOutcome> = self
@@ -1132,8 +1196,7 @@ impl<S: Scheduler> Simulation<S> {
                 isolated: isolated_runtime(&job.spec, total),
             })
             .collect();
-        let report =
-            SimulationReport::new(self.scheduler.name().to_string(), outcomes, self.stats);
+        let report = SimulationReport::new(self.scheduler.name().to_string(), outcomes, self.stats);
         match self.journal {
             Some(journal) => report.with_journal(journal),
             None => report,
@@ -1190,7 +1253,10 @@ mod tests {
         }
 
         fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
-            ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+            ctx.jobs()
+                .iter()
+                .map(|j| (j.id, j.max_useful_allocation()))
+                .collect()
         }
     }
 
@@ -1224,7 +1290,10 @@ mod tests {
             for j in ctx.jobs() {
                 assert!(j.oracle.is_some(), "oracle missing despite expose_oracle");
             }
-            ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+            ctx.jobs()
+                .iter()
+                .map(|j| (j.id, j.max_useful_allocation()))
+                .collect()
         }
     }
 
@@ -1279,7 +1348,10 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(20));
+        assert_eq!(
+            report.outcomes()[0].response().unwrap(),
+            SimDuration::from_secs(20)
+        );
     }
 
     #[test]
@@ -1291,8 +1363,11 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        let responses: Vec<f64> =
-            report.outcomes().iter().map(|o| o.response().unwrap().as_secs_f64()).collect();
+        let responses: Vec<f64> = report
+            .outcomes()
+            .iter()
+            .map(|o| o.response().unwrap().as_secs_f64())
+            .collect();
         assert_eq!(responses, vec![10.0, 20.0]);
     }
 
@@ -1335,10 +1410,16 @@ mod tests {
             .unwrap()
             .run();
         let stats = report.stats();
-        let total_work: f64 =
-            report.outcomes().iter().map(|o| o.true_size.as_container_secs()).sum();
+        let total_work: f64 = report
+            .outcomes()
+            .iter()
+            .map(|o| o.true_size.as_container_secs())
+            .sum();
         let integral = stats.mean_utilization * stats.makespan.as_secs_f64() * 4.0;
-        assert!((integral - total_work).abs() < 1e-6, "{integral} vs {total_work}");
+        assert!(
+            (integral - total_work).abs() < 1e-6,
+            "{integral} vs {total_work}"
+        );
     }
 
     #[test]
@@ -1377,7 +1458,10 @@ mod tests {
             .cluster(ClusterConfig::single_node(2))
             .job(map_job(0, 1, 1))
             .build(NeedsOracle);
-        assert!(matches!(build.unwrap_err(), SimError::OracleNotExposed { .. }));
+        assert!(matches!(
+            build.unwrap_err(),
+            SimError::OracleNotExposed { .. }
+        ));
 
         let report = Simulation::builder()
             .cluster(ClusterConfig::single_node(2))
@@ -1453,7 +1537,10 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        assert_eq!(base.outcomes()[0].response().unwrap(), SimDuration::from_secs(100));
+        assert_eq!(
+            base.outcomes()[0].response().unwrap(),
+            SimDuration::from_secs(100)
+        );
 
         let spec = Simulation::builder()
             .cluster(ClusterConfig::single_node(8))
@@ -1481,8 +1568,12 @@ mod tests {
                 TaskSpec::new(SimDuration::from_secs(10)),
             ))
             .stage(
-                StageSpec::uniform(StageKind::Reduce, 2, TaskSpec::new(SimDuration::from_secs(5)))
-                    .with_start_delay(SimDuration::from_secs(30)),
+                StageSpec::uniform(
+                    StageKind::Reduce,
+                    2,
+                    TaskSpec::new(SimDuration::from_secs(5)),
+                )
+                .with_start_delay(SimDuration::from_secs(30)),
             )
             .build();
         let report = Simulation::builder()
@@ -1508,8 +1599,12 @@ mod tests {
                 TaskSpec::new(SimDuration::from_secs(10)),
             ))
             .stage(
-                StageSpec::uniform(StageKind::Reduce, 2, TaskSpec::new(SimDuration::from_secs(5)))
-                    .with_start_delay(SimDuration::from_secs(100)),
+                StageSpec::uniform(
+                    StageKind::Reduce,
+                    2,
+                    TaskSpec::new(SimDuration::from_secs(5)),
+                )
+                .with_start_delay(SimDuration::from_secs(100)),
             )
             .build();
         let compact = JobSpec::builder()
@@ -1529,7 +1624,10 @@ mod tests {
         // Job 1 runs inside job 0's transfer window: 10 (wait for maps) +
         // 10 (own wave) = finishes at 20, long before job 0's 115.
         assert_eq!(report.outcomes()[1].finish.unwrap(), SimTime::from_secs(20));
-        assert_eq!(report.outcomes()[0].finish.unwrap(), SimTime::from_secs(115));
+        assert_eq!(
+            report.outcomes()[0].finish.unwrap(),
+            SimTime::from_secs(115)
+        );
     }
 
     #[test]
@@ -1549,7 +1647,10 @@ mod tests {
             .unwrap()
             .run();
         assert!(flaky.all_completed(), "failures must not lose jobs");
-        assert!(flaky.stats().tasks_failed > 0, "0.3 over 10+ attempts should fail some");
+        assert!(
+            flaky.stats().tasks_failed > 0,
+            "0.3 over 10+ attempts should fail some"
+        );
         assert!(
             flaky.outcomes()[0].response().unwrap() >= clean.outcomes()[0].response().unwrap(),
             "retries cannot speed a job up"
@@ -1582,7 +1683,10 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(30));
+        assert_eq!(
+            report.outcomes()[0].response().unwrap(),
+            SimDuration::from_secs(30)
+        );
         // Slowdown is measured against the nominal-speed isolated runtime.
         assert_eq!(report.outcomes()[0].slowdown().unwrap(), 3.0);
     }
@@ -1597,7 +1701,10 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        assert_eq!(report.outcomes()[0].response().unwrap(), SimDuration::from_secs(20));
+        assert_eq!(
+            report.outcomes()[0].response().unwrap(),
+            SimDuration::from_secs(20)
+        );
     }
 
     #[test]
@@ -1711,8 +1818,11 @@ mod tests {
             .build(Greedy)
             .unwrap()
             .run();
-        let arrivals: Vec<u64> =
-            report.outcomes().iter().map(|o| o.arrival.as_millis()).collect();
+        let arrivals: Vec<u64> = report
+            .outcomes()
+            .iter()
+            .map(|o| o.arrival.as_millis())
+            .collect();
         assert_eq!(arrivals, vec![0, 10_000, 20_000]);
     }
 }

@@ -43,9 +43,14 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::InvalidCluster(reason) => write!(f, "invalid cluster configuration: {reason}"),
+            SimError::InvalidCluster(reason) => {
+                write!(f, "invalid cluster configuration: {reason}")
+            }
             SimError::InvalidJob { job_index, reason } => {
-                write!(f, "invalid job specification at index {job_index}: {reason}")
+                write!(
+                    f,
+                    "invalid job specification at index {job_index}: {reason}"
+                )
             }
             SimError::InvalidConfig(reason) => write!(f, "invalid engine configuration: {reason}"),
             SimError::OracleNotExposed { scheduler } => write!(
@@ -73,9 +78,14 @@ mod tests {
     fn display_messages_are_lowercase_and_nonempty() {
         let errs = [
             SimError::InvalidCluster("x".into()),
-            SimError::InvalidJob { job_index: 1, reason: "y".into() },
+            SimError::InvalidJob {
+                job_index: 1,
+                reason: "y".into(),
+            },
             SimError::InvalidConfig("z".into()),
-            SimError::OracleNotExposed { scheduler: "sjf".into() },
+            SimError::OracleNotExposed {
+                scheduler: "sjf".into(),
+            },
         ];
         for err in errs {
             let msg = err.to_string();

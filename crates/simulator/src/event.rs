@@ -49,7 +49,10 @@ struct Entry {
 // BinaryHeap is a max-heap; invert the ordering to pop earliest first.
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -125,7 +128,9 @@ mod tests {
         q.push(SimTime::from_secs(3), Event::Tick);
         q.push(SimTime::from_secs(1), Event::Tick);
         q.push(SimTime::from_secs(2), Event::Tick);
-        let times: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_millis()).collect();
+        let times: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_millis())
+            .collect();
         assert_eq!(times, vec![1_000, 2_000, 3_000]);
     }
 

@@ -84,7 +84,11 @@ mod tests {
     #[test]
     fn single_wave() {
         let job = JobSpec::builder()
-            .stage(StageSpec::uniform(StageKind::Map, 4, TaskSpec::new(secs(10))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                4,
+                TaskSpec::new(secs(10)),
+            ))
             .build();
         assert_eq!(isolated_runtime(&job, 4), secs(10));
         assert_eq!(isolated_runtime(&job, 100), secs(10));
@@ -94,7 +98,11 @@ mod tests {
     fn partial_last_wave() {
         // 5 tasks on 4 lanes: 10 s + 10 s for the straggling fifth.
         let job = JobSpec::builder()
-            .stage(StageSpec::uniform(StageKind::Map, 5, TaskSpec::new(secs(10))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                5,
+                TaskSpec::new(secs(10)),
+            ))
             .build();
         assert_eq!(isolated_runtime(&job, 4), secs(20));
     }
@@ -102,7 +110,11 @@ mod tests {
     #[test]
     fn stages_are_sequential() {
         let job = JobSpec::builder()
-            .stage(StageSpec::uniform(StageKind::Map, 4, TaskSpec::new(secs(10))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                4,
+                TaskSpec::new(secs(10)),
+            ))
             .stage(StageSpec::uniform(
                 StageKind::Reduce,
                 2,
@@ -148,7 +160,11 @@ mod tests {
     #[test]
     fn stage_start_delays_add_up() {
         let job = JobSpec::builder()
-            .stage(StageSpec::uniform(StageKind::Map, 2, TaskSpec::new(secs(10))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                2,
+                TaskSpec::new(secs(10)),
+            ))
             .stage(
                 StageSpec::uniform(StageKind::Reduce, 2, TaskSpec::new(secs(5)))
                     .with_start_delay(secs(30)),

@@ -51,7 +51,10 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// Creates a task occupying one container for `duration`.
     pub fn new(duration: SimDuration) -> Self {
-        TaskSpec { duration, containers: 1 }
+        TaskSpec {
+            duration,
+            containers: 1,
+        }
     }
 
     /// Sets the number of containers the task occupies while running
@@ -100,12 +103,20 @@ impl StageSpec {
     /// is submitted to a simulation (see
     /// [`JobSpec::validate`]).
     pub fn new(kind: StageKind, tasks: Vec<TaskSpec>) -> Self {
-        StageSpec { kind, tasks, start_delay: SimDuration::ZERO }
+        StageSpec {
+            kind,
+            tasks,
+            start_delay: SimDuration::ZERO,
+        }
     }
 
     /// A stage of `count` identical tasks.
     pub fn uniform(kind: StageKind, count: u32, task: TaskSpec) -> Self {
-        StageSpec { kind, tasks: vec![task; count as usize], start_delay: SimDuration::ZERO }
+        StageSpec {
+            kind,
+            tasks: vec![task; count as usize],
+            start_delay: SimDuration::ZERO,
+        }
     }
 
     /// Delays the stage's tasks by `delay` after the stage becomes current
@@ -359,7 +370,11 @@ mod tests {
 
     fn two_stage_job() -> JobSpec {
         JobSpec::builder()
-            .stage(StageSpec::uniform(StageKind::Map, 4, TaskSpec::new(SimDuration::from_secs(10))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                4,
+                TaskSpec::new(SimDuration::from_secs(10)),
+            ))
             .stage(StageSpec::uniform(
                 StageKind::Reduce,
                 2,
@@ -389,7 +404,9 @@ mod tests {
 
     #[test]
     fn validate_rejects_empty_stage() {
-        let job = JobSpec::builder().stage(StageSpec::new(StageKind::Map, vec![])).build();
+        let job = JobSpec::builder()
+            .stage(StageSpec::new(StageKind::Map, vec![]))
+            .build();
         assert!(job.validate(10).unwrap_err().contains("no tasks"));
     }
 
@@ -403,7 +420,10 @@ mod tests {
             ],
         );
         let job = JobSpec::builder().stage(stage).build();
-        assert!(job.validate(10).unwrap_err().contains("mixes container widths"));
+        assert!(job
+            .validate(10)
+            .unwrap_err()
+            .contains("mixes container widths"));
     }
 
     #[test]
@@ -428,7 +448,11 @@ mod tests {
     fn validate_rejects_bad_priority() {
         let job = JobSpec::builder()
             .priority(6)
-            .stage(StageSpec::uniform(StageKind::Map, 1, TaskSpec::new(SimDuration::from_secs(1))))
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                1,
+                TaskSpec::new(SimDuration::from_secs(1)),
+            ))
             .build();
         assert!(job.validate(4).unwrap_err().contains("priority"));
     }

@@ -177,7 +177,10 @@ impl Journal {
     /// Appends an event (the engine guarantees chronological order).
     pub fn push(&mut self, event: SimEvent) {
         debug_assert!(
-            self.events.last().map(|e| e.at() <= event.at()).unwrap_or(true),
+            self.events
+                .last()
+                .map(|e| e.at() <= event.at())
+                .unwrap_or(true),
             "journal must stay chronological"
         );
         self.events.push(event);
@@ -223,14 +226,20 @@ mod tests {
     use super::*;
 
     fn submitted(job: u32, at_secs: u64) -> SimEvent {
-        SimEvent::JobSubmitted { job: JobId::new(job), at: SimTime::from_secs(at_secs) }
+        SimEvent::JobSubmitted {
+            job: JobId::new(job),
+            at: SimTime::from_secs(at_secs),
+        }
     }
 
     #[test]
     fn accessors_cover_every_variant() {
         let events = [
             submitted(1, 0),
-            SimEvent::JobAdmitted { job: JobId::new(1), at: SimTime::from_secs(1) },
+            SimEvent::JobAdmitted {
+                job: JobId::new(1),
+                at: SimTime::from_secs(1),
+            },
             SimEvent::TaskStarted {
                 job: JobId::new(1),
                 stage: StageId::new(0),
@@ -270,7 +279,10 @@ mod tests {
                 stage: StageId::new(0),
                 at: SimTime::from_secs(7),
             },
-            SimEvent::JobCompleted { job: JobId::new(1), at: SimTime::from_secs(8) },
+            SimEvent::JobCompleted {
+                job: JobId::new(1),
+                at: SimTime::from_secs(8),
+            },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.job(), JobId::new(1));
@@ -283,10 +295,16 @@ mod tests {
         let mut j = Journal::new();
         j.push(submitted(0, 0));
         j.push(submitted(1, 1));
-        j.push(SimEvent::JobCompleted { job: JobId::new(0), at: SimTime::from_secs(9) });
+        j.push(SimEvent::JobCompleted {
+            job: JobId::new(0),
+            at: SimTime::from_secs(9),
+        });
         assert_eq!(j.for_job(JobId::new(0)).count(), 2);
         assert_eq!(j.for_job(JobId::new(1)).count(), 1);
-        assert_eq!(j.count_where(|e| matches!(e, SimEvent::JobCompleted { .. })), 1);
+        assert_eq!(
+            j.count_where(|e| matches!(e, SimEvent::JobCompleted { .. })),
+            1
+        );
         assert_eq!((&j).into_iter().count(), 3);
     }
 
@@ -303,7 +321,10 @@ mod tests {
     fn serde_roundtrip() {
         let mut j = Journal::new();
         j.push(submitted(0, 0));
-        j.push(SimEvent::JobCompleted { job: JobId::new(0), at: SimTime::from_secs(3) });
+        j.push(SimEvent::JobCompleted {
+            job: JobId::new(0),
+            at: SimTime::from_secs(3),
+        });
         let json = serde_json::to_string(&j).unwrap();
         let back: Journal = serde_json::from_str(&json).unwrap();
         assert_eq!(j, back);

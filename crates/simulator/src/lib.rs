@@ -90,7 +90,9 @@ pub mod testkit;
 pub mod time;
 
 pub use cluster::{ClusterConfig, ClusterState};
-pub use engine::{FailureConfig, PreemptionPolicy, SpeculationConfig, Simulation, SimulationBuilder};
+pub use engine::{
+    FailureConfig, PreemptionPolicy, Simulation, SimulationBuilder, SpeculationConfig,
+};
 pub use error::SimError;
 pub use ids::{JobId, NodeId, StageId, TaskId};
 pub use job::{JobSpec, JobSpecBuilder, StageKind, StageSpec, TaskSpec};

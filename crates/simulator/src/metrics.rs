@@ -110,7 +110,12 @@ impl SimulationReport {
     /// Assembles a report. Used by the engine; public so external harnesses
     /// can synthesize reports in tests.
     pub fn new(scheduler: String, outcomes: Vec<JobOutcome>, stats: EngineStats) -> Self {
-        SimulationReport { scheduler, outcomes, stats, journal: None }
+        SimulationReport {
+            scheduler,
+            outcomes,
+            stats,
+            journal: None,
+        }
     }
 
     /// Attaches the recorded event journal (engine use).
@@ -153,7 +158,11 @@ impl SimulationReport {
     /// Mean response time in seconds over completed jobs (`None` if no job
     /// completed).
     pub fn mean_response_secs(&self) -> Option<f64> {
-        mean(self.outcomes.iter().filter_map(|o| o.response().map(|r| r.as_secs_f64())))
+        mean(
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.response().map(|r| r.as_secs_f64())),
+        )
     }
 
     /// Mean response time in seconds over completed jobs matching `pred`.
@@ -181,15 +190,22 @@ impl SimulationReport {
 
     /// Sorted response times in seconds (the x-values of a CDF plot).
     pub fn response_cdf(&self) -> Vec<f64> {
-        let mut v: Vec<f64> =
-            self.outcomes.iter().filter_map(|o| o.response().map(|r| r.as_secs_f64())).collect();
+        let mut v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.response().map(|r| r.as_secs_f64()))
+            .collect();
         v.sort_by(f64::total_cmp);
         v
     }
 
     /// Sorted slowdowns (the x-values of a slowdown CDF plot).
     pub fn slowdown_cdf(&self) -> Vec<f64> {
-        let mut v: Vec<f64> = self.outcomes.iter().filter_map(JobOutcome::slowdown).collect();
+        let mut v: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(JobOutcome::slowdown)
+            .collect();
         v.sort_by(f64::total_cmp);
         v
     }

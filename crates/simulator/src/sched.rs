@@ -79,13 +79,17 @@ impl JobView {
     /// stage, including running ones — the paper's in-queue ordering key
     /// (§III-C): `remaining_tasks × containers_per_task`.
     pub fn remaining_demand(&self) -> u32 {
-        self.remaining_tasks.saturating_mul(self.containers_per_task)
+        self.remaining_tasks
+            .saturating_mul(self.containers_per_task)
     }
 
     /// The largest allocation the job can use right now: containers already
     /// held plus what its unstarted ready tasks need.
     pub fn max_useful_allocation(&self) -> u32 {
-        self.held + self.unstarted_tasks.saturating_mul(self.containers_per_task)
+        self.held
+            + self
+                .unstarted_tasks
+                .saturating_mul(self.containers_per_task)
     }
 
     /// Whether the job could use more containers than it currently holds.
@@ -108,7 +112,11 @@ impl<'a> SchedContext<'a> {
     /// Creates a context. Used by the engine; exposed for scheduler unit
     /// tests.
     pub fn new(now: SimTime, total_containers: u32, jobs: &'a [JobView]) -> Self {
-        SchedContext { now, total_containers, jobs }
+        SchedContext {
+            now,
+            total_containers,
+            jobs,
+        }
     }
 
     /// The current simulation time.
@@ -128,7 +136,11 @@ impl<'a> SchedContext<'a> {
 
     /// Sum of all jobs' useful demand, capped at cluster capacity.
     pub fn total_demand(&self) -> u32 {
-        let demand: u64 = self.jobs.iter().map(|j| j.max_useful_allocation() as u64).sum();
+        let demand: u64 = self
+            .jobs
+            .iter()
+            .map(|j| j.max_useful_allocation() as u64)
+            .sum();
         demand.min(self.total_containers as u64) as u32
     }
 }
@@ -179,7 +191,11 @@ impl AllocationPlan {
     /// The target for `job`, if the plan mentions it. If a job appears more
     /// than once the *last* entry wins (matching the engine's reconciliation).
     pub fn target_for(&self, job: JobId) -> Option<u32> {
-        self.entries.iter().rev().find(|(j, _)| *j == job).map(|&(_, t)| t)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(j, _)| *j == job)
+            .map(|&(_, t)| t)
     }
 
     /// Sum of all targets.
@@ -195,7 +211,9 @@ impl AllocationPlan {
 
 impl FromIterator<(JobId, u32)> for AllocationPlan {
     fn from_iter<I: IntoIterator<Item = (JobId, u32)>>(iter: I) -> Self {
-        AllocationPlan { entries: iter.into_iter().collect() }
+        AllocationPlan {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -292,8 +310,9 @@ mod tests {
 
     #[test]
     fn plan_collects_from_iterator() {
-        let plan: AllocationPlan =
-            vec![(JobId::new(0), 1), (JobId::new(1), 2)].into_iter().collect();
+        let plan: AllocationPlan = vec![(JobId::new(0), 1), (JobId::new(1), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(plan.entries().len(), 2);
         assert_eq!(plan.target_for(JobId::new(1)), Some(2));
         assert_eq!(plan.target_for(JobId::new(9)), None);

@@ -77,7 +77,11 @@ pub struct InvariantSpy<S> {
 impl<S: Scheduler> InvariantSpy<S> {
     /// Wraps `inner` with context and plan checks.
     pub fn new(inner: S) -> Self {
-        InvariantSpy { inner, check_work_conservation: false, passes: 0 }
+        InvariantSpy {
+            inner,
+            check_work_conservation: false,
+            passes: 0,
+        }
     }
 
     /// Additionally requires the plan to allocate all of a saturated
@@ -124,8 +128,7 @@ impl<S: Scheduler> InvariantSpy<S> {
                 view.unstarted_tasks
             );
             assert!(
-                view.attained.as_container_secs() + 1e-9
-                    >= view.attained_stage.as_container_secs(),
+                view.attained.as_container_secs() + 1e-9 >= view.attained_stage.as_container_secs(),
                 "[pass {}] {}: stage service exceeds total",
                 self.passes,
                 view.id
@@ -154,9 +157,7 @@ impl<S: Scheduler> InvariantSpy<S> {
             ctx.jobs()
                 .iter()
                 .find(|v| v.id == id)
-                .unwrap_or_else(|| {
-                    panic!("[pass {}] plan references unknown {}", self.passes, id)
-                })
+                .unwrap_or_else(|| panic!("[pass {}] plan references unknown {}", self.passes, id))
         };
         // Final targets (last entry per job wins, as the engine applies).
         let mut finals: Vec<(JobId, u32)> = Vec::new();
@@ -188,8 +189,11 @@ impl<S: Scheduler> InvariantSpy<S> {
             ctx.total_containers()
         );
         if self.check_work_conservation {
-            let demand: u64 =
-                ctx.jobs().iter().map(|v| v.max_useful_allocation() as u64).sum();
+            let demand: u64 = ctx
+                .jobs()
+                .iter()
+                .map(|v| v.max_useful_allocation() as u64)
+                .sum();
             let expected = demand.min(ctx.total_containers() as u64);
             assert!(
                 total >= expected,
@@ -270,7 +274,10 @@ mod tests {
         }
 
         fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
-            ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation() + 1)).collect()
+            ctx.jobs()
+                .iter()
+                .map(|j| (j.id, j.max_useful_allocation() + 1))
+                .collect()
         }
     }
 

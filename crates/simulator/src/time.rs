@@ -366,8 +366,14 @@ mod tests {
     fn time_arithmetic_roundtrips() {
         let t = SimTime::from_secs(5);
         assert_eq!(t.as_millis(), 5_000);
-        assert_eq!(t + SimDuration::from_millis(250), SimTime::from_millis(5_250));
-        assert_eq!(SimTime::from_millis(5_250) - t, SimDuration::from_millis(250));
+        assert_eq!(
+            t + SimDuration::from_millis(250),
+            SimTime::from_millis(5_250)
+        );
+        assert_eq!(
+            SimTime::from_millis(5_250) - t,
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
@@ -390,7 +396,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds_to_millis() {
-        assert_eq!(SimDuration::from_secs_f64(1.2345), SimDuration::from_millis(1_235));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.2345),
+            SimDuration::from_millis(1_235)
+        );
         assert_eq!(SimTime::from_secs_f64(0.0004), SimTime::ZERO);
     }
 

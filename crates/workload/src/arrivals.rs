@@ -39,7 +39,9 @@ impl PoissonArrivals {
     ///
     /// Panics if `secs` is not positive and finite.
     pub fn with_mean_interval_secs(secs: f64) -> Self {
-        PoissonArrivals { gap: Exponential::with_mean(secs) }
+        PoissonArrivals {
+            gap: Exponential::with_mean(secs),
+        }
     }
 
     /// Arrivals at rate `jobs_per_sec`.
@@ -48,7 +50,10 @@ impl PoissonArrivals {
     ///
     /// Panics if `jobs_per_sec` is not positive and finite.
     pub fn with_rate(jobs_per_sec: f64) -> Self {
-        assert!(jobs_per_sec.is_finite() && jobs_per_sec > 0.0, "rate must be positive");
+        assert!(
+            jobs_per_sec.is_finite() && jobs_per_sec > 0.0,
+            "rate must be positive"
+        );
         PoissonArrivals::with_mean_interval_secs(1.0 / jobs_per_sec)
     }
 
@@ -117,9 +122,19 @@ impl DiurnalArrivals {
             mean_interval_secs.is_finite() && mean_interval_secs > 0.0,
             "mean interval must be positive"
         );
-        assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
-        assert!(period_secs.is_finite() && period_secs > 0.0, "period must be positive");
-        DiurnalArrivals { mean_interval_secs, amplitude, period_secs }
+        assert!(
+            (0.0..=1.0).contains(&amplitude),
+            "amplitude must be in [0, 1]"
+        );
+        assert!(
+            period_secs.is_finite() && period_secs > 0.0,
+            "period must be positive"
+        );
+        DiurnalArrivals {
+            mean_interval_secs,
+            amplitude,
+            period_secs,
+        }
     }
 
     /// The instantaneous rate at time `t` seconds.

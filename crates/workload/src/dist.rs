@@ -55,7 +55,10 @@ impl Uniform {
     ///
     /// Panics if `low >= high` or either bound is not finite.
     pub fn new(low: f64, high: f64) -> Self {
-        assert!(low.is_finite() && high.is_finite() && low < high, "invalid uniform bounds");
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "invalid uniform bounds"
+        );
         Uniform { low, high }
     }
 }
@@ -84,7 +87,10 @@ impl Exponential {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         Exponential { mean }
     }
 }
@@ -117,7 +123,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0, "invalid log-normal");
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid log-normal"
+        );
         LogNormal { mu, sigma }
     }
 
@@ -170,7 +179,10 @@ impl BoundedPareto {
     /// Panics if `alpha <= 0`, `low <= 0`, or `low >= high`.
     pub fn new(alpha: f64, low: f64, high: f64) -> Self {
         assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
-        assert!(low.is_finite() && low > 0.0 && high.is_finite() && low < high, "invalid bounds");
+        assert!(
+            low.is_finite() && low > 0.0 && high.is_finite() && low < high,
+            "invalid bounds"
+        );
         BoundedPareto { alpha, low, high }
     }
 
@@ -223,7 +235,10 @@ impl Sample for BoundedPareto {
 /// ```
 pub fn zipf_weights(n: usize, theta: f64) -> Vec<f64> {
     assert!(n > 0, "zipf_weights needs at least one element");
-    assert!(theta.is_finite() && theta >= 0.0, "theta must be non-negative");
+    assert!(
+        theta.is_finite() && theta >= 0.0,
+        "theta must be non-negative"
+    );
     let raw: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).collect();
     let total: f64 = raw.iter().sum();
     raw.into_iter().map(|w| w / total).collect()
@@ -339,7 +354,10 @@ mod tests {
         };
         // Most jobs are small, a non-negligible sliver is huge.
         assert!(median < 3.0, "median {median}");
-        assert!(over_1000 > 0.001 && over_1000 < 0.02, "tail mass {over_1000}");
+        assert!(
+            over_1000 > 0.001 && over_1000 < 0.02,
+            "tail mass {over_1000}"
+        );
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl FacebookTrace {
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
 
         // Sizes in service units (1 unit = 1 container-second here).
-        let sizes: Vec<f64> = (0..self.jobs).map(|_| self.sizes.sample(&mut rng)).collect();
+        let sizes: Vec<f64> = (0..self.jobs)
+            .map(|_| self.sizes.sample(&mut rng))
+            .collect();
         let mean_size = sizes.iter().sum::<f64>() / sizes.len() as f64;
 
         // ρ = λ · E[S] / C  =>  λ = ρ C / E[S].
@@ -183,8 +185,10 @@ mod tests {
     #[test]
     fn sizes_are_heavy_tailed_with_mean_near_20() {
         let jobs = FacebookTrace::new().jobs(20_000).seed(2).generate();
-        let sizes: Vec<f64> =
-            jobs.iter().map(|j| j.total_service().as_container_secs()).collect();
+        let sizes: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .collect();
         let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
         assert!((12.0..32.0).contains(&mean), "mean {mean}");
         let max = sizes.iter().cloned().fold(0.0, f64::max);
@@ -194,10 +198,22 @@ mod tests {
 
     #[test]
     fn arrival_rate_realizes_load() {
-        let jobs = FacebookTrace::new().jobs(20_000).load(0.9).capacity(100).seed(3).generate();
-        let total_work: f64 =
-            jobs.iter().map(|j| j.total_service().as_container_secs()).sum();
-        let span = jobs.iter().map(|j| j.arrival()).max().unwrap().as_secs_f64();
+        let jobs = FacebookTrace::new()
+            .jobs(20_000)
+            .load(0.9)
+            .capacity(100)
+            .seed(3)
+            .generate();
+        let total_work: f64 = jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .sum();
+        let span = jobs
+            .iter()
+            .map(|j| j.arrival())
+            .max()
+            .unwrap()
+            .as_secs_f64();
         let offered_load = total_work / (span * 100.0);
         assert!((offered_load - 0.9).abs() < 0.12, "load {offered_load}");
     }
@@ -206,7 +222,11 @@ mod tests {
     fn jobs_are_single_stage_unit_width() {
         let jobs = FacebookTrace::new().jobs(300).seed(4).generate();
         for j in &jobs {
-            assert_eq!(j.stage_count(), 1, "trace jobs are stage-less size entities");
+            assert_eq!(
+                j.stage_count(),
+                1,
+                "trace jobs are stage-less size entities"
+            );
             assert_eq!(j.validate(100), Ok(()));
             assert_eq!(j.stages()[0].containers_per_task(), 1);
         }

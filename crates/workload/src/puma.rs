@@ -96,7 +96,14 @@ impl PumaTemplate {
         map_skew: &SkewModel,
         reduce_skew: &SkewModel,
     ) -> JobSpec {
-        self.instantiate_with_transfer(rng, arrival, priority, map_skew, reduce_skew, SimDuration::ZERO)
+        self.instantiate_with_transfer(
+            rng,
+            arrival,
+            priority,
+            map_skew,
+            reduce_skew,
+            SimDuration::ZERO,
+        )
     }
 
     /// Like [`instantiate`](Self::instantiate), but the reduce stage waits
@@ -309,7 +316,10 @@ impl PumaWorkload {
     ///
     /// Panics if the bandwidth is not positive and finite.
     pub fn geo_bandwidth_mb_per_s(mut self, bandwidth: f64) -> Self {
-        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
         self.geo_bandwidth_mb_per_s = Some(bandwidth);
         self
     }
@@ -376,8 +386,10 @@ impl Default for PumaWorkload {
 /// reproduce Table I exactly.
 fn scaled_counts(templates: &[PumaTemplate], total: usize) -> Vec<usize> {
     let mix_total: u32 = templates.iter().map(|t| t.count_in_mix).sum();
-    let shares: Vec<f64> =
-        templates.iter().map(|t| t.count_in_mix as f64 * total as f64 / mix_total as f64).collect();
+    let shares: Vec<f64> = templates
+        .iter()
+        .map(|t| t.count_in_mix as f64 * total as f64 / mix_total as f64)
+        .collect();
     let mut counts: Vec<usize> = shares.iter().map(|&s| s.floor() as usize).collect();
     let mut assigned: usize = counts.iter().sum();
     // Hand out remaining slots to the largest fractional parts.
@@ -415,7 +427,10 @@ mod tests {
         assert_eq!((wc.maps(), wc.reduces(), wc.bin()), (721, 80, 4));
         assert_eq!(wc.dataset_gb(), 100.0);
         let tg = templates.iter().find(|t| t.name() == "TeraGen").unwrap();
-        assert_eq!((tg.maps(), tg.reduces(), tg.bin(), tg.count_in_mix()), (100, 10, 1, 3));
+        assert_eq!(
+            (tg.maps(), tg.reduces(), tg.bin(), tg.count_in_mix()),
+            (100, 10, 1, 3)
+        );
     }
 
     #[test]
@@ -425,9 +440,15 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         use rand::SeedableRng;
         let size_of = |t: &PumaTemplate, rng: &mut rand::rngs::StdRng| {
-            t.instantiate(rng, SimTime::ZERO, 1, &SkewModel::none(), &SkewModel::none())
-                .total_service()
-                .as_container_secs()
+            t.instantiate(
+                rng,
+                SimTime::ZERO,
+                1,
+                &SkewModel::none(),
+                &SkewModel::none(),
+            )
+            .total_service()
+            .as_container_secs()
         };
         let mut by_bin = [0.0f64; 5];
         let mut n_by_bin = [0u32; 5];
@@ -435,9 +456,13 @@ mod tests {
             by_bin[t.bin() as usize] += size_of(t, &mut rng);
             n_by_bin[t.bin() as usize] += 1;
         }
-        let means: Vec<f64> =
-            (1..5).map(|b| by_bin[b] / n_by_bin[b].max(1) as f64).collect();
-        assert!(means[0] < means[1] && means[1] < means[2] && means[2] < means[3], "{means:?}");
+        let means: Vec<f64> = (1..5)
+            .map(|b| by_bin[b] / n_by_bin[b].max(1) as f64)
+            .collect();
+        assert!(
+            means[0] < means[1] && means[1] < means[2] && means[2] < means[3],
+            "{means:?}"
+        );
         // Bin 4 (WordCount on 100 GB) dwarfs bin 1 (1 GB jobs).
         assert!(means[3] > 10.0 * means[0]);
     }
@@ -489,8 +514,17 @@ mod tests {
 
     #[test]
     fn arrivals_match_requested_interval() {
-        let jobs = PumaWorkload::new().jobs(100).mean_interval_secs(80.0).seed(5).generate();
-        let span = jobs.iter().map(|j| j.arrival()).max().unwrap().as_secs_f64();
+        let jobs = PumaWorkload::new()
+            .jobs(100)
+            .mean_interval_secs(80.0)
+            .seed(5)
+            .generate();
+        let span = jobs
+            .iter()
+            .map(|j| j.arrival())
+            .max()
+            .unwrap()
+            .as_secs_f64();
         let mean_gap = span / jobs.len() as f64;
         assert!((mean_gap - 80.0).abs() < 30.0, "mean gap {mean_gap}");
     }
@@ -498,11 +532,19 @@ mod tests {
     #[test]
     fn geo_bandwidth_adds_reduce_transfer_delays() {
         let local = PumaWorkload::new().jobs(20).seed(4).generate();
-        let geo = PumaWorkload::new().jobs(20).seed(4).geo_bandwidth_mb_per_s(100.0).generate();
+        let geo = PumaWorkload::new()
+            .jobs(20)
+            .seed(4)
+            .geo_bandwidth_mb_per_s(100.0)
+            .generate();
         for (l, g) in local.iter().zip(&geo) {
             assert_eq!(l.stages()[1].start_delay(), SimDuration::ZERO);
             let delay = g.stages()[1].start_delay();
-            assert!(!delay.is_zero(), "{} should wait on the shuffle link", g.label());
+            assert!(
+                !delay.is_zero(),
+                "{} should wait on the shuffle link",
+                g.label()
+            );
             // WordCount ships 50 GB of shuffle at 100 MB/s = 512 s.
             if g.label() == "WordCount" {
                 assert_eq!(delay, SimDuration::from_millis(512_000));

@@ -29,7 +29,12 @@ pub struct SkewModel {
 impl SkewModel {
     /// No skew at all: every task gets exactly the base duration.
     pub fn none() -> Self {
-        SkewModel { noise_sigma: 0.0, straggler_prob: 0.0, straggler_factor: 1.0, zipf_theta: 0.0 }
+        SkewModel {
+            noise_sigma: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: 1.0,
+            zipf_theta: 0.0,
+        }
     }
 
     /// Map-stage skew: log-normal noise (`sigma`) and stragglers
@@ -41,9 +46,17 @@ impl SkewModel {
     /// straggler factor below 1.
     pub fn map_like(noise_sigma: f64, straggler_prob: f64, straggler_factor: f64) -> Self {
         assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
-        assert!((0.0..=1.0).contains(&straggler_prob), "straggler probability in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&straggler_prob),
+            "straggler probability in [0, 1]"
+        );
         assert!(straggler_factor >= 1.0, "stragglers are slower, not faster");
-        SkewModel { noise_sigma, straggler_prob, straggler_factor, zipf_theta: 0.0 }
+        SkewModel {
+            noise_sigma,
+            straggler_prob,
+            straggler_factor,
+            zipf_theta: 0.0,
+        }
     }
 
     /// Reduce-stage skew: Zipf partition imbalance of strength `zipf_theta`
@@ -125,8 +138,7 @@ mod tests {
     fn map_like_preserves_mean_work() {
         let base = SimDuration::from_secs(30);
         let durs = SkewModel::map_like(0.3, 0.0, 1.0).task_durations(&mut rng(), base, 20_000);
-        let mean: f64 =
-            durs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durs.len() as f64;
+        let mean: f64 = durs.iter().map(|d| d.as_secs_f64()).sum::<f64>() / durs.len() as f64;
         assert!((mean - 30.0).abs() < 0.5, "mean {mean}");
     }
 
@@ -134,7 +146,10 @@ mod tests {
     fn stragglers_inflate_some_tasks() {
         let base = SimDuration::from_secs(10);
         let durs = SkewModel::map_like(0.0, 0.05, 4.0).task_durations(&mut rng(), base, 5_000);
-        let stragglers = durs.iter().filter(|&&d| d == SimDuration::from_secs(40)).count();
+        let stragglers = durs
+            .iter()
+            .filter(|&&d| d == SimDuration::from_secs(40))
+            .count();
         let frac = stragglers as f64 / durs.len() as f64;
         assert!((frac - 0.05).abs() < 0.02, "straggler fraction {frac}");
     }
@@ -142,8 +157,7 @@ mod tests {
     #[test]
     fn reduce_like_is_imbalanced_but_mean_preserving() {
         let base = SimDuration::from_secs(100);
-        let durs =
-            SkewModel::reduce_like(0.0, 0.0, 1.0, 0.8).task_durations(&mut rng(), base, 20);
+        let durs = SkewModel::reduce_like(0.0, 0.0, 1.0, 0.8).task_durations(&mut rng(), base, 20);
         // First partition gets the biggest share.
         assert!(durs[0] > durs[19]);
         let total: f64 = durs.iter().map(|d| d.as_secs_f64()).sum();
@@ -153,8 +167,7 @@ mod tests {
     #[test]
     fn durations_never_zero() {
         let base = SimDuration::from_millis(1);
-        let durs =
-            SkewModel::reduce_like(1.0, 0.0, 1.0, 2.0).task_durations(&mut rng(), base, 50);
+        let durs = SkewModel::reduce_like(1.0, 0.0, 1.0, 2.0).task_durations(&mut rng(), base, 50);
         assert!(durs.iter().all(|d| !d.is_zero()));
     }
 

@@ -158,7 +158,11 @@ impl SwimConverter {
             "rate must be positive"
         );
         assert!(split_bytes > 0, "split size must be positive");
-        SwimConverter { bytes_per_container_sec, split_bytes, reduce_containers: 2 }
+        SwimConverter {
+            bytes_per_container_sec,
+            split_bytes,
+            reduce_containers: 2,
+        }
     }
 
     /// Hadoop-flavoured defaults: 4 MB/s per container, 128 MB splits,
@@ -183,18 +187,11 @@ impl SwimConverter {
             .arrival(arrival)
             .label(record.job_id.clone())
             .bin(size_bin(size))
-            .stage(self.stage(
-                StageKind::Map,
-                record.map_input_bytes.max(1),
-                1,
-            ));
+            .stage(self.stage(StageKind::Map, record.map_input_bytes.max(1), 1));
         let reduce_bytes = record.shuffle_bytes + record.reduce_output_bytes;
         if reduce_bytes > 0 {
-            builder = builder.stage(self.stage(
-                StageKind::Reduce,
-                reduce_bytes,
-                self.reduce_containers,
-            ));
+            builder =
+                builder.stage(self.stage(StageKind::Reduce, reduce_bytes, self.reduce_containers));
         }
         builder.build()
     }
@@ -207,7 +204,11 @@ impl SwimConverter {
         let total_secs = bytes as f64 / self.bytes_per_container_sec;
         let per_task = (total_secs / (tasks as f64 * containers as f64)).max(0.001);
         let task = TaskSpec::new(SimDuration::from_secs_f64(per_task));
-        let task = if containers > 1 { task.with_containers(containers) } else { task };
+        let task = if containers > 1 {
+            task.with_containers(containers)
+        } else {
+            task
+        };
         StageSpec::uniform(kind, tasks, task)
     }
 
@@ -287,7 +288,10 @@ job3  3000  1500  1073741824  536870912  268435456
         // 256 MB input at 128 MB splits = 2 maps; at 64 MB splits = 4.
         let coarse = SwimConverter::new(4e6, 128 * 1024 * 1024).job(&records[0]);
         let fine = SwimConverter::new(4e6, 64 * 1024 * 1024).job(&records[0]);
-        assert_eq!(coarse.stages()[0].task_count() * 2, fine.stages()[0].task_count());
+        assert_eq!(
+            coarse.stages()[0].task_count() * 2,
+            fine.stages()[0].task_count()
+        );
     }
 
     #[test]
@@ -302,7 +306,10 @@ job3  3000  1500  1073741824  536870912  268435456
                 &mut self,
                 ctx: &lasmq_simulator::SchedContext<'_>,
             ) -> lasmq_simulator::AllocationPlan {
-                ctx.jobs().iter().map(|j| (j.id, j.max_useful_allocation())).collect()
+                ctx.jobs()
+                    .iter()
+                    .map(|j| (j.id, j.max_useful_allocation()))
+                    .collect()
             }
         }
         let jobs = SwimConverter::hadoop_defaults().jobs(&parse_swim(SAMPLE).unwrap());

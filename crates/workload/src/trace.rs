@@ -40,7 +40,10 @@ pub struct Trace {
 impl Trace {
     /// Wraps a job list under a name.
     pub fn new(name: impl Into<String>, jobs: Vec<JobSpec>) -> Self {
-        Trace { name: name.into(), jobs }
+        Trace {
+            name: name.into(),
+            jobs,
+        }
     }
 
     /// The trace's name.
@@ -60,12 +63,24 @@ impl Trace {
 
     /// Summary statistics over the trace's job sizes.
     pub fn summary(&self) -> TraceSummary {
-        let sizes: Vec<f64> =
-            self.jobs.iter().map(|j| j.total_service().as_container_secs()).collect();
+        let sizes: Vec<f64> = self
+            .jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .collect();
         let total: f64 = sizes.iter().sum();
         let max = sizes.iter().cloned().fold(0.0, f64::max);
-        let mean = if sizes.is_empty() { 0.0 } else { total / sizes.len() as f64 };
-        TraceSummary { job_count: self.jobs.len(), total_service: total, mean_size: mean, max_size: max }
+        let mean = if sizes.is_empty() {
+            0.0
+        } else {
+            total / sizes.len() as f64
+        };
+        TraceSummary {
+            job_count: self.jobs.len(),
+            total_service: total,
+            mean_size: mean,
+            max_size: max,
+        }
     }
 
     /// Serializes to a JSON string.
@@ -108,7 +123,9 @@ impl Trace {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         let file = File::open(path).map_err(TraceError::Io)?;
         let mut json = String::new();
-        BufReader::new(file).read_to_string(&mut json).map_err(TraceError::Io)?;
+        BufReader::new(file)
+            .read_to_string(&mut json)
+            .map_err(TraceError::Io)?;
         Trace::from_json(&json)
     }
 }

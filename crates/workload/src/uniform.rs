@@ -35,7 +35,12 @@ pub struct UniformWorkload {
 impl UniformWorkload {
     /// The paper's setup: 10,000 jobs of size 10,000 container-seconds.
     pub fn new() -> Self {
-        UniformWorkload { jobs: 10_000, size_units: 10_000.0, tasks_per_job: 1_000, seed: 0 }
+        UniformWorkload {
+            jobs: 10_000,
+            size_units: 10_000.0,
+            tasks_per_job: 1_000,
+            seed: 0,
+        }
     }
 
     /// Sets the number of jobs.

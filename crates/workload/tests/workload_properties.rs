@@ -6,7 +6,7 @@ use rand::SeedableRng;
 
 use lasmq_workload::dist::{zipf_weights, BoundedPareto, Exponential, LogNormal, Sample, Uniform};
 use lasmq_workload::skew::SkewModel;
-use lasmq_workload::{FacebookTrace, PumaWorkload, UniformWorkload};
+use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -131,5 +131,28 @@ proptest! {
             FacebookTrace::new().jobs(50).seed(seed).generate(),
             FacebookTrace::new().jobs(50).seed(seed).generate()
         );
+    }
+
+    /// Any trace survives a JSON round-trip exactly: serialize then
+    /// deserialize recovers the same name and identical `JobSpec`s, for
+    /// every generator family, size and seed.
+    #[test]
+    fn traces_round_trip_through_json(
+        jobs in 1usize..60,
+        seed in 0u64..1_000,
+        family in 0u8..3,
+    ) {
+        let specs = match family {
+            0 => PumaWorkload::new().jobs(jobs).seed(seed).generate(),
+            1 => FacebookTrace::new().jobs(jobs).seed(seed).generate(),
+            _ => UniformWorkload::new().jobs(jobs).tasks_per_job(40).seed(seed).generate(),
+        };
+        let trace = Trace::new(format!("prop-{family}-{jobs}-{seed}"), specs);
+        let json = trace.to_json().expect("trace serializes");
+        let restored = Trace::from_json(&json).expect("trace deserializes");
+        prop_assert_eq!(restored.name(), trace.name());
+        prop_assert_eq!(restored.jobs(), trace.jobs());
+        // A second trip is byte-stable (serialization is canonical).
+        prop_assert_eq!(restored.to_json().expect("re-serializes"), json);
     }
 }

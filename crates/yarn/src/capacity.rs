@@ -64,7 +64,10 @@ pub struct CapacityScheduler {
 impl CapacityScheduler {
     /// An empty scheduler with the given capacity granularity.
     pub fn new(granularity: CapacityGranularity) -> Self {
-        CapacityScheduler { granularity, capacities: HashMap::new() }
+        CapacityScheduler {
+            granularity,
+            capacities: HashMap::new(),
+        }
     }
 
     /// Current per-application capacities (fractions of the cluster).
@@ -76,8 +79,13 @@ impl CapacityScheduler {
     /// configuration file on a real-time basis" call. Fractions are
     /// clamped to `[0, 1]` and quantized per the configured granularity.
     pub fn set_capacity(&mut self, app: JobId, fraction: f64) {
-        let clamped = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
-        self.capacities.insert(app, self.granularity.quantize(clamped));
+        let clamped = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.capacities
+            .insert(app, self.granularity.quantize(clamped));
     }
 
     /// Replaces all capacities at once (one refresh round).
@@ -112,7 +120,11 @@ impl CapacityScheduler {
         // on the largest guarantees; ties by id for determinism.
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         let weight_of = |view: &JobView| -> f64 {
-            self.capacities.get(&view.id).copied().unwrap_or(default_weight).max(1e-9)
+            self.capacities
+                .get(&view.id)
+                .copied()
+                .unwrap_or(default_weight)
+                .max(1e-9)
         };
         order.sort_by(|&a, &b| {
             weight_of(&jobs[b])

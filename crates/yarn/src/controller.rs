@@ -49,7 +49,11 @@ impl<S: Scheduler> CapacityController<S> {
     /// granularity.
     pub fn new(inner: S, granularity: CapacityGranularity) -> Self {
         let name = format!("{}@capacity", inner.name());
-        CapacityController { inner, capacity: CapacityScheduler::new(granularity), name }
+        CapacityController {
+            inner,
+            capacity: CapacityScheduler::new(granularity),
+            name,
+        }
     }
 
     /// The wrapped policy.
@@ -91,8 +95,7 @@ impl<S: Scheduler> Scheduler for CapacityController<S> {
         // 2. …which become queue capacities ("update the configuration
         //    file"): last entry per job wins, exactly like plan targets.
         let total = ctx.total_containers().max(1) as f64;
-        let mut fractions: Vec<(JobId, f64)> =
-            ctx.jobs().iter().map(|j| (j.id, 0.0)).collect();
+        let mut fractions: Vec<(JobId, f64)> = ctx.jobs().iter().map(|j| (j.id, 0.0)).collect();
         for &(job, target) in plan.entries() {
             if let Some(slot) = fractions.iter_mut().find(|(id, _)| *id == job) {
                 slot.1 = target as f64 / total;
@@ -158,8 +161,7 @@ mod tests {
             LasMq::with_paper_defaults(),
             CapacityGranularity::WholePercent,
         );
-        let views: Vec<JobView> =
-            (0..7).map(|i| view(i, i as f64 * 300.0, 40)).collect();
+        let views: Vec<JobView> = (0..7).map(|i| view(i, i as f64 * 300.0, 40)).collect();
         for v in &views {
             exact.on_job_admitted(v, SimTime::ZERO);
             percent.on_job_admitted(v, SimTime::ZERO);

@@ -21,10 +21,18 @@ fn run(
 
 #[test]
 fn capacity_mediated_lasmq_matches_direct_lasmq_on_puma() {
-    let jobs = PumaWorkload::new().jobs(40).mean_interval_secs(50.0).seed(11).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(40)
+        .mean_interval_secs(50.0)
+        .seed(11)
+        .generate();
     let cluster = ClusterConfig::new(4, 30);
-    let direct =
-        run(jobs.clone(), cluster, Some(30), LasMq::with_paper_defaults());
+    let direct = run(
+        jobs.clone(),
+        cluster,
+        Some(30),
+        LasMq::with_paper_defaults(),
+    );
     let deployed = run(
         jobs,
         cluster,
@@ -35,7 +43,10 @@ fn capacity_mediated_lasmq_matches_direct_lasmq_on_puma() {
     let a = direct.mean_response_secs().unwrap();
     let b = deployed.mean_response_secs().unwrap();
     let rel = (a - b).abs() / a;
-    assert!(rel < 0.10, "direct {a:.0}s vs capacity-deployed {b:.0}s ({rel:.2} rel)");
+    assert!(
+        rel < 0.10,
+        "direct {a:.0}s vs capacity-deployed {b:.0}s ({rel:.2} rel)"
+    );
 }
 
 #[test]
@@ -72,13 +83,21 @@ fn bare_capacity_scheduler_behaves_like_equal_sharing() {
     // exactly what a YARN cluster does before the plug-in is installed.
     let jobs = FacebookTrace::new().jobs(400).seed(6).generate();
     let cluster = ClusterConfig::single_node(100);
-    let bare = run(jobs.clone(), cluster, None, CapacityScheduler::new(CapacityGranularity::Exact));
+    let bare = run(
+        jobs.clone(),
+        cluster,
+        None,
+        CapacityScheduler::new(CapacityGranularity::Exact),
+    );
     let fair = run(jobs, cluster, None, lasmq_schedulers::Fair::unweighted());
     assert!(bare.all_completed());
     let a = bare.mean_response_secs().unwrap();
     let b = fair.mean_response_secs().unwrap();
     let rel = (a - b).abs() / b;
-    assert!(rel < 0.35, "bare capacity {a:.2}s vs unweighted fair {b:.2}s");
+    assert!(
+        rel < 0.35,
+        "bare capacity {a:.2}s vs unweighted fair {b:.2}s"
+    );
 }
 
 #[test]
@@ -86,7 +105,10 @@ fn deployment_is_deterministic() {
     let jobs = PumaWorkload::new().jobs(20).seed(2).generate();
     let cluster = ClusterConfig::new(4, 30);
     let build = || {
-        CapacityController::new(LasMq::with_paper_defaults(), CapacityGranularity::WholePercent)
+        CapacityController::new(
+            LasMq::with_paper_defaults(),
+            CapacityGranularity::WholePercent,
+        )
     };
     let a = run(jobs.clone(), cluster, Some(10), build());
     let b = run(jobs, cluster, Some(10), build());

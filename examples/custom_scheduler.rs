@@ -12,9 +12,7 @@
 //! ```
 
 use lasmq::core::LasMq;
-use lasmq::simulator::{
-    AllocationPlan, ClusterConfig, SchedContext, Scheduler, Simulation,
-};
+use lasmq::simulator::{AllocationPlan, ClusterConfig, SchedContext, Scheduler, Simulation};
 use lasmq::workload::FacebookTrace;
 
 /// Serves jobs in ascending order of the container demand of their

@@ -9,9 +9,7 @@
 
 use lasmq::core::{LasMq, LasMqConfig};
 use lasmq::schedulers::Fair;
-use lasmq::simulator::{
-    ClusterConfig, Scheduler, Simulation, SimulationReport, SpeculationConfig,
-};
+use lasmq::simulator::{ClusterConfig, Scheduler, Simulation, SimulationReport, SpeculationConfig};
 use lasmq::workload::PumaWorkload;
 
 fn run(jobs: Vec<lasmq::simulator::JobSpec>, scheduler: impl Scheduler) -> SimulationReport {
@@ -30,17 +28,27 @@ fn run(jobs: Vec<lasmq::simulator::JobSpec>, scheduler: impl Scheduler) -> Simul
 fn main() {
     // The full Table I mix: 100 jobs from TeraGen (1 GB) to WordCount
     // (100 GB), bins 1-4, arriving every ~50 s on average.
-    let jobs = PumaWorkload::new().jobs(100).mean_interval_secs(50.0).seed(2026).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(100)
+        .mean_interval_secs(50.0)
+        .seed(2026)
+        .generate();
 
     let fair = run(jobs.clone(), Fair::new());
     let las_mq = run(jobs, LasMq::new(LasMqConfig::paper_experiments()));
 
     println!("per-bin mean response time (s):\n");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "policy", "bin1", "bin2", "bin3", "bin4", "ALL");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "bin1", "bin2", "bin3", "bin4", "ALL"
+    );
     for report in [&fair, &las_mq] {
         print!("{:>8}", report.scheduler());
         for bin in 1..=4u8 {
-            print!(" {:>10.0}", report.mean_response_secs_for_bin(bin).unwrap_or(f64::NAN));
+            print!(
+                " {:>10.0}",
+                report.mean_response_secs_for_bin(bin).unwrap_or(f64::NAN)
+            );
         }
         println!(" {:>10.0}", report.mean_response_secs().unwrap());
     }

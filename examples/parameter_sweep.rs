@@ -44,7 +44,10 @@ fn main() {
 
     // The tuner looks at a historical size sample (here: the trace's own
     // sizes — in production, yesterday's jobs) and proposes (k, α₁).
-    let sizes: Vec<f64> = jobs.iter().map(|j| j.total_service().as_container_secs()).collect();
+    let sizes: Vec<f64> = jobs
+        .iter()
+        .map(|j| j.total_service().as_container_secs())
+        .collect();
     let suggestion = tuning::suggest(&sizes, 10.0).expect("sane sample");
     println!(
         "\nauto-tuner suggests: k = {}, α₁ = {:.2} (step {})",

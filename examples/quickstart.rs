@@ -7,7 +7,7 @@
 
 use lasmq::core::{LasMq, LasMqConfig};
 use lasmq::schedulers::{Fair, Fifo, Las};
-use lasmq::simulator::{ClusterConfig, Scheduler, SimulationReport, Simulation};
+use lasmq::simulator::{ClusterConfig, Scheduler, Simulation, SimulationReport};
 use lasmq::workload::PumaWorkload;
 
 fn run(jobs: &[lasmq::simulator::JobSpec], scheduler: impl Scheduler) -> SimulationReport {
@@ -23,7 +23,11 @@ fn run(jobs: &[lasmq::simulator::JobSpec], scheduler: impl Scheduler) -> Simulat
 fn main() {
     // 40 Hadoop jobs sampled from the paper's Table I mix, Poisson
     // arrivals with a 50 s mean interval.
-    let jobs = PumaWorkload::new().jobs(40).mean_interval_secs(50.0).seed(7).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(40)
+        .mean_interval_secs(50.0)
+        .seed(7)
+        .generate();
 
     let reports = vec![
         run(&jobs, LasMq::new(LasMqConfig::paper_experiments())),
@@ -32,7 +36,10 @@ fn main() {
         run(&jobs, Fifo::new()),
     ];
 
-    println!("{:>8}  {:>14}  {:>12}  {:>11}", "policy", "mean resp (s)", "p90 resp (s)", "slowdown");
+    println!(
+        "{:>8}  {:>14}  {:>12}  {:>11}",
+        "policy", "mean resp (s)", "p90 resp (s)", "slowdown"
+    );
     for report in &reports {
         println!(
             "{:>8}  {:>14.0}  {:>12.0}  {:>11.1}",
@@ -45,5 +52,8 @@ fn main() {
 
     let fair = reports[2].mean_response_secs().unwrap();
     let ours = reports[0].mean_response_secs().unwrap();
-    println!("\nLAS_MQ reduces the Fair scheduler's mean response time by {:.0}%", (1.0 - ours / fair) * 100.0);
+    println!(
+        "\nLAS_MQ reduces the Fair scheduler's mean response time by {:.0}%",
+        (1.0 - ours / fair) * 100.0
+    );
 }

@@ -10,7 +10,11 @@ use lasmq::simulator::{ClusterConfig, SimEvent, Simulation};
 use lasmq::workload::PumaWorkload;
 
 fn main() {
-    let jobs = PumaWorkload::new().jobs(6).mean_interval_secs(40.0).seed(13).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(6)
+        .mean_interval_secs(40.0)
+        .seed(13)
+        .generate();
     let report = Simulation::builder()
         .cluster(ClusterConfig::new(4, 30))
         .record_journal(true)
@@ -59,7 +63,11 @@ fn main() {
                 *cell = if t < first_alloc { '.' } else { '#' };
             }
         }
-        println!("{:>6} |{}|", outcome.id.to_string(), row.into_iter().collect::<String>());
+        println!(
+            "{:>6} |{}|",
+            outcome.id.to_string(),
+            row.into_iter().collect::<String>()
+        );
     }
     println!("        '.' waiting, '#' holding containers");
 }

@@ -22,11 +22,18 @@ fn run(jobs: Vec<lasmq::simulator::JobSpec>, scheduler: impl Scheduler) -> Simul
 }
 
 fn main() {
-    let jobs = PumaWorkload::new().jobs(60).mean_interval_secs(50.0).seed(99).generate();
+    let jobs = PumaWorkload::new()
+        .jobs(60)
+        .mean_interval_secs(50.0)
+        .seed(99)
+        .generate();
 
     // 1. Plain YARN: the capacity scheduler with nobody updating
     //    capacities — every app keeps an equal default share.
-    let plain = run(jobs.clone(), CapacityScheduler::new(CapacityGranularity::WholePercent));
+    let plain = run(
+        jobs.clone(),
+        CapacityScheduler::new(CapacityGranularity::WholePercent),
+    );
     // 2. LAS_MQ wired directly into the simulator (the idealized plug-in).
     let direct = run(jobs.clone(), LasMq::new(LasMqConfig::paper_experiments()));
     // 3. LAS_MQ deployed the paper's way: recompute queue capacities every
@@ -40,7 +47,10 @@ fn main() {
         ),
     );
 
-    println!("{:>18}  {:>14}  {:>14}", "deployment", "mean resp (s)", "mean slowdown");
+    println!(
+        "{:>18}  {:>14}  {:>14}",
+        "deployment", "mean resp (s)", "mean slowdown"
+    );
     for report in [&plain, &direct, &deployed] {
         println!(
             "{:>18}  {:>14.0}  {:>14.1}",
@@ -49,8 +59,7 @@ fn main() {
             report.mean_slowdown().unwrap(),
         );
     }
-    let gap = (deployed.mean_response_secs().unwrap() / direct.mean_response_secs().unwrap()
-        - 1.0)
+    let gap = (deployed.mean_response_secs().unwrap() / direct.mean_response_secs().unwrap() - 1.0)
         * 100.0;
     println!(
         "\ncapacity indirection (Fig. 4) costs {gap:+.1}% vs the direct plug-in — \

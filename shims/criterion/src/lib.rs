@@ -1,0 +1,204 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, `iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — as a plain wall-clock harness: each
+//! benchmark runs `sample_size` timed iterations after one warm-up and
+//! prints the mean, min and max per-iteration time (plus derived
+//! throughput when configured). No statistics engine, no HTML reports,
+//! no comparison against saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput specification for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark. Like upstream's `BenchmarkId`,
+    /// the name may be anything string-like (`&str` or `String`).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput, reported alongside timings.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets a soft cap on measurement time (accepted for API parity;
+    /// the shim's fixed sample count already bounds wall clock).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size.unwrap_or(10), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures inside a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once per sample, timing each run.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up run, untimed.
+        black_box(f());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iterations: sample_size.max(1),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}: mean {mean:?}  (min {min:?}, max {max:?}, n={}){rate}",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a group-runner function from benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3).throughput(Throughput::Elements(10));
+            group.bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

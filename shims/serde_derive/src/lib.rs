@@ -1,0 +1,470 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-tree model of the sibling `serde` shim, by hand-parsing the
+//! item's token stream (no `syn`/`quote` available offline). Supported
+//! container shapes — the ones this workspace uses:
+//!
+//! * named-field structs (with `#[serde(default)]` on fields),
+//! * tuple structs with one field (newtype semantics, so
+//!   `#[serde(transparent)]` is honoured and also the default),
+//! * enums with unit, newtype, tuple and struct variants, using serde's
+//!   externally-tagged JSON convention.
+//!
+//! Generics and unsupported `#[serde(...)]` attributes (`rename`, `skip`,
+//! …) are compile errors rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// A single-field tuple struct (newtype); other arities are rejected
+    /// at parse time.
+    TupleStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    // Container attributes: skip, but validate any #[serde(...)].
+    skip_attrs(&tokens, &mut pos, &mut Vec::new());
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim derive: tuple struct `{name}` has {n} fields; \
+                         only single-field newtypes are supported"
+                    );
+                }
+                Body::TupleStruct
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Skips attributes starting at `*pos`, collecting recognized `serde`
+/// attribute words (`default`, `transparent`) into `serde_words`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize, serde_words: &mut Vec<String>) {
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                collect_serde_words(g.stream(), serde_words);
+                *pos += 2;
+            }
+            _ => return,
+        }
+    }
+}
+
+/// If the bracket group is `serde(...)`, records its comma-separated words
+/// and rejects unsupported ones.
+fn collect_serde_words(attr: TokenStream, out: &mut Vec<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            for tok in args.stream() {
+                match tok {
+                    TokenTree::Ident(word) => {
+                        let word = word.to_string();
+                        match word.as_str() {
+                            "default" | "transparent" => out.push(word),
+                            other => panic!(
+                                "serde shim derive: unsupported serde attribute `{other}` \
+                                 (only `default` and `transparent` are implemented)"
+                            ),
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => {
+                        panic!("serde shim derive: unsupported serde attribute syntax `{other}`")
+                    }
+                }
+            }
+        }
+        _ => {} // doc comments, #[non_exhaustive], #[default], ...
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (types are skipped with
+/// angle-bracket awareness, so `Vec<(A, B)>` does not split a field).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut words = Vec::new();
+        skip_attrs(&tokens, &mut pos, &mut words);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                panic!("serde shim derive: expected ':' after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            default: words.iter().any(|w| w == "default"),
+        });
+    }
+    fields
+}
+
+/// Consumes a type up to (and including) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos, &mut Vec::new());
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos, &mut Vec::new());
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => panic!(
+                "serde shim derive: expected ',' after variant `{name}` \
+                 (discriminants are unsupported), found {other:?}"
+            ),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::TupleStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::Object(vec![\
+             (::std::string::String::from(\"{vname}\"), \
+              ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Object(vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Value::Array(vec![{}]))]),",
+                binds.join(", "),
+                vals.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value({0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Value::Object(vec![{}]))]),",
+                binds.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::TupleStruct => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| de_field_init(name, f)).collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_field_init(container: &str, f: &Field) -> String {
+    let fname = &f.name;
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(\
+             ::serde::DeError::missing(\"{fname}\", \"{container}\"))"
+        )
+    };
+    format!(
+        "{fname}: match ::serde::__get(__obj, \"{fname}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            VariantShape::Tuple(1) => tagged_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            VariantShape::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"expected {n} elements for {name}::{vname}, \
+                                          got {{}}\", __items.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }},",
+                    elems.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| de_field_init(&format!("{name}::{vname}"), f))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                     }},",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     format!(\"unknown unit variant '{{__other}}' of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         format!(\"unknown variant '{{__other}}' of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", __other.kind())),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}

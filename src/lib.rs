@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub use lasmq_analysis as analysis;
+pub use lasmq_campaign as campaign;
 pub use lasmq_core as core;
 pub use lasmq_experiments as experiments;
 pub use lasmq_schedulers as schedulers;

@@ -23,12 +23,20 @@ fn every_scheduler_completes_the_trace_workload() {
         run_trace(jobs.clone(), Fifo::new(), false),
         run_trace(jobs.clone(), Fair::new(), false),
         run_trace(jobs.clone(), Las::new(), false),
-        run_trace(jobs.clone(), LasMq::new(LasMqConfig::paper_simulations()), false),
+        run_trace(
+            jobs.clone(),
+            LasMq::new(LasMqConfig::paper_simulations()),
+            false,
+        ),
         run_trace(jobs.clone(), ShortestJobFirst::new(), true),
         run_trace(jobs, ShortestRemainingFirst::new(), true),
     ];
     for report in &reports {
-        assert!(report.all_completed(), "{} left jobs unfinished", report.scheduler());
+        assert!(
+            report.all_completed(),
+            "{} left jobs unfinished",
+            report.scheduler()
+        );
         assert_eq!(report.outcomes().len(), 300);
     }
 }
@@ -61,15 +69,26 @@ fn utilization_integral_accounts_for_all_work() {
     // container-second is productive: mean utilization × makespan ×
     // capacity equals the workload's total service.
     let jobs = FacebookTrace::new().jobs(200).seed(3).generate();
-    let total_work: f64 = jobs.iter().map(|j| j.total_service().as_container_secs()).sum();
+    let total_work: f64 = jobs
+        .iter()
+        .map(|j| j.total_service().as_container_secs())
+        .sum();
     for report in [
         run_trace(jobs.clone(), Fifo::new(), false),
-        run_trace(jobs.clone(), LasMq::new(LasMqConfig::paper_simulations()), false),
+        run_trace(
+            jobs.clone(),
+            LasMq::new(LasMqConfig::paper_simulations()),
+            false,
+        ),
     ] {
         let s = report.stats();
         let integral = s.mean_utilization * s.makespan.as_secs_f64() * 100.0;
         let rel = (integral - total_work).abs() / total_work;
-        assert!(rel < 1e-6, "{}: integral {integral} vs work {total_work}", report.scheduler());
+        assert!(
+            rel < 1e-6,
+            "{}: integral {integral} vs work {total_work}",
+            report.scheduler()
+        );
     }
 }
 
@@ -125,7 +144,10 @@ fn admission_limit_bounds_concurrency() {
     let mut running = 0i64;
     for (_, delta) in events {
         running += delta;
-        assert!(running <= limit as i64, "admission limit exceeded: {running}");
+        assert!(
+            running <= limit as i64,
+            "admission limit exceeded: {running}"
+        );
     }
 }
 
@@ -147,7 +169,10 @@ fn las_mq_runs_under_all_engine_extensions() {
     for (preemption, speculation) in [
         (PreemptionPolicy::Graceful, SpeculationConfig::disabled()),
         (PreemptionPolicy::Kill, SpeculationConfig::disabled()),
-        (PreemptionPolicy::Graceful, SpeculationConfig::enabled(3, 1.5)),
+        (
+            PreemptionPolicy::Graceful,
+            SpeculationConfig::enabled(3, 1.5),
+        ),
         (PreemptionPolicy::Kill, SpeculationConfig::enabled(2, 2.0)),
     ] {
         let report = Simulation::builder()

@@ -39,13 +39,20 @@ fn run(scheduler: impl Scheduler) -> SimulationReport {
 }
 
 fn finish_secs(report: &SimulationReport, idx: usize) -> f64 {
-    report.outcomes()[idx].finish.expect("completed").as_secs_f64()
+    report.outcomes()[idx]
+        .finish
+        .expect("completed")
+        .as_secs_f64()
 }
 
 #[test]
 fn fig1a_las_preempts_for_c_but_shares_between_a_and_b() {
     let report = run(Las::new());
-    let (a, b, c) = (finish_secs(&report, 0), finish_secs(&report, 1), finish_secs(&report, 2));
+    let (a, b, c) = (
+        finish_secs(&report, 0),
+        finish_secs(&report, 1),
+        finish_secs(&report, 2),
+    );
     // C preempts both big jobs and completes at t = 3.
     assert_eq!(c, 3.0, "C must finish at t=3 under LAS");
     // A and B then leapfrog slot by slot (the engine's quantum LAS is the
@@ -67,7 +74,11 @@ fn fig1b_two_queues_serialize_a_and_b_and_rescue_a() {
         .with_first_threshold(0.5)
         .with_ordering(QueueOrdering::Fifo);
     let report = run(LasMq::new(config));
-    let (a, b, c) = (finish_secs(&report, 0), finish_secs(&report, 1), finish_secs(&report, 2));
+    let (a, b, c) = (
+        finish_secs(&report, 0),
+        finish_secs(&report, 1),
+        finish_secs(&report, 2),
+    );
     // C still finishes at t = 3…
     assert_eq!(c, 3.0, "C must keep its LAS response time");
     // …but the second queue runs A to completion first: t = 6, the

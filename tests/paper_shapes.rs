@@ -22,9 +22,19 @@ fn fig3_both_features_beat_fair_and_each_feature_helps() {
     // Case 4 (the shipped design) beats Fair outright.
     assert!(r.case(3) > 1.0, "Case 4 = {}", r.case(3));
     // In-queue ordering is the big lever (Case 3 ≫ Case 1)…
-    assert!(r.case(2) > r.case(0) * 1.2, "ordering: {} vs {}", r.case(2), r.case(0));
+    assert!(
+        r.case(2) > r.case(0) * 1.2,
+        "ordering: {} vs {}",
+        r.case(2),
+        r.case(0)
+    );
     // …and stage awareness adds on top of it (Case 4 ≥ Case 3).
-    assert!(r.case(3) >= r.case(2) * 0.97, "awareness: {} vs {}", r.case(3), r.case(2));
+    assert!(
+        r.case(3) >= r.case(2) * 0.97,
+        "awareness: {} vs {}",
+        r.case(3),
+        r.case(2)
+    );
 }
 
 #[test]
@@ -38,7 +48,10 @@ fn fig5_lasmq_cuts_mean_response_against_every_baseline() {
     // §V-B1 observation.
     let lasmq = r.summary_for("LAS_MQ").unwrap();
     let fifo = r.summary_for("FIFO").unwrap();
-    assert!(lasmq.mean_by_bin[0] < fifo.mean_by_bin[0] / 2.0, "bin 1 must favour LAS_MQ");
+    assert!(
+        lasmq.mean_by_bin[0] < fifo.mean_by_bin[0] / 2.0,
+        "bin 1 must favour LAS_MQ"
+    );
     assert!(
         fifo.mean_by_bin[3] < lasmq.mean_by_bin[3] * 1.5,
         "bin 4 is where FIFO catches up: fifo {} vs las_mq {}",
@@ -70,7 +83,10 @@ fn fig7_heavy_tail_and_uniform_shapes() {
     // FIFO trails by a wide margin.
     assert!(las <= lasmq * 1.1, "LAS {las} should lead LAS_MQ {lasmq}");
     assert!(lasmq < fair, "LAS_MQ {lasmq} must beat Fair {fair}");
-    assert!(fifo > 3.0 * fair, "FIFO {fifo} must be far worse than Fair {fair}");
+    assert!(
+        fifo > 3.0 * fair,
+        "FIFO {fifo} must be far worse than Fair {fair}"
+    );
 
     let u = &r.uniform;
     let lasmq = u.mean_for("LAS_MQ").unwrap();
@@ -81,7 +97,10 @@ fn fig7_heavy_tail_and_uniform_shapes() {
     // LAS_MQ serialize and need only about half the time.
     assert!(lasmq < 0.65 * fair, "LAS_MQ {lasmq} vs Fair {fair}");
     assert!(lasmq < 0.65 * las, "LAS_MQ {lasmq} vs LAS {las}");
-    assert!((lasmq / fifo - 1.0).abs() < 0.25, "LAS_MQ {lasmq} ≈ FIFO {fifo}");
+    assert!(
+        (lasmq / fifo - 1.0).abs() < 0.25,
+        "LAS_MQ {lasmq} ≈ FIFO {fifo}"
+    );
 }
 
 #[test]
@@ -93,7 +112,10 @@ fn fig8_queue_count_and_threshold_sensitivity() {
     let k10 = r.normalized_for_queues(10).unwrap();
     assert!(k1 < 0.7, "k=1 should lose badly to Fair, got {k1}");
     assert!(k10 > 1.0, "k=10 must beat Fair, got {k10}");
-    assert!(k5 > k1 && k10 >= k5 * 0.95, "curve must rise: {k1} {k5} {k10}");
+    assert!(
+        k5 > k1 && k10 >= k5 * 0.95,
+        "curve must rise: {k1} {k5} {k10}"
+    );
 
     // Small thresholds all work; a threshold far above typical job sizes
     // collapses toward single-queue behaviour.

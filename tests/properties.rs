@@ -21,11 +21,16 @@ fn stage_strategy() -> impl Strategy<Value = StageSpec> {
         .prop_map(|(count, durations, wide)| {
             let width = if wide { 2 } else { 1 };
             let tasks: Vec<TaskSpec> = (0..count as usize)
-                .map(|i| {
-                    TaskSpec::new(SimDuration::from_secs(durations[i])).with_containers(width)
-                })
+                .map(|i| TaskSpec::new(SimDuration::from_secs(durations[i])).with_containers(width))
                 .collect();
-            StageSpec::new(if wide { StageKind::Reduce } else { StageKind::Map }, tasks)
+            StageSpec::new(
+                if wide {
+                    StageKind::Reduce
+                } else {
+                    StageKind::Map
+                },
+                tasks,
+            )
         })
 }
 
@@ -52,8 +57,9 @@ fn run_all_schedulers(
     admission: Option<usize>,
 ) -> Vec<SimulationReport> {
     let build = |scheduler: Box<dyn lasmq::simulator::Scheduler>| {
-        let mut builder =
-            Simulation::builder().cluster(ClusterConfig::single_node(containers)).jobs(jobs.to_vec());
+        let mut builder = Simulation::builder()
+            .cluster(ClusterConfig::single_node(containers))
+            .jobs(jobs.to_vec());
         if let Some(limit) = admission {
             builder = builder.admission_limit(limit);
         }
@@ -64,7 +70,9 @@ fn run_all_schedulers(
         build(Box::new(Fair::new())),
         build(Box::new(Las::new())),
         build(Box::new(LasMq::new(
-            LasMqConfig::paper_experiments().with_first_threshold(10.0).with_num_queues(4),
+            LasMqConfig::paper_experiments()
+                .with_first_threshold(10.0)
+                .with_num_queues(4),
         ))),
     ]
 }

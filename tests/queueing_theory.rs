@@ -16,8 +16,7 @@
 
 use lasmq::schedulers::{Fair, Fifo};
 use lasmq::simulator::{
-    ClusterConfig, JobSpec, Scheduler, SimDuration, Simulation, StageKind, StageSpec,
-    TaskSpec,
+    ClusterConfig, JobSpec, Scheduler, SimDuration, Simulation, StageKind, StageSpec, TaskSpec,
 };
 use lasmq::workload::arrivals::PoissonArrivals;
 use lasmq::workload::dist::{Exponential, Sample};
@@ -46,11 +45,7 @@ fn mg1_jobs(services: &[f64], tasks: u32, lambda: f64, rng: &mut StdRng) -> Vec<
         .collect()
 }
 
-fn run_single_server(
-    jobs: Vec<JobSpec>,
-    scheduler: impl Scheduler,
-    quantum: SimDuration,
-) -> f64 {
+fn run_single_server(jobs: Vec<JobSpec>, scheduler: impl Scheduler, quantum: SimDuration) -> f64 {
     let report = Simulation::builder()
         .cluster(ClusterConfig::single_node(1))
         .quantum(quantum)
@@ -79,7 +74,10 @@ fn mm1_fcfs_matches_pollaczek_khinchine() {
     let jobs = mg1_jobs(&services, 1, lambda, &mut rng);
     let simulated = run_single_server(jobs, Fifo::new(), SimDuration::from_secs(1));
     let rel = (simulated - analytic).abs() / analytic;
-    assert!(rel < 0.12, "M/M/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+    assert!(
+        rel < 0.12,
+        "M/M/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s"
+    );
 }
 
 #[test]
@@ -95,7 +93,10 @@ fn md1_fcfs_matches_pollaczek_khinchine() {
     let jobs = mg1_jobs(&services, 1, lambda, &mut rng);
     let simulated = run_single_server(jobs, Fifo::new(), SimDuration::from_secs(1));
     let rel = (simulated - analytic).abs() / analytic;
-    assert!(rel < 0.10, "M/D/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+    assert!(
+        rel < 0.10,
+        "M/D/1 FCFS: simulated {simulated:.1}s vs analytic {analytic:.1}s"
+    );
 }
 
 #[test]
@@ -117,10 +118,12 @@ fn mm1_fb_matches_the_ps_formula_for_exponential_service() {
         // Equal priorities: weighted fair sharing must degenerate to PS.
         assert_eq!(job.priority(), 1);
     }
-    let simulated =
-        run_single_server(jobs, Fair::unweighted(), SimDuration::from_millis(200));
+    let simulated = run_single_server(jobs, Fair::unweighted(), SimDuration::from_millis(200));
     let rel = (simulated - analytic).abs() / analytic;
-    assert!(rel < 0.15, "M/M/1 PS: simulated {simulated:.1}s vs analytic {analytic:.1}s");
+    assert!(
+        rel < 0.15,
+        "M/M/1 PS: simulated {simulated:.1}s vs analytic {analytic:.1}s"
+    );
 }
 
 #[test]
@@ -136,14 +139,21 @@ fn fcfs_suffers_from_variance_fb_benefits() {
 
     // Bimodal: 90% of jobs take 1 s, 10% take 91 s — mean 10 s, huge
     // variance.
-    let bimodal: Vec<f64> =
-        (0..n).map(|i| if i % 10 == 0 { 91.0 } else { 1.0 }).collect();
+    let bimodal: Vec<f64> = (0..n)
+        .map(|i| if i % 10 == 0 { 91.0 } else { 1.0 })
+        .collect();
     let det = vec![10.0; n];
 
-    let fifo_bimodal =
-        run_single_server(mg1_jobs(&bimodal, 1, lambda, &mut rng), Fifo::new(), SimDuration::from_secs(1));
-    let fifo_det =
-        run_single_server(mg1_jobs(&det, 1, lambda, &mut rng), Fifo::new(), SimDuration::from_secs(1));
+    let fifo_bimodal = run_single_server(
+        mg1_jobs(&bimodal, 1, lambda, &mut rng),
+        Fifo::new(),
+        SimDuration::from_secs(1),
+    );
+    let fifo_det = run_single_server(
+        mg1_jobs(&det, 1, lambda, &mut rng),
+        Fifo::new(),
+        SimDuration::from_secs(1),
+    );
     assert!(
         fifo_bimodal > 2.0 * fifo_det,
         "FCFS must suffer from variance: bimodal {fifo_bimodal:.1}s vs det {fifo_det:.1}s"

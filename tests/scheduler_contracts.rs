@@ -18,7 +18,11 @@ fn check(jobs: Vec<JobSpec>, cluster: ClusterConfig, scheduler: impl Scheduler, 
         .build(InvariantSpy::new(scheduler).check_work_conservation(true))
         .expect("valid setup")
         .run();
-    assert!(report.all_completed(), "{} left jobs unfinished", report.scheduler());
+    assert!(
+        report.all_completed(),
+        "{} left jobs unfinished",
+        report.scheduler()
+    );
 }
 
 #[test]
@@ -28,7 +32,12 @@ fn all_schedulers_honour_the_contracts_on_the_trace() {
     check(jobs.clone(), cluster, Fifo::new(), false);
     check(jobs.clone(), cluster, Fair::new(), false);
     check(jobs.clone(), cluster, Las::new(), false);
-    check(jobs.clone(), cluster, LasMq::new(LasMqConfig::paper_simulations()), false);
+    check(
+        jobs.clone(),
+        cluster,
+        LasMq::new(LasMqConfig::paper_simulations()),
+        false,
+    );
     check(jobs.clone(), cluster, ShortestJobFirst::new(), true);
     check(jobs.clone(), cluster, ShortestRemainingFirst::new(), true);
     check(jobs, cluster, EstimatedSjf::new(1.0, 0.05, 3), true);
@@ -45,7 +54,10 @@ fn all_schedulers_honour_the_contracts_on_puma() {
     check(
         jobs,
         cluster,
-        CapacityController::new(LasMq::with_paper_defaults(), CapacityGranularity::WholePercent),
+        CapacityController::new(
+            LasMq::with_paper_defaults(),
+            CapacityGranularity::WholePercent,
+        ),
         false,
     );
 }
