@@ -8,10 +8,11 @@
 //! * [`bootstrap_ci`] — seeded percentile bootstrap for statistics the
 //!   normal theory does not cover (p99s of heavy-tailed responses);
 //! * [`paired_compare`] — per-seed paired differences between two
-//!   schedulers, the variance-cancelling way to claim "A beats B".
+//!   schedulers, the variance-cancelling way to claim "A beats B";
+//! * [`TelemetrySummary`] — headline numbers (peak queue depth, demotions
+//!   per level, preemption churn) reduced from a run's telemetry series.
 //!
-//! The crate is dependency-free and fully deterministic (the bootstrap
-//! uses an explicit seed).
+//! Everything is fully deterministic (the bootstrap uses an explicit seed).
 //!
 //! # Examples
 //!
@@ -32,7 +33,9 @@
 pub mod bootstrap;
 pub mod compare;
 pub mod summary;
+pub mod telemetry;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use compare::{paired_compare, PairedComparison};
 pub use summary::{summarize, SampleSummary};
+pub use telemetry::TelemetrySummary;

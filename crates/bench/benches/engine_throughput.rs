@@ -1,14 +1,18 @@
 //! Microbenchmarks of the simulator substrate itself: event throughput,
-//! the weighted-share primitive, and the event queue.
+//! the weighted-share primitive, the event queue, and the multilevel
+//! queue's membership churn.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use lasmq_core::mlq::MultilevelQueue;
+use lasmq_core::LasMq;
 use lasmq_schedulers::share::{weighted_shares, ShareRequest};
 use lasmq_schedulers::Fifo;
 use lasmq_simulator::event::{Event, EventQueue};
 use lasmq_simulator::{
-    ClusterConfig, JobSpec, SimDuration, SimTime, Simulation, StageKind, StageSpec, TaskSpec,
+    ClusterConfig, JobId, JobSpec, Service, SimDuration, SimTime, Simulation, StageKind, StageSpec,
+    TaskSpec,
 };
 
 fn synthetic_jobs(n: usize) -> Vec<JobSpec> {
@@ -49,6 +53,20 @@ fn bench_engine(c: &mut Criterion) {
             black_box(report)
         });
     });
+    // The paper scheduler end-to-end: exercises the multilevel queue's
+    // insert/observe/remove churn (position-tracked swap removal) plus
+    // per-pass ordering, on top of the same engine substrate.
+    group.bench_function("las_mq_500_jobs_12500_tasks", |b| {
+        b.iter(|| {
+            let report = Simulation::builder()
+                .cluster(ClusterConfig::new(4, 30))
+                .jobs(jobs.clone())
+                .build(LasMq::with_paper_defaults())
+                .expect("valid setup")
+                .run();
+            black_box(report)
+        });
+    });
     group.finish();
 
     let mut group = c.benchmark_group("primitives");
@@ -58,6 +76,39 @@ fn bench_engine(c: &mut Criterion) {
     group.throughput(Throughput::Elements(requests.len() as u64));
     group.bench_function("weighted_shares_1000_parties", |b| {
         b.iter(|| black_box(weighted_shares(black_box(120), &requests)));
+    });
+
+    // Membership churn on the multilevel queue: insert a large population,
+    // demote jobs via observations, then drain by removal. Removal and
+    // demotion are O(1) swap-outs (each entry tracks its queue position),
+    // so this stays flat as the population grows instead of scaling with
+    // queue length.
+    let thresholds: Vec<Service> = [10.0, 100.0, 1_000.0, 10_000.0]
+        .iter()
+        .map(|&s| Service::from_container_secs(s))
+        .collect();
+    group.throughput(Throughput::Elements(8_000));
+    group.bench_function("mlq_churn_2000_jobs_8k_ops", |b| {
+        b.iter(|| {
+            let mut mlq = MultilevelQueue::new(thresholds.len() + 1);
+            for i in 0..2_000u32 {
+                mlq.insert(JobId::new(i));
+            }
+            for round in 0..2u64 {
+                for i in 0..2_000u32 {
+                    let service = ((u64::from(i) * 7919 + round * 13) % 20_000) as f64;
+                    mlq.observe(
+                        JobId::new(i),
+                        Service::from_container_secs(service),
+                        &thresholds,
+                    );
+                }
+            }
+            for i in 0..2_000u32 {
+                mlq.remove(JobId::new(i));
+            }
+            black_box(mlq)
+        });
     });
 
     group.throughput(Throughput::Elements(10_000));

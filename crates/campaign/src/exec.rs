@@ -11,8 +11,14 @@
 //! deterministic, the cache round-trips reports losslessly, and nothing
 //! about scheduling order can leak into the results.
 //!
-//! Progress telemetry goes to **stderr** (throttled), keeping stdout —
-//! tables and CSVs — byte-stable.
+//! Progress reporting goes to **stderr** (throttled), keeping stdout —
+//! tables and CSVs — byte-stable. With a telemetry directory configured,
+//! every cell additionally runs with simulator telemetry enabled and
+//! writes per-cell CSV/JSON artifacts
+//! ([`write_cell_artifacts`](crate::artifacts::write_cell_artifacts));
+//! because `record_telemetry` is part of the cached setup, telemetry runs
+//! get their own cache entries and warm-cache reruns reproduce the
+//! artifacts byte-for-byte.
 
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -26,7 +32,7 @@ use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
 use crate::manifest::Manifest;
 use crate::run::RunCell;
 
-/// How a campaign executes: worker count, caching, telemetry.
+/// How a campaign executes: worker count, caching, progress, telemetry.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads; `None` = `std::thread::available_parallelism()`.
@@ -35,8 +41,11 @@ pub struct ExecOptions {
     pub use_cache: bool,
     /// Cache directory; `None` = [`DEFAULT_CACHE_DIR`].
     pub cache_dir: Option<PathBuf>,
-    /// Whether to print progress telemetry to stderr.
-    pub telemetry: bool,
+    /// Whether to print progress to stderr.
+    pub progress: bool,
+    /// When set, every cell runs with simulator telemetry enabled and
+    /// writes per-cell artifacts under this directory.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl Default for ExecOptions {
@@ -45,7 +54,8 @@ impl Default for ExecOptions {
             threads: None,
             use_cache: true,
             cache_dir: None,
-            telemetry: false,
+            progress: false,
+            telemetry_dir: None,
         }
     }
 }
@@ -71,9 +81,16 @@ impl ExecOptions {
         self
     }
 
-    /// Enables stderr progress telemetry.
+    /// Enables stderr progress reporting.
     pub fn verbose(mut self) -> Self {
-        self.telemetry = true;
+        self.progress = true;
+        self
+    }
+
+    /// Records telemetry on every cell and writes per-cell artifacts
+    /// (`samples.csv`, `decisions.csv`, `summary.json`) under `dir`.
+    pub fn telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry_dir = Some(dir.into());
         self
     }
 
@@ -163,12 +180,26 @@ impl Campaign {
     pub fn run(&self, opts: &ExecOptions) -> CampaignResult {
         let start = Instant::now();
         let total = self.cells.len();
-        let keys: Vec<String> = self.cells.iter().map(RunCell::fingerprint).collect();
+        // A telemetry run executes the same grid with recording switched
+        // on; `record_telemetry` is part of each cell's fingerprint, so
+        // these cells address their own cache entries.
+        let telemetry_cells: Option<Vec<RunCell>> = opts.telemetry_dir.as_ref().map(|_| {
+            self.cells
+                .iter()
+                .cloned()
+                .map(|mut cell| {
+                    cell.setup = cell.setup.record_telemetry(true);
+                    cell
+                })
+                .collect()
+        });
+        let cells: &[RunCell] = telemetry_cells.as_deref().unwrap_or(&self.cells);
+        let keys: Vec<String> = cells.iter().map(RunCell::fingerprint).collect();
         let cache = opts.resolved_cache();
         if let Some(cache) = &cache {
             // Journal the full cell list up front so an interrupted
             // campaign is inspectable and resumable.
-            let _ = Manifest::new(&self.name, &self.cells, &keys).write(cache.dir());
+            let _ = Manifest::new(&self.name, cells, &keys).write(cache.dir());
         }
         let threads = opts.resolved_threads(total);
 
@@ -185,7 +216,7 @@ impl Campaign {
                     if i >= total {
                         break;
                     }
-                    let cell = &self.cells[i];
+                    let cell = &cells[i];
                     let key = &keys[i];
                     let report = match cache.as_ref().and_then(|c| c.load(key)) {
                         Some(cached) => {
@@ -200,11 +231,25 @@ impl Campaign {
                             report
                         }
                     };
+                    // Cached reports round-trip telemetry, so artifacts
+                    // come out identical whether the report was simulated
+                    // or loaded. IO trouble degrades to a warning; the
+                    // campaign's reports are still good.
+                    if let Some(root) = &opts.telemetry_dir {
+                        if let Err(err) =
+                            crate::artifacts::write_cell_artifacts(root, &cell.label, &report)
+                        {
+                            eprintln!(
+                                "[campaign {}] warning: telemetry artifacts for {}: {err}",
+                                self.name, cell.label
+                            );
+                        }
+                    }
                     slots[i]
                         .set(report)
                         .expect("each cell index is claimed once");
                     let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if opts.telemetry {
+                    if opts.progress {
                         progress.lock().unwrap().tick(
                             &self.name,
                             &cell.label,
@@ -228,7 +273,7 @@ impl Campaign {
             threads,
             wall: start.elapsed(),
         };
-        if opts.telemetry {
+        if opts.progress {
             eprintln!(
                 "[campaign {}] done: {} cells in {:.2}s ({} cached, {} threads)",
                 self.name,
@@ -371,6 +416,81 @@ mod tests {
         assert_eq!(manifests[0].cells.len(), 4);
         assert_eq!(manifests[0].cached_cells(&ResultCache::new(&dir)), 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_dir_emits_artifacts_for_every_cell() {
+        let cache = temp_cache("telem-cache");
+        let art = temp_cache("telem-art");
+        let campaign = small_campaign("telem");
+
+        let result = campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&cache)
+                .telemetry_dir(&art),
+        );
+        assert_eq!(result.stats.cache_hits, 0);
+        for (report, cell) in result.reports.iter().zip(campaign.cells()) {
+            assert!(
+                report.telemetry().is_some(),
+                "telemetry campaigns must return telemetry-bearing reports"
+            );
+            let dir = art.join(crate::artifacts::sanitize_label(&cell.label));
+            for file in ["samples.csv", "decisions.csv", "summary.json"] {
+                assert!(
+                    dir.join(file).is_file(),
+                    "missing {file} for {}",
+                    cell.label
+                );
+            }
+        }
+
+        // A warm-cache rerun answers every cell from the cache (telemetry
+        // cells address their own entries) and rewrites the artifacts
+        // byte-identically from the round-tripped reports.
+        let sample_path = art
+            .join(crate::artifacts::sanitize_label("telem/0"))
+            .join("samples.csv");
+        let first = std::fs::read(&sample_path).unwrap();
+        let rerun = campaign.run(
+            &ExecOptions::with_threads(1)
+                .cache_dir(&cache)
+                .telemetry_dir(&art),
+        );
+        assert_eq!(rerun.stats.cache_hits, 4);
+        assert_eq!(first, std::fs::read(&sample_path).unwrap());
+
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_dir_all(&art);
+    }
+
+    #[test]
+    fn telemetry_and_plain_runs_use_distinct_cache_entries() {
+        let cache = temp_cache("telem-split");
+        let art = temp_cache("telem-split-art");
+        let campaign = small_campaign("split");
+
+        let plain = campaign.run(&ExecOptions::with_threads(2).cache_dir(&cache));
+        assert_eq!(plain.stats.cache_hits, 0);
+        assert!(plain.reports.iter().all(|r| r.telemetry().is_none()));
+
+        // Same grid with telemetry: the fingerprints differ, so nothing
+        // hits the plain entries and the reports carry telemetry.
+        let telem = campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&cache)
+                .telemetry_dir(&art),
+        );
+        assert_eq!(telem.stats.cache_hits, 0);
+        assert!(telem.reports.iter().all(|r| r.telemetry().is_some()));
+
+        // Scheduling outcomes are unaffected by recording.
+        for (p, t) in plain.reports.iter().zip(&telem.reports) {
+            assert_eq!(p.stats(), t.stats());
+        }
+
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_dir_all(&art);
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //! * a **resumable manifest/journal** ([`Manifest`]) — interrupted
 //!   campaigns pick up where they left off on the next run, and
 //!   `repro campaign-status` shows per-campaign completion;
-//! * **progress telemetry** on stderr (cells done/total, cache hits,
-//!   per-worker throughput, ETA), keeping stdout byte-stable.
+//! * **progress reporting** on stderr (cells done/total, cache hits,
+//!   per-worker throughput, ETA), keeping stdout byte-stable;
+//! * optional **telemetry artifacts** — with
+//!   [`ExecOptions::telemetry_dir`], every cell runs with simulator
+//!   telemetry enabled and writes deterministic `samples.csv`,
+//!   `decisions.csv` and `summary.json` under a per-cell directory
+//!   ([`write_cell_artifacts`]).
 //!
 //! Results are **bit-identical regardless of worker count or cache
 //! state**: cell simulations are single-threaded and deterministic,
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod cache;
 pub mod exec;
 pub mod kind;
@@ -50,6 +56,7 @@ pub mod run;
 pub mod setup;
 pub mod workload;
 
+pub use artifacts::write_cell_artifacts;
 pub use cache::{ResultCache, DEFAULT_CACHE_DIR};
 pub use exec::{Campaign, CampaignResult, CampaignStats, ExecOptions};
 pub use kind::{ParseSchedulerError, SchedulerKind};

@@ -9,7 +9,10 @@ use crate::workload::WorkloadSpec;
 /// Version stamp mixed into every fingerprint. Bump when the simulation
 /// engine, a generator, or the report format changes meaning, so stale
 /// cache entries can never be mistaken for current results.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: reports may embed telemetry and setups carry `record_telemetry`,
+/// so v1 entries no longer describe what a run would produce today.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One unit of campaign work: run `workload` under `scheduler` in
 /// `setup`.

@@ -18,6 +18,11 @@ pub struct SimSetup {
     preemption: PreemptionPolicy,
     speculation: SpeculationConfig,
     failures: FailureConfig,
+    /// Whether runs record telemetry. Part of the serialized setup, so it
+    /// feeds the cache fingerprint: telemetry-bearing reports get their own
+    /// cache entries and warm-cache runs reproduce them bit-identically.
+    #[serde(default)]
+    record_telemetry: bool,
 }
 
 impl SimSetup {
@@ -31,6 +36,7 @@ impl SimSetup {
             preemption: PreemptionPolicy::Graceful,
             speculation: SpeculationConfig::disabled(),
             failures: FailureConfig::disabled(),
+            record_telemetry: false,
         }
     }
 
@@ -44,6 +50,7 @@ impl SimSetup {
             preemption: PreemptionPolicy::Graceful,
             speculation: SpeculationConfig::disabled(),
             failures: FailureConfig::disabled(),
+            record_telemetry: false,
         }
     }
 
@@ -93,6 +100,17 @@ impl SimSetup {
         self
     }
 
+    /// Enables or disables telemetry recording for runs of this setup.
+    pub fn record_telemetry(mut self, record: bool) -> Self {
+        self.record_telemetry = record;
+        self
+    }
+
+    /// Whether runs of this setup record telemetry.
+    pub fn records_telemetry(&self) -> bool {
+        self.record_telemetry
+    }
+
     /// The configured cluster.
     pub fn cluster_config(&self) -> ClusterConfig {
         self.cluster
@@ -113,6 +131,7 @@ impl SimSetup {
             .speculation(self.speculation)
             .failures(self.failures)
             .expose_oracle(kind.requires_oracle())
+            .record_telemetry(self.record_telemetry)
             .jobs(jobs)
             .admission_opt(self.admission_limit)
             .build(kind.build())

@@ -14,6 +14,11 @@ use lasmq_simulator::{JobId, Service};
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     queue: usize,
+    /// The job's current position within `queues[queue]`, kept in sync on
+    /// every mutation so membership changes are O(1) instead of a linear
+    /// scan. Positions are only meaningful *between* mutations; sorting a
+    /// queue rewrites them wholesale.
+    pos: usize,
     seq: u64,
     max_effective: f64,
 }
@@ -83,6 +88,7 @@ impl MultilevelQueue {
             job,
             Entry {
                 queue: 0,
+                pos: self.queues[0].len(),
                 seq,
                 max_effective: 0.0,
             },
@@ -90,10 +96,37 @@ impl MultilevelQueue {
         self.queues[0].push(job);
     }
 
-    /// Removes a completed job. Idempotent.
+    /// Removes a completed job in O(1). Idempotent.
+    ///
+    /// Uses swap-removal, so the relative order of the remaining jobs in
+    /// the queue may change; callers that care about order re-sort every
+    /// queue before reading it (as LAS_MQ does each scheduling pass).
     pub fn remove(&mut self, job: JobId) {
         if let Some(entry) = self.index.remove(&job) {
-            self.queues[entry.queue].retain(|&j| j != job);
+            self.swap_out(entry.queue, entry.pos);
+        }
+    }
+
+    /// Removes the job at `queues[queue][pos]` by swap-removal, patching
+    /// the displaced job's recorded position.
+    fn swap_out(&mut self, queue: usize, pos: usize) {
+        self.queues[queue].swap_remove(pos);
+        if let Some(&moved) = self.queues[queue].get(pos) {
+            self.index
+                .get_mut(&moved)
+                .expect("queued job must be indexed")
+                .pos = pos;
+        }
+    }
+
+    /// Rewrites the recorded positions of every job in queue `i` (after a
+    /// sort reordered the queue).
+    fn reindex(&mut self, i: usize) {
+        for (pos, &job) in self.queues[i].iter().enumerate() {
+            self.index
+                .get_mut(&job)
+                .expect("queued job must be indexed")
+                .pos = pos;
         }
     }
 
@@ -143,40 +176,89 @@ impl MultilevelQueue {
                 entry.max_effective <= t * (1.0 + 1e-6)
             })
             .unwrap_or(thresholds.len());
-        if target > entry.queue {
-            let from = entry.queue;
-            entry.queue = target;
-            self.queues[from].retain(|&j| j != job);
-            self.queues[target].push(job);
+        let current = entry.queue;
+        if target <= current {
+            return Some(current);
         }
-        Some(self.index[&job].queue)
+        let pos = entry.pos;
+        entry.queue = target;
+        self.swap_out(current, pos);
+        let new_pos = self.queues[target].len();
+        self.queues[target].push(job);
+        self.index
+            .get_mut(&job)
+            .expect("observed job is indexed")
+            .pos = new_pos;
+        Some(target)
     }
 
     /// Sorts queue `i` by `key` ascending (stable, so equal keys keep
-    /// their existing relative order).
+    /// their existing relative order — note removals and demotions use
+    /// swap-removal, so the pre-sort order is unspecified between sorts).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn sort_queue_by_key<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId) -> K) {
         self.queues[i].sort_by_key(|&j| key(j));
+        self.reindex(i);
     }
 
     /// Sorts queue `i` ascending by `key(job, seq)`, where `seq` is the
     /// job's arrival sequence number — the natural FIFO tie-breaker for
     /// the paper's demand-based ordering.
     ///
+    /// Every queued job has an index entry by construction; if that
+    /// invariant were ever broken, debug builds panic here, and release
+    /// builds fall back to sorting the orphaned job last (`u64::MAX`)
+    /// rather than crashing mid-experiment.
+    ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn sort_queue_with_seq<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId, u64) -> K) {
         let index = &self.index;
-        self.queues[i].sort_by_key(|&j| key(j, index.get(&j).map(|e| e.seq).unwrap_or(u64::MAX)));
+        self.queues[i].sort_by_key(|&j| {
+            let seq = match index.get(&j) {
+                Some(e) => e.seq,
+                None => {
+                    debug_assert!(false, "{j} is queued but missing from the index");
+                    u64::MAX
+                }
+            };
+            key(j, seq)
+        });
+        self.reindex(i);
     }
 
     /// Per-queue job counts (handy for tests and introspection).
     pub fn queue_lengths(&self) -> Vec<usize> {
         self.queues.iter().map(Vec::len).collect()
+    }
+
+    /// Checks the `index`/`queues` cross-invariants, panicking on any
+    /// violation: every queued job has an index entry pointing back at its
+    /// exact queue and position, and the index holds nothing else. Used by
+    /// property tests; O(total jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure is inconsistent.
+    pub fn assert_consistent(&self) {
+        let queued: usize = self.queues.iter().map(Vec::len).sum();
+        assert_eq!(
+            queued,
+            self.index.len(),
+            "index size must match total queued jobs"
+        );
+        for (qi, queue) in self.queues.iter().enumerate() {
+            for (pos, &job) in queue.iter().enumerate() {
+                let entry = self.index.get(&job).expect("queued job must be indexed");
+                assert_eq!(entry.queue, qi, "{job} indexed in the wrong queue");
+                assert_eq!(entry.pos, pos, "{job} indexed at the wrong position");
+                assert!(entry.seq < self.next_seq, "{job} has an unissued seq");
+            }
+        }
     }
 }
 
@@ -271,6 +353,26 @@ mod tests {
         mlq.sort_queue_by_key(0, |j| std::cmp::Reverse(j.index()));
         let order: Vec<usize> = mlq.jobs_in(0).iter().map(|j| j.index()).collect();
         assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn swap_removal_keeps_positions_consistent() {
+        let t = thresholds(&[10.0]);
+        let mut mlq = MultilevelQueue::new(2);
+        for i in 0..5 {
+            mlq.insert(JobId::new(i));
+        }
+        mlq.remove(JobId::new(1)); // the tail job is swapped into slot 1
+        mlq.assert_consistent();
+        mlq.observe(JobId::new(0), Service::from_container_secs(50.0), &t);
+        mlq.assert_consistent();
+        mlq.remove(JobId::new(4));
+        mlq.assert_consistent();
+        assert_eq!(mlq.queue_lengths(), vec![2, 1]);
+        mlq.sort_queue_by_key(0, |j| j.index());
+        mlq.assert_consistent();
+        let order: Vec<usize> = mlq.jobs_in(0).iter().map(|j| j.index()).collect();
+        assert_eq!(order, vec![2, 3]);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use std::collections::HashMap;
 
-use lasmq_simulator::{AllocationPlan, JobId, JobView, SchedContext, Scheduler, SimTime};
+use lasmq_simulator::{
+    AllocationPlan, JobId, JobView, QueueDemotion, SchedContext, Scheduler, SimTime,
+};
 
 use lasmq_schedulers::share::{weighted_shares, ShareRequest};
 
@@ -62,6 +64,8 @@ pub struct LasMq {
     thresholds: Vec<lasmq_simulator::Service>,
     weights: Vec<f64>,
     mlq: MultilevelQueue,
+    /// Demotions since the engine last drained them (telemetry).
+    demotions: Vec<QueueDemotion>,
 }
 
 impl LasMq {
@@ -75,6 +79,7 @@ impl LasMq {
             thresholds,
             weights,
             mlq,
+            demotions: Vec::new(),
         }
     }
 
@@ -111,7 +116,18 @@ impl LasMq {
                 self.config.stage_awareness(),
                 self.config.min_progress_for_estimate(),
             );
-            self.mlq.observe(view.id, effective, &self.thresholds);
+            let before = self.mlq.queue_of(view.id);
+            let after = self.mlq.observe(view.id, effective, &self.thresholds);
+            if let (Some(from), Some(to)) = (before, after) {
+                if to != from {
+                    self.demotions.push(QueueDemotion {
+                        job: view.id,
+                        from_queue: from as u32,
+                        to_queue: to as u32,
+                        effective,
+                    });
+                }
+            }
         }
         for i in 0..self.mlq.num_queues() {
             match self.config.ordering() {
@@ -241,6 +257,14 @@ impl Scheduler for LasMq {
             }
         }
         plan
+    }
+
+    fn queue_depths(&self) -> Option<Vec<u32>> {
+        Some(self.mlq.queue_lengths().iter().map(|&n| n as u32).collect())
+    }
+
+    fn drain_demotions(&mut self) -> Vec<QueueDemotion> {
+        std::mem::take(&mut self.demotions)
     }
 }
 
@@ -419,6 +443,24 @@ mod tests {
         }
         let total: u32 = final_targets.values().sum();
         assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn demotions_are_reported_and_drained() {
+        let mut sched = LasMq::new(config());
+        let views = vec![
+            view(0, 50.0, 50.0, 0.0, 10, 10, 0), // belongs in queue 1
+            view(1, 2.0, 2.0, 0.0, 10, 10, 0),   // stays in queue 0
+        ];
+        admit_all(&mut sched, &views);
+        let _ = sched.allocate(&SchedContext::new(SimTime::ZERO, 12, &views));
+        let demotions = sched.drain_demotions();
+        assert_eq!(demotions.len(), 1);
+        assert_eq!(demotions[0].job, JobId::new(0));
+        assert_eq!(demotions[0].from_queue, 0);
+        assert_eq!(demotions[0].to_queue, 1);
+        assert!(sched.drain_demotions().is_empty(), "drain clears the list");
+        assert_eq!(sched.queue_depths(), Some(vec![1, 1, 0]));
     }
 
     #[test]

@@ -181,6 +181,34 @@ proptest! {
         }
     }
 
+    /// The `index` map and the `queues` vectors stay mutually consistent
+    /// (every queued job indexed at its exact queue and position, nothing
+    /// dangling) under arbitrary insert/observe/remove/sort sequences —
+    /// the invariant behind O(1) swap-removal and the seq-lookup fallback.
+    #[test]
+    fn mlq_index_and_queues_stay_consistent(
+        ops in prop::collection::vec((0u32..30, 0.0f64..1e5, 0u8..4), 1..200),
+    ) {
+        let thresholds: Vec<Service> =
+            [10.0, 100.0, 1_000.0].iter().map(|&t| Service::from_container_secs(t)).collect();
+        let mut mlq = MultilevelQueue::new(4);
+        for (id, service, op) in ops {
+            let job = JobId::new(id);
+            match op {
+                0 => mlq.insert(job),
+                1 => mlq.remove(job),
+                2 => {
+                    let _ = mlq.observe(job, Service::from_container_secs(service), &thresholds);
+                }
+                _ => {
+                    let queue = (id as usize) % mlq.num_queues();
+                    mlq.sort_queue_with_seq(queue, |_, seq| seq);
+                }
+            }
+            mlq.assert_consistent();
+        }
+    }
+
     /// The stage-awareness estimate never ranks a job below its precisely
     /// attained service, and equals it when disabled.
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
-//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+//!       [--telemetry DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
 //! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|sjf|srtf] [--containers N]
@@ -14,8 +14,10 @@
 //! reduced bench scale. Runs execute as campaigns on a worker pool
 //! (`--threads`, default all cores) backed by a content-addressed result
 //! cache under `target/campaign-cache` (`--no-cache` bypasses it;
-//! `campaign-status` summarizes it). Results are bit-identical regardless
-//! of worker count or cache state. `trace-gen` freezes a workload to a
+//! `campaign-status` summarizes it). `--telemetry DIR` records scheduler
+//! telemetry on every cell and writes per-cell `samples.csv`,
+//! `decisions.csv` and `summary.json` artifacts under `DIR`. Results are
+//! bit-identical regardless of worker count or cache state. `trace-gen` freezes a workload to a
 //! JSON trace file; `trace-run` replays one under any scheduler and
 //! prints summary metrics.
 
@@ -38,6 +40,7 @@ struct Args {
     threads: Option<usize>,
     no_cache: bool,
     seed: Option<u64>,
+    telemetry: Option<PathBuf>,
     experiments: Vec<String>,
 }
 
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut threads = None;
     let mut no_cache = false;
     let mut seed = None;
+    let mut telemetry = None;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -73,6 +77,12 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .map_err(|_| format!("--seed needs a u64, got '{v}'"))?,
                 );
             }
+            "--telemetry" => {
+                telemetry = Some(PathBuf::from(
+                    argv.next()
+                        .ok_or("--telemetry needs a directory argument")?,
+                ));
+            }
             "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -87,12 +97,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         threads,
         no_cache,
         seed,
+        telemetry,
         experiments,
     }))
 }
 
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
-    <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+    [--telemetry DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
        repro trace-run <FILE> [--scheduler NAME] [--containers N]";
@@ -129,6 +140,9 @@ fn main() -> ExitCode {
     exec.threads = args.threads.and_then(std::num::NonZeroUsize::new);
     if args.no_cache {
         exec = exec.no_cache();
+    }
+    if let Some(dir) = &args.telemetry {
+        exec = exec.telemetry_dir(dir);
     }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create output directory {}: {e}", args.out.display());

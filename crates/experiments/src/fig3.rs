@@ -46,6 +46,11 @@ pub fn cases() -> Vec<(&'static str, LasMqConfig)> {
 pub struct Fig3Result {
     /// `(case label, Fair mean / case mean)` in paper order.
     pub normalized: Vec<(String, f64)>,
+    /// Downsampled queue-depth trace of repetition 0's Case 4 run:
+    /// `(time in ms, per-queue depth)` rows, highest-priority queue first.
+    /// Empty unless the campaign ran with telemetry
+    /// ([`ExecOptions::telemetry_dir`]).
+    pub queue_trace: Vec<(u64, Vec<u32>)>,
 }
 
 impl Fig3Result {
@@ -63,7 +68,28 @@ impl Fig3Result {
         for (label, v) in &self.normalized {
             t.row(vec![label.clone(), format!("{v:.2}")]);
         }
-        vec![t]
+        let mut tables = vec![t];
+        if !self.queue_trace.is_empty() {
+            let queues = self
+                .queue_trace
+                .iter()
+                .map(|(_, depths)| depths.len())
+                .max()
+                .unwrap_or(0);
+            let mut header = vec!["t_s".to_string()];
+            header.extend((1..=queues).map(|i| format!("q{i}")));
+            let mut qt = TextTable::new(
+                "Fig 3 telemetry: Case 4 queue depths over time (rep 0)",
+                header,
+            );
+            for (at_ms, depths) in &self.queue_trace {
+                let mut row = vec![format!("{:.0}", *at_ms as f64 / 1000.0)];
+                row.extend((0..queues).map(|i| depths.get(i).copied().unwrap_or(0).to_string()));
+                qt.row(row);
+            }
+            tables.push(qt);
+        }
+        tables
     }
 }
 
@@ -119,12 +145,28 @@ pub fn run_with(scale: &Scale, exec: &ExecOptions) -> Fig3Result {
         }
     }
 
+    // Repetition 0's Case 4 cell sits right after its Fair baseline.
+    let queue_trace = result.reports[case_list.len()]
+        .telemetry()
+        .map(|telemetry| {
+            let samples = telemetry.samples();
+            // Keep the table readable: at most ~24 evenly spaced rows.
+            let step = (samples.len() / 24).max(1);
+            samples
+                .iter()
+                .step_by(step)
+                .map(|s| (s.at.as_millis(), s.queue_depths.clone()))
+                .collect()
+        })
+        .unwrap_or_default();
+
     Fig3Result {
         normalized: case_list
             .iter()
             .zip(normalized)
             .map(|((label, _), vals)| ((*label).to_string(), mean(&vals).unwrap_or(f64::NAN)))
             .collect(),
+        queue_trace,
     }
 }
 

@@ -54,6 +54,97 @@ fn csv_output_is_identical_across_threads_and_cache_state() {
     let _ = std::fs::remove_dir_all(&cache);
 }
 
+/// Every file under `root`, as sorted `(relative path, bytes)` pairs.
+fn dir_snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in std::fs::read_dir(dir).expect("read artifact dir") {
+            let path = entry.expect("artifact dir entry").path();
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("path under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).expect("read artifact")));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn telemetry_artifacts_are_identical_across_threads_and_cache_state() {
+    let scale = Scale::test();
+    let cache = scratch("telemetry-cache");
+    let serial_dir = scratch("telemetry-serial");
+    let parallel_dir = scratch("telemetry-parallel");
+    let warm_dir = scratch("telemetry-warm");
+
+    // Serial, no cache: the reference artifact tree.
+    let serial = fig3::run_with(
+        &scale,
+        &ExecOptions::with_threads(1)
+            .no_cache()
+            .telemetry_dir(&serial_dir),
+    );
+    // 8 workers, cold cache (simulates and populates).
+    let parallel = fig3::run_with(
+        &scale,
+        &ExecOptions::with_threads(8)
+            .cache_dir(&cache)
+            .telemetry_dir(&parallel_dir),
+    );
+    // 8 workers, warm cache (artifacts rebuilt from cached reports).
+    let warm = fig3::run_with(
+        &scale,
+        &ExecOptions::with_threads(8)
+            .cache_dir(&cache)
+            .telemetry_dir(&warm_dir),
+    );
+
+    let reference = dir_snapshot(&serial_dir);
+    assert!(
+        !reference.is_empty(),
+        "telemetry campaigns must write artifacts"
+    );
+    assert!(
+        reference.iter().any(|(p, _)| p.ends_with("samples.csv")),
+        "artifact tree must contain samples.csv files"
+    );
+    assert_eq!(
+        reference,
+        dir_snapshot(&parallel_dir),
+        "8-thread cold-cache artifacts differ from serial artifacts"
+    );
+    assert_eq!(
+        reference,
+        dir_snapshot(&warm_dir),
+        "warm-cache artifacts differ from serial artifacts"
+    );
+
+    // The derived queue-depth trace table is part of the tables and must
+    // stay byte-identical too.
+    assert_eq!(serial.tables().len(), 2, "telemetry adds the trace table");
+    let reference_csv = csv_bytes(&serial.tables(), &scratch("telemetry-csv-serial"));
+    assert_eq!(
+        reference_csv,
+        csv_bytes(&parallel.tables(), &scratch("telemetry-csv-parallel"))
+    );
+    assert_eq!(
+        reference_csv,
+        csv_bytes(&warm.tables(), &scratch("telemetry-csv-warm"))
+    );
+
+    for dir in [&cache, &serial_dir, &parallel_dir, &warm_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 #[test]
 fn trace_driven_experiment_is_identical_across_threads() {
     // fig7 covers the other workload families (Facebook trace + uniform

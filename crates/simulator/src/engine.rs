@@ -32,6 +32,7 @@ use crate::job::{JobSpec, StageSpec};
 use crate::journal::{Journal, SimEvent};
 use crate::metrics::{EngineStats, JobOutcome, SimulationReport};
 use crate::sched::{JobView, OracleInfo, SchedContext, Scheduler};
+use crate::telemetry::{DecisionEvent, Telemetry, TelemetrySample};
 use crate::time::{Service, SimDuration, SimTime};
 
 /// How the engine reclaims containers from jobs whose allocation target
@@ -342,6 +343,7 @@ pub struct SimulationBuilder {
     failures: FailureConfig,
     expose_oracle: bool,
     record_journal: bool,
+    record_telemetry: bool,
     deadline: Option<SimTime>,
     jobs: Vec<JobSpec>,
 }
@@ -357,6 +359,7 @@ impl Default for SimulationBuilder {
             failures: FailureConfig::disabled(),
             expose_oracle: false,
             record_journal: false,
+            record_telemetry: false,
             deadline: None,
             jobs: Vec::new(),
         }
@@ -417,6 +420,14 @@ impl SimulationBuilder {
     /// Off by default — long traces produce millions of events.
     pub fn record_journal(mut self, record: bool) -> Self {
         self.record_journal = record;
+        self
+    }
+
+    /// Records [`Telemetry`]: one scheduler-state sample per full pass plus
+    /// a log of decision events (demotions, preemption kills, speculative
+    /// copies, admission verdicts). Off by default and zero-cost when off.
+    pub fn record_telemetry(mut self, record: bool) -> Self {
+        self.record_telemetry = record;
         self
     }
 
@@ -502,6 +513,11 @@ impl SimulationBuilder {
             } else {
                 None
             },
+            telemetry: if self.record_telemetry {
+                Some(Telemetry::new())
+            } else {
+                None
+            },
             jobs,
             events,
             admitted: Vec::new(),
@@ -566,6 +582,7 @@ pub struct Simulation<S: Scheduler> {
     expose_oracle: bool,
     deadline: Option<SimTime>,
     journal: Option<Journal>,
+    telemetry: Option<Telemetry>,
     jobs: Vec<Job>,
     events: EventQueue,
     admitted: Vec<JobId>,
@@ -668,6 +685,8 @@ impl<S: Scheduler> Simulation<S> {
         self.record(SimEvent::JobSubmitted { job, at: self.now });
         if self.admission.offer(job).is_some() {
             self.admit(job);
+        } else if let Some(tel) = &mut self.telemetry {
+            tel.push_decision(DecisionEvent::AdmissionDeferred { job, at: self.now });
         }
     }
 
@@ -686,6 +705,14 @@ impl<S: Scheduler> Simulation<S> {
         }
         self.admitted.push(id);
         self.record(SimEvent::JobAdmitted { job: id, at: now });
+        if let Some(tel) = &mut self.telemetry {
+            let waited = now.saturating_since(self.jobs[id.index()].spec.arrival());
+            tel.push_decision(DecisionEvent::AdmissionAccepted {
+                job: id,
+                waited,
+                at: now,
+            });
+        }
         let view = self.build_view(id);
         self.scheduler.on_job_admitted(&view, now);
         self.ensure_tick();
@@ -1014,6 +1041,22 @@ impl<S: Scheduler> Simulation<S> {
             .collect();
         let ctx = SchedContext::new(self.now, self.cluster.config().total_containers(), &views);
         let plan = self.scheduler.allocate(&ctx);
+        let active_jobs = views.len() as u32;
+
+        // Always drain so schedulers that buffer demotions never accumulate
+        // them unboundedly; recording them is the cheap part.
+        let demotions = self.scheduler.drain_demotions();
+        if let Some(tel) = &mut self.telemetry {
+            for d in demotions {
+                tel.push_decision(DecisionEvent::JobDemoted {
+                    job: d.job,
+                    from_queue: d.from_queue,
+                    to_queue: d.to_queue,
+                    effective: d.effective,
+                    at: self.now,
+                });
+            }
+        }
 
         // Reset targets, then apply the plan (last entry wins; clamp to
         // useful demand).
@@ -1049,6 +1092,21 @@ impl<S: Scheduler> Simulation<S> {
 
         if self.speculation.is_enabled() && self.cluster.free_containers() > 0 {
             self.launch_speculative_copies();
+        }
+
+        if self.telemetry.is_some() {
+            let queue_depths = self.scheduler.queue_depths().unwrap_or_default();
+            let sample = TelemetrySample {
+                at: self.now,
+                running_jobs: active_jobs,
+                waiting_jobs: self.admission.waiting() as u32,
+                used_containers: self.cluster.used_containers(),
+                total_containers: self.cluster.config().total_containers(),
+                queue_depths,
+            };
+            if let Some(tel) = &mut self.telemetry {
+                tel.push_sample(sample);
+            }
         }
     }
 
@@ -1089,6 +1147,13 @@ impl<S: Scheduler> Simulation<S> {
                     task: killed_task,
                     at: self.now,
                 });
+                if let Some(tel) = &mut self.telemetry {
+                    tel.push_decision(DecisionEvent::TaskPreempted {
+                        job: id,
+                        task: killed_task,
+                        at: self.now,
+                    });
+                }
             }
         }
     }
@@ -1142,6 +1207,13 @@ impl<S: Scheduler> Simulation<S> {
                         at: now,
                     });
                 }
+                if let Some(tel) = &mut self.telemetry {
+                    tel.push_decision(DecisionEvent::SpeculativeLaunched {
+                        job: id,
+                        task: spec_task_id,
+                        at: now,
+                    });
+                }
                 if copy_finish < running.finish {
                     // The restarted copy wins: supersede the original
                     // attempt and finish earlier.
@@ -1162,12 +1234,24 @@ impl<S: Scheduler> Simulation<S> {
                         },
                     );
                     self.stats.speculative_won += 1;
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.push_decision(DecisionEvent::SpeculativeWon {
+                            job: id,
+                            task,
+                            at: now,
+                        });
+                    }
                 }
             }
         }
     }
 
     fn finalize(mut self) -> SimulationReport {
+        // Flush the pending utilization accrual: `update_util` integrates
+        // lazily up to `last_util_update`, so without this final call the
+        // window between the last cluster change and the last processed
+        // event would be dropped from `mean_utilization` (it matters when
+        // the cluster goes idle before the final completion or tick).
         self.update_util();
         self.stats.makespan = self.now;
         let capacity = self.cluster.config().total_containers() as f64;
@@ -1196,11 +1280,15 @@ impl<S: Scheduler> Simulation<S> {
                 isolated: isolated_runtime(&job.spec, total),
             })
             .collect();
-        let report = SimulationReport::new(self.scheduler.name().to_string(), outcomes, self.stats);
-        match self.journal {
-            Some(journal) => report.with_journal(journal),
-            None => report,
+        let mut report =
+            SimulationReport::new(self.scheduler.name().to_string(), outcomes, self.stats);
+        if let Some(journal) = self.journal {
+            report = report.with_journal(journal);
         }
+        if let Some(telemetry) = self.telemetry {
+            report = report.with_telemetry(telemetry);
+        }
+        report
     }
 }
 
@@ -1227,6 +1315,14 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> crate::sched::AllocationPlan {
         (**self).allocate(ctx)
+    }
+
+    fn queue_depths(&self) -> Option<Vec<u32>> {
+        (**self).queue_depths()
+    }
+
+    fn drain_demotions(&mut self) -> Vec<crate::telemetry::QueueDemotion> {
+        (**self).drain_demotions()
     }
 }
 
@@ -1808,6 +1904,204 @@ mod tests {
         let started = journal.count_where(|e| matches!(e, E::TaskStarted { .. }));
         let finished = journal.count_where(|e| matches!(e, E::TaskFinished { .. }));
         assert_eq!(started, finished + failed);
+    }
+
+    #[test]
+    fn mean_utilization_counts_idle_tail() {
+        // Job 0 saturates the cluster until t=10, then the cluster idles
+        // until job 1 arrives at t=100 and runs one container for 10 s.
+        // The utilization integral must cover the idle window and the tail
+        // up to the end of the run, not just up to the last accrual.
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .jobs(vec![map_job(0, 4, 10), map_job(100, 1, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let stats = report.stats();
+        assert!(stats.makespan >= SimTime::from_secs(110));
+        let total_work: f64 = report
+            .outcomes()
+            .iter()
+            .map(|o| o.true_size.as_container_secs())
+            .sum();
+        let integral = stats.mean_utilization * stats.makespan.as_secs_f64() * 4.0;
+        assert!(
+            (integral - total_work).abs() < 1e-6,
+            "{integral} vs {total_work}"
+        );
+    }
+
+    #[test]
+    fn telemetry_is_off_by_default() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .job(map_job(0, 1, 1))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(report.telemetry().is_none());
+    }
+
+    #[test]
+    fn telemetry_records_samples_and_admission_decisions() {
+        use crate::telemetry::DecisionEvent as D;
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .admission_limit(1)
+            .record_telemetry(true)
+            .jobs(vec![map_job(0, 4, 10), map_job(0, 4, 10)])
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let tel = report.telemetry().expect("telemetry was requested");
+        assert!(!tel.samples().is_empty());
+        for pair in tel.samples().windows(2) {
+            assert!(pair[0].at < pair[1].at, "one sample per timestamp");
+        }
+        for s in tel.samples() {
+            assert_eq!(s.total_containers, 4);
+            assert!(s.used_containers <= s.total_containers);
+            assert!((0.0..=1.0).contains(&s.utilization()));
+        }
+        // Job 1 is deferred behind the admission cap, then admitted when
+        // job 0 finishes at t=10.
+        assert_eq!(
+            tel.count_decisions_where(|d| matches!(d, D::AdmissionDeferred { .. })),
+            1
+        );
+        assert_eq!(
+            tel.count_decisions_where(|d| matches!(d, D::AdmissionAccepted { .. })),
+            2
+        );
+        let waited: Vec<SimDuration> = tel
+            .decisions()
+            .iter()
+            .filter_map(|d| match *d {
+                D::AdmissionAccepted { waited, .. } => Some(waited),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(waited, vec![SimDuration::ZERO, SimDuration::from_secs(10)]);
+        // Some sample observed the backlog.
+        assert!(tel.samples().iter().any(|s| s.waiting_jobs == 1));
+    }
+
+    #[test]
+    fn telemetry_counts_preemption_kills() {
+        use crate::telemetry::DecisionEvent as D;
+        struct NewestFirst;
+        impl Scheduler for NewestFirst {
+            fn name(&self) -> &str {
+                "newest-first"
+            }
+            fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+                let mut plan = AllocationPlan::new();
+                if let Some(j) = ctx.jobs().iter().max_by_key(|j| j.arrival) {
+                    plan.push(j.id, j.max_useful_allocation());
+                }
+                plan
+            }
+        }
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .preemption(PreemptionPolicy::Kill)
+            .record_telemetry(true)
+            .jobs(vec![map_job(0, 2, 100), map_job(10, 2, 10)])
+            .build(NewestFirst)
+            .unwrap()
+            .run();
+        let tel = report.telemetry().unwrap();
+        let kills = tel.count_decisions_where(|d| matches!(d, D::TaskPreempted { .. }));
+        assert_eq!(kills as u64, report.stats().tasks_killed);
+        assert!(kills > 0);
+    }
+
+    #[test]
+    fn telemetry_counts_speculation() {
+        use crate::telemetry::DecisionEvent as D;
+        let stage = StageSpec::new(
+            StageKind::Map,
+            vec![
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(10)),
+                TaskSpec::new(SimDuration::from_secs(100)),
+            ],
+        );
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(8))
+            .speculation(SpeculationConfig::enabled(3, 1.5))
+            .record_telemetry(true)
+            .job(JobSpec::builder().stage(stage).build())
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let tel = report.telemetry().unwrap();
+        let launched = tel.count_decisions_where(|d| matches!(d, D::SpeculativeLaunched { .. }));
+        let won = tel.count_decisions_where(|d| matches!(d, D::SpeculativeWon { .. }));
+        assert_eq!(launched as u64, report.stats().speculative_launched);
+        assert_eq!(won as u64, report.stats().speculative_won);
+        assert!(won >= 1);
+    }
+
+    #[test]
+    fn telemetry_plumbs_scheduler_queue_state() {
+        use crate::telemetry::{DecisionEvent as D, QueueDemotion};
+        /// Greedy allocation plus a fake two-queue structure that demotes
+        /// every job once, to exercise the trait plumbing end to end.
+        struct FakeMlq {
+            demoted: Vec<JobId>,
+            pending: Vec<QueueDemotion>,
+            jobs: u32,
+        }
+        impl Scheduler for FakeMlq {
+            fn name(&self) -> &str {
+                "fake-mlq"
+            }
+            fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+                self.jobs = ctx.jobs().len() as u32;
+                for j in ctx.jobs() {
+                    if !self.demoted.contains(&j.id) {
+                        self.demoted.push(j.id);
+                        self.pending.push(QueueDemotion {
+                            job: j.id,
+                            from_queue: 0,
+                            to_queue: 1,
+                            effective: j.attained,
+                        });
+                    }
+                }
+                ctx.jobs()
+                    .iter()
+                    .map(|j| (j.id, j.max_useful_allocation()))
+                    .collect()
+            }
+            fn queue_depths(&self) -> Option<Vec<u32>> {
+                Some(vec![0, self.jobs])
+            }
+            fn drain_demotions(&mut self) -> Vec<QueueDemotion> {
+                std::mem::take(&mut self.pending)
+            }
+        }
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .record_telemetry(true)
+            .jobs(vec![map_job(0, 2, 5), map_job(1, 2, 5)])
+            .build(FakeMlq {
+                demoted: Vec::new(),
+                pending: Vec::new(),
+                jobs: 0,
+            })
+            .unwrap()
+            .run();
+        let tel = report.telemetry().unwrap();
+        assert_eq!(
+            tel.count_decisions_where(|d| matches!(d, D::JobDemoted { .. })),
+            2
+        );
+        assert!(tel.samples().iter().all(|s| s.queue_depths.len() == 2));
+        assert_eq!(tel.queue_columns(), 2);
     }
 
     #[test]

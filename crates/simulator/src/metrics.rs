@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::JobId;
 use crate::journal::Journal;
+use crate::telemetry::Telemetry;
 use crate::time::{Service, SimDuration, SimTime};
 
 /// Everything recorded about one job by the end of a run.
@@ -104,6 +105,8 @@ pub struct SimulationReport {
     stats: EngineStats,
     #[serde(default)]
     journal: Option<Journal>,
+    #[serde(default)]
+    telemetry: Option<Telemetry>,
 }
 
 impl SimulationReport {
@@ -115,6 +118,7 @@ impl SimulationReport {
             outcomes,
             stats,
             journal: None,
+            telemetry: None,
         }
     }
 
@@ -128,6 +132,18 @@ impl SimulationReport {
     /// [`record_journal`](crate::SimulationBuilder::record_journal).
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// Attaches the recorded telemetry series (engine use).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The telemetry series, if the run was built with
+    /// [`record_telemetry`](crate::SimulationBuilder::record_telemetry).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Name of the scheduler that produced this run.

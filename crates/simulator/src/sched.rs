@@ -19,6 +19,7 @@
 //! — so "cheating" baselines such as SJF are visible in the type system.
 
 use crate::ids::JobId;
+use crate::telemetry::QueueDemotion;
 use crate::time::{Service, SimTime};
 
 /// Ground-truth size information, available only to oracle schedulers.
@@ -258,6 +259,21 @@ pub trait Scheduler {
     /// meets or exceeds capacity, a well-behaved plan allocates every
     /// container (the engine asserts this in debug builds).
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan;
+
+    /// Current per-queue job counts, highest priority first, for telemetry
+    /// sampling. `None` (the default) means the scheduler has no
+    /// multilevel-queue structure to report.
+    fn queue_depths(&self) -> Option<Vec<u32>> {
+        None
+    }
+
+    /// Demotions performed since the last drain, for telemetry. The engine
+    /// calls this after every [`allocate`](Self::allocate); implementations
+    /// should hand over and clear their pending list (`std::mem::take`).
+    /// The default returns nothing, which costs nothing.
+    fn drain_demotions(&mut self) -> Vec<QueueDemotion> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,497 @@
+//! Time-series telemetry of a run: how the schedule *unfolded*.
+//!
+//! The [`Journal`](crate::journal::Journal) records what happened to each
+//! task; this module records what the **scheduler** saw and decided —
+//! per-queue depths, running/queued jobs, cluster occupancy over time, and
+//! the typed decision events (demotions, preemption kills, speculative
+//! copies, admission verdicts) that explain *why* response times come out
+//! the way they do. The paper argues entirely from end-of-run aggregates
+//! (§V); validating the aging behaviour of LAS_MQ requires watching queue
+//! depths and demotions over time.
+//!
+//! Recording is off by default and zero-cost when disabled: the engine
+//! samples once per full scheduling pass and only when built with
+//! [`record_telemetry`](crate::SimulationBuilder::record_telemetry).
+//!
+//! Everything here is deterministic: samples and decisions are appended in
+//! simulation order, and the CSV renderers use Rust's shortest-round-trip
+//! float formatting, so two runs of the same cell emit byte-identical
+//! artifacts regardless of thread count or cache state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{JobId, TaskId};
+use crate::time::{Service, SimDuration, SimTime};
+
+/// One snapshot of scheduler-visible state, taken at the end of a full
+/// scheduling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySample {
+    /// When the pass ran.
+    pub at: SimTime,
+    /// Jobs admitted and not yet finished.
+    pub running_jobs: u32,
+    /// Jobs queued behind the admission cap.
+    pub waiting_jobs: u32,
+    /// Containers occupied after the pass.
+    pub used_containers: u32,
+    /// Cluster capacity (constant over a run; kept per-sample so a CSV row
+    /// is self-describing).
+    pub total_containers: u32,
+    /// Per-queue job counts reported by the scheduler, highest priority
+    /// first. Empty for schedulers without multilevel queues.
+    pub queue_depths: Vec<u32>,
+}
+
+impl TelemetrySample {
+    /// Instantaneous utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.total_containers == 0 {
+            0.0
+        } else {
+            self.used_containers as f64 / self.total_containers as f64
+        }
+    }
+}
+
+/// A demotion performed by a multilevel-queue scheduler during one
+/// `allocate` call, reported to the engine via
+/// [`Scheduler::drain_demotions`](crate::Scheduler::drain_demotions).
+///
+/// The engine stamps the simulation time when it turns this into a
+/// [`DecisionEvent::JobDemoted`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueDemotion {
+    /// The demoted job.
+    pub job: JobId,
+    /// Queue it left (0 = highest priority).
+    pub from_queue: u32,
+    /// Queue it landed in.
+    pub to_queue: u32,
+    /// The effective service estimate that triggered the demotion.
+    pub effective: Service,
+}
+
+/// One scheduling decision, with the simulation time it was made.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DecisionEvent {
+    /// A multilevel-queue scheduler demoted a job.
+    JobDemoted {
+        /// The job.
+        job: JobId,
+        /// Queue it left (0 = highest priority).
+        from_queue: u32,
+        /// Queue it landed in.
+        to_queue: u32,
+        /// The effective service estimate that triggered the demotion.
+        effective: Service,
+        /// When.
+        at: SimTime,
+    },
+    /// Kill-based preemption reclaimed a running task's containers.
+    TaskPreempted {
+        /// The job.
+        job: JobId,
+        /// The killed task.
+        task: TaskId,
+        /// When.
+        at: SimTime,
+    },
+    /// A speculative copy was launched for a late task.
+    SpeculativeLaunched {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// When.
+        at: SimTime,
+    },
+    /// A speculative copy will beat the original attempt.
+    SpeculativeWon {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// When the copy was launched (the decision instant).
+        at: SimTime,
+    },
+    /// Admission control deferred an arriving job.
+    AdmissionDeferred {
+        /// The job.
+        job: JobId,
+        /// When.
+        at: SimTime,
+    },
+    /// Admission control let a job in.
+    AdmissionAccepted {
+        /// The job.
+        job: JobId,
+        /// How long it waited behind the admission cap (zero if admitted
+        /// on arrival).
+        waited: SimDuration,
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl DecisionEvent {
+    /// The instant the decision was made.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            DecisionEvent::JobDemoted { at, .. }
+            | DecisionEvent::TaskPreempted { at, .. }
+            | DecisionEvent::SpeculativeLaunched { at, .. }
+            | DecisionEvent::SpeculativeWon { at, .. }
+            | DecisionEvent::AdmissionDeferred { at, .. }
+            | DecisionEvent::AdmissionAccepted { at, .. } => at,
+        }
+    }
+
+    /// The job the decision concerns.
+    pub fn job(&self) -> JobId {
+        match *self {
+            DecisionEvent::JobDemoted { job, .. }
+            | DecisionEvent::TaskPreempted { job, .. }
+            | DecisionEvent::SpeculativeLaunched { job, .. }
+            | DecisionEvent::SpeculativeWon { job, .. }
+            | DecisionEvent::AdmissionDeferred { job, .. }
+            | DecisionEvent::AdmissionAccepted { job, .. } => job,
+        }
+    }
+
+    /// A stable machine-readable tag ("demote", "preempt_kill", ...), used
+    /// as the `event` column of [`Telemetry::decisions_csv`].
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DecisionEvent::JobDemoted { .. } => "demote",
+            DecisionEvent::TaskPreempted { .. } => "preempt_kill",
+            DecisionEvent::SpeculativeLaunched { .. } => "spec_launch",
+            DecisionEvent::SpeculativeWon { .. } => "spec_win",
+            DecisionEvent::AdmissionDeferred { .. } => "admission_defer",
+            DecisionEvent::AdmissionAccepted { .. } => "admission_accept",
+        }
+    }
+}
+
+/// The recorded telemetry of one run: per-pass samples plus decision
+/// events, both in chronological order.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_simulator::telemetry::{DecisionEvent, Telemetry, TelemetrySample};
+/// use lasmq_simulator::{JobId, SimTime};
+///
+/// let mut t = Telemetry::new();
+/// t.push_sample(TelemetrySample {
+///     at: SimTime::from_secs(1),
+///     running_jobs: 2,
+///     waiting_jobs: 0,
+///     used_containers: 3,
+///     total_containers: 4,
+///     queue_depths: vec![2, 0],
+/// });
+/// t.push_decision(DecisionEvent::AdmissionDeferred {
+///     job: JobId::new(7),
+///     at: SimTime::from_secs(1),
+/// });
+/// assert_eq!(t.samples().len(), 1);
+/// assert!(t.samples_csv().starts_with("t_ms,"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    samples: Vec<TelemetrySample>,
+    decisions: Vec<DecisionEvent>,
+}
+
+impl Telemetry {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Appends a sample (the engine guarantees chronological order).
+    pub fn push_sample(&mut self, sample: TelemetrySample) {
+        debug_assert!(
+            self.samples
+                .last()
+                .map(|s| s.at <= sample.at)
+                .unwrap_or(true),
+            "telemetry samples must stay chronological"
+        );
+        self.samples.push(sample);
+    }
+
+    /// Appends a decision event (chronological).
+    pub fn push_decision(&mut self, decision: DecisionEvent) {
+        debug_assert!(
+            self.decisions
+                .last()
+                .map(|d| d.at() <= decision.at())
+                .unwrap_or(true),
+            "telemetry decisions must stay chronological"
+        );
+        self.decisions.push(decision);
+    }
+
+    /// All samples, in order.
+    pub fn samples(&self) -> &[TelemetrySample] {
+        &self.samples
+    }
+
+    /// All decision events, in order.
+    pub fn decisions(&self) -> &[DecisionEvent] {
+        &self.decisions
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.decisions.is_empty()
+    }
+
+    /// Decision events matching a predicate.
+    pub fn count_decisions_where(&self, pred: impl Fn(&DecisionEvent) -> bool) -> usize {
+        self.decisions.iter().filter(|d| pred(d)).count()
+    }
+
+    /// The widest `queue_depths` vector across all samples (schedulers
+    /// report a fixed queue count, so this is normally just that count).
+    pub fn queue_columns(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| s.queue_depths.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the sample series as a deterministic CSV document:
+    /// `t_ms,running_jobs,waiting_jobs,used_containers,total_containers,utilization[,q1..qk]`.
+    ///
+    /// Queue-depth columns are padded with zeros for samples that report
+    /// fewer queues than the widest sample (`q1` is the highest-priority
+    /// queue). Floats use shortest-round-trip formatting, so output is
+    /// byte-stable across runs and platforms.
+    pub fn samples_csv(&self) -> String {
+        let k = self.queue_columns();
+        let mut out = String::from(
+            "t_ms,running_jobs,waiting_jobs,used_containers,total_containers,utilization",
+        );
+        for q in 1..=k {
+            out.push_str(&format!(",q{q}"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}",
+                s.at.as_millis(),
+                s.running_jobs,
+                s.waiting_jobs,
+                s.used_containers,
+                s.total_containers,
+                s.utilization(),
+            ));
+            for q in 0..k {
+                let depth = s.queue_depths.get(q).copied().unwrap_or(0);
+                out.push_str(&format!(",{depth}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the decision log as a deterministic CSV document:
+    /// `t_ms,event,job,task,from_queue,to_queue,effective_cs,waited_ms`.
+    ///
+    /// Columns that do not apply to an event kind are left empty.
+    pub fn decisions_csv(&self) -> String {
+        let mut out =
+            String::from("t_ms,event,job,task,from_queue,to_queue,effective_cs,waited_ms\n");
+        for d in &self.decisions {
+            let at = d.at().as_millis();
+            let tag = d.tag();
+            let job = u32::from(d.job());
+            let (task, from, to, effective, waited) = match *d {
+                DecisionEvent::JobDemoted {
+                    from_queue,
+                    to_queue,
+                    effective,
+                    ..
+                } => (
+                    String::new(),
+                    from_queue.to_string(),
+                    to_queue.to_string(),
+                    effective.as_container_secs().to_string(),
+                    String::new(),
+                ),
+                DecisionEvent::TaskPreempted { task, .. }
+                | DecisionEvent::SpeculativeLaunched { task, .. }
+                | DecisionEvent::SpeculativeWon { task, .. } => (
+                    task.index().to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ),
+                DecisionEvent::AdmissionDeferred { .. } => Default::default(),
+                DecisionEvent::AdmissionAccepted { waited, .. } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    waited.as_millis().to_string(),
+                ),
+            };
+            out.push_str(&format!(
+                "{at},{tag},{job},{task},{from},{to},{effective},{waited}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at_secs: u64, used: u32, depths: &[u32]) -> TelemetrySample {
+        TelemetrySample {
+            at: SimTime::from_secs(at_secs),
+            running_jobs: depths.iter().sum(),
+            waiting_jobs: 1,
+            used_containers: used,
+            total_containers: 8,
+            queue_depths: depths.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sample_utilization() {
+        assert_eq!(sample(0, 4, &[]).utilization(), 0.5);
+        let degenerate = TelemetrySample {
+            total_containers: 0,
+            ..sample(0, 0, &[])
+        };
+        assert_eq!(degenerate.utilization(), 0.0);
+    }
+
+    #[test]
+    fn decision_accessors_cover_every_variant() {
+        let job = JobId::new(3);
+        let task = TaskId::new(5);
+        let at = SimTime::from_secs(9);
+        let events = [
+            DecisionEvent::JobDemoted {
+                job,
+                from_queue: 0,
+                to_queue: 2,
+                effective: Service::from_container_secs(150.0),
+                at,
+            },
+            DecisionEvent::TaskPreempted { job, task, at },
+            DecisionEvent::SpeculativeLaunched { job, task, at },
+            DecisionEvent::SpeculativeWon { job, task, at },
+            DecisionEvent::AdmissionDeferred { job, at },
+            DecisionEvent::AdmissionAccepted {
+                job,
+                waited: SimDuration::from_secs(4),
+                at,
+            },
+        ];
+        let mut tags = Vec::new();
+        for e in &events {
+            assert_eq!(e.at(), at);
+            assert_eq!(e.job(), job);
+            tags.push(e.tag());
+        }
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), events.len(), "tags must be distinct");
+    }
+
+    #[test]
+    fn samples_csv_pads_queue_columns() {
+        let mut t = Telemetry::new();
+        t.push_sample(sample(1, 2, &[3]));
+        t.push_sample(sample(2, 4, &[1, 2]));
+        let csv = t.samples_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "t_ms,running_jobs,waiting_jobs,used_containers,total_containers,utilization,q1,q2"
+        );
+        assert_eq!(lines[1], "1000,3,1,2,8,0.25,3,0");
+        assert_eq!(lines[2], "2000,3,1,4,8,0.5,1,2");
+    }
+
+    #[test]
+    fn decisions_csv_has_per_kind_columns() {
+        let mut t = Telemetry::new();
+        t.push_decision(DecisionEvent::AdmissionAccepted {
+            job: JobId::new(0),
+            waited: SimDuration::from_millis(1500),
+            at: SimTime::from_secs(2),
+        });
+        t.push_decision(DecisionEvent::JobDemoted {
+            job: JobId::new(1),
+            from_queue: 0,
+            to_queue: 3,
+            effective: Service::from_container_secs(250.5),
+            at: SimTime::from_secs(4),
+        });
+        let csv = t.decisions_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "t_ms,event,job,task,from_queue,to_queue,effective_cs,waited_ms"
+        );
+        assert_eq!(lines[1], "2000,admission_accept,0,,,,,1500");
+        assert_eq!(lines[2], "4000,demote,1,,0,3,250.5,");
+    }
+
+    #[test]
+    fn serde_roundtrip_is_lossless() {
+        let mut t = Telemetry::new();
+        t.push_sample(sample(1, 5, &[2, 1, 0]));
+        t.push_decision(DecisionEvent::SpeculativeWon {
+            job: JobId::new(2),
+            task: TaskId::new(0),
+            at: SimTime::from_secs(1),
+        });
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Telemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(t.samples_csv(), back.samples_csv());
+        assert_eq!(t.decisions_csv(), back.decisions_csv());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "chronological")]
+    fn out_of_order_samples_panic_in_debug() {
+        let mut t = Telemetry::new();
+        t.push_sample(sample(5, 0, &[]));
+        t.push_sample(sample(1, 0, &[]));
+    }
+
+    #[test]
+    fn counting_helper_filters() {
+        let mut t = Telemetry::new();
+        for i in 0..3 {
+            t.push_decision(DecisionEvent::AdmissionDeferred {
+                job: JobId::new(i),
+                at: SimTime::from_secs(i as u64),
+            });
+        }
+        t.push_decision(DecisionEvent::AdmissionAccepted {
+            job: JobId::new(0),
+            waited: SimDuration::ZERO,
+            at: SimTime::from_secs(9),
+        });
+        assert_eq!(
+            t.count_decisions_where(|d| matches!(d, DecisionEvent::AdmissionDeferred { .. })),
+            3
+        );
+        assert!(!t.is_empty());
+    }
+}
