@@ -1,0 +1,93 @@
+//! Microbenchmarks of the snapshot/restore subsystem on the paper's
+//! testbed shape: a 120-container PUMA run paused halfway through.
+//!
+//! Four costs matter operationally:
+//!
+//! * `snapshot_midrun` — running a fresh simulation to the pause point and
+//!   capturing full engine state (what `run_with_checkpoints` pays per
+//!   checkpoint, plus the run-up);
+//! * `serialize_json` — snapshot → checkpoint-file bytes;
+//! * `deserialize_json` — checkpoint-file bytes → snapshot (includes the
+//!   schema check);
+//! * `restore_and_finish` — rebuilding a paused simulation from the
+//!   snapshot and running it to completion (what a resumed campaign cell
+//!   pays instead of a from-scratch run).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use lasmq_campaign::{SchedulerKind, SimSetup, WorkloadSpec};
+use lasmq_simulator::{Scheduler, SimSnapshot, SimTime, Simulation};
+
+const JOBS: usize = 60;
+const SEED: u64 = 42;
+
+fn warmed_simulation() -> Simulation<Box<dyn Scheduler>> {
+    let workload = WorkloadSpec::Puma {
+        jobs: JOBS,
+        mean_interval_secs: 50.0,
+        seed: SEED,
+        geo_bandwidth_mb_per_s: None,
+    };
+    SimSetup::testbed().build_simulation(workload.generate(), &SchedulerKind::las_mq_simulations())
+}
+
+/// The pause point: the median job arrival, when the cluster is warm and
+/// a backlog exists.
+fn pause_point() -> SimTime {
+    let workload = WorkloadSpec::Puma {
+        jobs: JOBS,
+        mean_interval_secs: 50.0,
+        seed: SEED,
+        geo_bandwidth_mb_per_s: None,
+    };
+    let mut arrivals: Vec<SimTime> = workload.generate().iter().map(|j| j.arrival()).collect();
+    arrivals.sort();
+    arrivals[arrivals.len() / 2]
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let at = pause_point();
+    let snapshot = warmed_simulation()
+        .snapshot_at(at)
+        .expect("pause point lands mid-run");
+    let json = snapshot.to_json();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(10);
+
+    group.bench_function("snapshot_midrun_120c_puma", |b| {
+        b.iter(|| {
+            let snap = warmed_simulation()
+                .snapshot_at(at)
+                .expect("pause point lands mid-run");
+            black_box(snap)
+        });
+    });
+
+    group.throughput(Throughput::Bytes(json.len() as u64));
+    group.bench_function("serialize_json", |b| {
+        b.iter(|| black_box(snapshot.to_json()));
+    });
+    group.bench_function("deserialize_json", |b| {
+        b.iter(|| black_box(SimSnapshot::from_json(black_box(&json)).expect("valid snapshot")));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("restore");
+    group.sample_size(10);
+    group.bench_function("restore_and_finish_120c_puma", |b| {
+        b.iter(|| {
+            let sim = Simulation::restore(
+                snapshot.clone(),
+                SchedulerKind::las_mq_simulations().build(),
+            )
+            .expect("snapshot restores under the same scheduler");
+            black_box(sim.run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -10,13 +10,23 @@
 //! Writes are atomic (unique temp file + rename), which makes the cache
 //! safe under the campaign executor's concurrent workers and under
 //! interrupted campaigns: a cell either has a complete entry or none.
+//!
+//! Alongside result entries the cache can hold **mid-run checkpoints**
+//! (`<dir>/<fingerprint>.ckpt.json`): a [`SimSnapshot`] of a cell paused
+//! partway, written with the same atomic temp-file + rename discipline.
+//! The snapshot JSON carries its own schema version
+//! ([`SNAPSHOT_SCHEMA_VERSION`](lasmq_simulator::SNAPSHOT_SCHEMA_VERSION));
+//! a checkpoint from an older engine fails to parse and counts as a miss,
+//! so a resumed campaign silently restarts such cells from scratch rather
+//! than restoring bad state. Checkpoints are deleted once the cell's
+//! final result lands.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lasmq_simulator::SimulationReport;
+use lasmq_simulator::{SimSnapshot, SimulationReport};
 
 /// Default cache location, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "target/campaign-cache";
@@ -66,18 +76,56 @@ impl ResultCache {
 
     /// Stores `report` under `key`, atomically.
     pub fn store(&self, key: &str, report: &SimulationReport) -> io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
         let json = serde_json::to_string(report)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.write_atomic(self.entry_path(key), json)
+    }
+
+    /// The mid-run checkpoint path for a fingerprint.
+    pub fn checkpoint_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.ckpt.json"))
+    }
+
+    /// Whether a mid-run checkpoint exists for `key`.
+    pub fn has_checkpoint(&self, key: &str) -> bool {
+        self.checkpoint_path(key).is_file()
+    }
+
+    /// Loads the checkpoint stored under `key`. Unreadable, undecodable
+    /// or schema-mismatched checkpoints count as misses — the executor
+    /// restarts the cell from scratch.
+    pub fn load_checkpoint(&self, key: &str) -> Option<SimSnapshot> {
+        let text = fs::read_to_string(self.checkpoint_path(key)).ok()?;
+        SimSnapshot::from_json(&text).ok()
+    }
+
+    /// Stores a mid-run checkpoint under `key`, atomically (same
+    /// temp-file + rename discipline as [`store`](Self::store), so a
+    /// crash mid-write leaves the previous checkpoint intact).
+    pub fn store_checkpoint(&self, key: &str, snapshot: &SimSnapshot) -> io::Result<()> {
+        self.write_atomic(self.checkpoint_path(key), snapshot.to_json())
+    }
+
+    /// Deletes the checkpoint for `key` (done once the final result is
+    /// stored). Missing checkpoints are not an error.
+    pub fn remove_checkpoint(&self, key: &str) -> io::Result<()> {
+        match fs::remove_file(self.checkpoint_path(key)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn write_atomic(&self, dest: PathBuf, json: String) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
         // Unique temp name so concurrent workers (or processes) writing
         // the same key never interleave; rename is atomic within a
         // filesystem.
         let nonce = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
-            .join(format!("{key}.{}.{nonce}.tmp", std::process::id()));
+            .join(format!("tmp.{}.{nonce}.tmp", std::process::id()));
         fs::write(&tmp, json)?;
-        match fs::rename(&tmp, self.entry_path(key)) {
+        match fs::rename(&tmp, dest) {
             Ok(()) => Ok(()),
             Err(e) => {
                 let _ = fs::remove_file(&tmp);

@@ -20,17 +20,20 @@
 //! get their own cache entries and warm-cache reruns reproduce the
 //! artifacts byte-for-byte.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use lasmq_simulator::SimulationReport;
+use lasmq_simulator::{Scheduler, SimDuration, Simulation, SimulationReport};
 
 use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
 use crate::manifest::Manifest;
 use crate::run::RunCell;
+use crate::setup::SimSetup;
 
 /// How a campaign executes: worker count, caching, progress, telemetry.
 #[derive(Debug, Clone)]
@@ -46,6 +49,16 @@ pub struct ExecOptions {
     /// When set, every cell runs with simulator telemetry enabled and
     /// writes per-cell artifacts under this directory.
     pub telemetry_dir: Option<PathBuf>,
+    /// When set, every simulating cell writes a mid-run checkpoint to the
+    /// cache each `interval` of *simulated* time, so an interrupted
+    /// campaign can resume mid-cell. Requires the cache; ignored when
+    /// caching is off.
+    pub checkpoint_every: Option<SimDuration>,
+    /// When set, cells with a mid-run checkpoint in the cache restore it
+    /// and continue from the pause point instead of simulating from
+    /// scratch. Unusable checkpoints (older schema, different scheduler)
+    /// degrade to a warning and a fresh run.
+    pub resume: bool,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +69,8 @@ impl Default for ExecOptions {
             cache_dir: None,
             progress: false,
             telemetry_dir: None,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 }
@@ -91,6 +106,20 @@ impl ExecOptions {
     /// (`samples.csv`, `decisions.csv`, `summary.json`) under `dir`.
     pub fn telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.telemetry_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoints every simulating cell each `interval` of simulated
+    /// time (see [`ExecOptions::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, interval: SimDuration) -> Self {
+        self.checkpoint_every = Some(interval);
+        self
+    }
+
+    /// Resumes interrupted cells from their last mid-run checkpoint (see
+    /// [`ExecOptions::resume`]).
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
         self
     }
 
@@ -137,6 +166,51 @@ pub struct CampaignResult {
     pub stats: CampaignStats,
 }
 
+/// One cell that panicked during execution.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// The cell's declaration index.
+    pub index: usize,
+    /// The cell's display label.
+    pub label: String,
+    /// The panic message.
+    pub message: String,
+}
+
+/// Error from [`Campaign::try_run`]: one or more cells panicked. Every
+/// *other* cell still ran to completion (and, with caching on, stored its
+/// result), so fixing the failing cells and re-running resumes instead of
+/// restarting.
+#[derive(Debug)]
+pub struct CampaignError {
+    /// The cells that failed, in declaration order.
+    pub failures: Vec<CellFailure>,
+    /// How many cells completed successfully.
+    pub completed: usize,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} cells failed ({} completed):",
+            self.failures.len(),
+            self.failures.len() + self.completed,
+            self.completed
+        )?;
+        for failure in &self.failures {
+            write!(
+                f,
+                "\n  cell {} ({}): {}",
+                failure.index, failure.label, failure.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
 /// A named grid of run cells.
 #[derive(Debug, Clone, Default)]
 pub struct Campaign {
@@ -174,10 +248,28 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Panics if a cell's simulation does (malformed cells are
+    /// Panics if any cell's simulation did (malformed cells are
     /// programming errors in an experiment definition, exactly as with
-    /// [`SimSetup::run`](crate::SimSetup::run)).
+    /// [`SimSetup::run`](crate::SimSetup::run)) — but only *after* every
+    /// other cell has finished and stored its result, so a single bad
+    /// cell cannot take an overnight campaign's completed work with it.
+    /// Use [`try_run`](Self::try_run) to handle failures structurally.
     pub fn run(&self, opts: &ExecOptions) -> CampaignResult {
+        match self.try_run(opts) {
+            Ok(result) => result,
+            Err(err) => panic!("campaign {}: {err}", self.name),
+        }
+    }
+
+    /// Executes every cell; failed (panicking) cells are collected into a
+    /// [`CampaignError`] instead of unwinding through the worker pool, so
+    /// the remaining cells always run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] listing every cell whose simulation
+    /// panicked.
+    pub fn try_run(&self, opts: &ExecOptions) -> Result<CampaignResult, CampaignError> {
         let start = Instant::now();
         let total = self.cells.len();
         // A telemetry run executes the same grid with recording switched
@@ -206,7 +298,8 @@ impl Campaign {
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let hits = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<SimulationReport>> = (0..total).map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<Result<SimulationReport, String>>> =
+            (0..total).map(|_| OnceLock::new()).collect();
         let progress = Mutex::new(Progress::new(start));
 
         std::thread::scope(|scope| {
@@ -218,55 +311,51 @@ impl Campaign {
                     }
                     let cell = &cells[i];
                     let key = &keys[i];
-                    let report = match cache.as_ref().and_then(|c| c.load(key)) {
-                        Some(cached) => {
-                            hits.fetch_add(1, Ordering::Relaxed);
-                            cached
-                        }
-                        None => {
-                            let report = cell.setup.run(cell.workload.generate(), &cell.scheduler);
-                            if let Some(cache) = &cache {
-                                let _ = cache.store(key, &report);
-                            }
-                            report
-                        }
-                    };
-                    // Cached reports round-trip telemetry, so artifacts
-                    // come out identical whether the report was simulated
-                    // or loaded. IO trouble degrades to a warning; the
-                    // campaign's reports are still good.
-                    if let Some(root) = &opts.telemetry_dir {
-                        if let Err(err) =
-                            crate::artifacts::write_cell_artifacts(root, &cell.label, &report)
-                        {
-                            eprintln!(
-                                "[campaign {}] warning: telemetry artifacts for {}: {err}",
-                                self.name, cell.label
-                            );
-                        }
-                    }
+                    // A panicking cell (malformed job list, scheduler
+                    // bug) must not unwind through the pool: it would
+                    // poison the progress mutex, cascade panics through
+                    // every other worker's `lock()`, and destroy the
+                    // whole campaign's in-flight work. Catch it, record
+                    // it, keep draining cells.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.execute_cell(cell, key, cache.as_ref(), opts, &hits)
+                    }))
+                    .map_err(|payload| panic_message(payload.as_ref()));
                     slots[i]
-                        .set(report)
+                        .set(outcome)
                         .expect("each cell index is claimed once");
                     let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if opts.progress {
-                        progress.lock().unwrap().tick(
-                            &self.name,
-                            &cell.label,
-                            completed,
-                            total,
-                            hits.load(Ordering::Relaxed),
-                            threads,
-                        );
+                        // A mutex poisoned by a pre-fix panic path would
+                        // still hold a usable Progress; never cascade.
+                        progress
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .tick(
+                                &self.name,
+                                &cell.label,
+                                completed,
+                                total,
+                                hits.load(Ordering::Relaxed),
+                                threads,
+                            );
                     }
                 });
             }
         });
 
-        let reports: Vec<SimulationReport> = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every cell produced a report"))
-            .collect();
+        let mut reports = Vec::with_capacity(total);
+        let mut failures = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("every cell produced an outcome") {
+                Ok(report) => reports.push(report),
+                Err(message) => failures.push(CellFailure {
+                    index: i,
+                    label: cells[i].label.clone(),
+                    message,
+                }),
+            }
+        }
         let stats = CampaignStats {
             cells: total,
             cache_hits: hits.into_inner(),
@@ -275,15 +364,122 @@ impl Campaign {
         };
         if opts.progress {
             eprintln!(
-                "[campaign {}] done: {} cells in {:.2}s ({} cached, {} threads)",
+                "[campaign {}] done: {} cells in {:.2}s ({} cached, {} threads, {} failed)",
                 self.name,
                 stats.cells,
                 stats.wall.as_secs_f64(),
                 stats.cache_hits,
-                stats.threads
+                stats.threads,
+                failures.len(),
             );
         }
-        CampaignResult { reports, stats }
+        if failures.is_empty() {
+            Ok(CampaignResult { reports, stats })
+        } else {
+            Err(CampaignError {
+                failures,
+                completed: reports.len(),
+            })
+        }
+    }
+
+    /// Runs one cell: cache hit, checkpoint resume, or fresh simulation —
+    /// checkpointing along the way when configured. Stores the final
+    /// report and clears any stale checkpoint.
+    fn execute_cell(
+        &self,
+        cell: &RunCell,
+        key: &str,
+        cache: Option<&ResultCache>,
+        opts: &ExecOptions,
+        hits: &AtomicUsize,
+    ) -> SimulationReport {
+        let report = match cache.and_then(|c| c.load(key)) {
+            Some(cached) => {
+                hits.fetch_add(1, Ordering::Relaxed);
+                cached
+            }
+            None => {
+                let report = self.simulate_cell(cell, key, cache, opts);
+                if let Some(cache) = cache {
+                    let _ = cache.store(key, &report);
+                    // The result supersedes any mid-run checkpoint.
+                    let _ = cache.remove_checkpoint(key);
+                }
+                report
+            }
+        };
+        // Cached reports round-trip telemetry, so artifacts
+        // come out identical whether the report was simulated
+        // or loaded. IO trouble degrades to a warning; the
+        // campaign's reports are still good.
+        if let Some(root) = &opts.telemetry_dir {
+            if let Err(err) = crate::artifacts::write_cell_artifacts(root, &cell.label, &report) {
+                eprintln!(
+                    "[campaign {}] warning: telemetry artifacts for {}: {err}",
+                    self.name, cell.label
+                );
+            }
+        }
+        report
+    }
+
+    /// Simulates a cell from its last checkpoint (with `--resume`) or
+    /// from scratch, writing periodic checkpoints when configured.
+    fn simulate_cell(
+        &self,
+        cell: &RunCell,
+        key: &str,
+        cache: Option<&ResultCache>,
+        opts: &ExecOptions,
+    ) -> SimulationReport {
+        if opts.resume {
+            if let Some(snapshot) = cache.and_then(|c| c.load_checkpoint(key)) {
+                match SimSetup::resume_simulation(snapshot, &cell.scheduler) {
+                    Ok(sim) => return self.drive_cell(sim, key, cache, opts),
+                    Err(err) => eprintln!(
+                        "[campaign {}] warning: checkpoint for {} unusable ({err}); \
+                         restarting the cell",
+                        self.name, cell.label
+                    ),
+                }
+            }
+        }
+        let sim = cell
+            .setup
+            .build_simulation(cell.workload.generate(), &cell.scheduler);
+        self.drive_cell(sim, key, cache, opts)
+    }
+
+    fn drive_cell(
+        &self,
+        sim: Simulation<Box<dyn Scheduler>>,
+        key: &str,
+        cache: Option<&ResultCache>,
+        opts: &ExecOptions,
+    ) -> SimulationReport {
+        match (opts.checkpoint_every, cache) {
+            (Some(interval), Some(cache)) => sim.run_with_checkpoints(interval, |snapshot| {
+                if let Err(err) = cache.store_checkpoint(key, snapshot) {
+                    eprintln!(
+                        "[campaign {}] warning: checkpoint write for {key}: {err}",
+                        self.name
+                    );
+                }
+            }),
+            _ => sim.run(),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked with a non-string payload".to_string()
     }
 }
 
@@ -371,6 +567,17 @@ mod tests {
             .iter()
             .map(|r| serde_json::to_string(r).unwrap())
             .collect()
+    }
+
+    /// Half the report's makespan: a cut guaranteed to land mid-run.
+    fn half_makespan(report: &SimulationReport) -> lasmq_simulator::SimTime {
+        let last = report
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.finish)
+            .max()
+            .expect("at least one job finished");
+        lasmq_simulator::SimTime::from_millis(last.as_millis() / 2)
     }
 
     #[test]
@@ -491,6 +698,176 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&cache);
         let _ = std::fs::remove_dir_all(&art);
+    }
+
+    #[test]
+    fn failed_cell_reports_as_failed_without_killing_the_campaign() {
+        use lasmq_simulator::{JobSpec, SimDuration, StageKind, StageSpec, TaskSpec};
+
+        let dir = temp_cache("poison");
+        let mut campaign = small_campaign("poison");
+        // A malformed cell: its task is wider than the whole cluster, so
+        // building the simulation panics inside the worker.
+        let too_wide = JobSpec::builder()
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                1,
+                TaskSpec::new(SimDuration::from_secs(1)).with_containers(2),
+            ))
+            .build();
+        let bad_index = campaign.push(RunCell::new(
+            "poison/bad",
+            SchedulerKind::Fifo,
+            WorkloadSpec::Explicit {
+                name: "too-wide".into(),
+                jobs: vec![too_wide],
+            },
+            SimSetup::trace_sim().cluster(lasmq_simulator::ClusterConfig::single_node(1)),
+        ));
+
+        let err = campaign
+            .try_run(&ExecOptions::with_threads(4).cache_dir(&dir).verbose())
+            .unwrap_err();
+        // Exactly the bad cell failed; the four good cells all completed
+        // and (crucially) stored their cache entries, so a re-run after
+        // fixing the bad cell resumes instead of restarting.
+        assert_eq!(err.completed, 4);
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].index, bad_index);
+        assert_eq!(err.failures[0].label, "poison/bad");
+        assert!(
+            err.failures[0].message.contains("valid"),
+            "unexpected message: {}",
+            err.failures[0].message
+        );
+        assert!(err.to_string().contains("poison/bad"));
+        let cache = ResultCache::new(&dir);
+        for cell in &campaign.cells()[..4] {
+            assert!(cache.contains(&cell.fingerprint()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_panics_only_after_the_rest_of_the_campaign_finished() {
+        use lasmq_simulator::{JobSpec, SimDuration, StageKind, StageSpec, TaskSpec};
+
+        let dir = temp_cache("poison-run");
+        let mut campaign = small_campaign("poison-run");
+        let too_wide = JobSpec::builder()
+            .stage(StageSpec::uniform(
+                StageKind::Map,
+                1,
+                TaskSpec::new(SimDuration::from_secs(1)).with_containers(2),
+            ))
+            .build();
+        campaign.push(RunCell::new(
+            "poison-run/bad",
+            SchedulerKind::Fifo,
+            WorkloadSpec::Explicit {
+                name: "too-wide".into(),
+                jobs: vec![too_wide],
+            },
+            SimSetup::trace_sim().cluster(lasmq_simulator::ClusterConfig::single_node(1)),
+        ));
+
+        let opts = ExecOptions::with_threads(2).cache_dir(&dir);
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| campaign.run(&opts)));
+        let message = panic_message(panicked.unwrap_err().as_ref());
+        assert!(message.contains("poison-run/bad"), "got: {message}");
+        // The good cells' results survived the panic.
+        let cache = ResultCache::new(&dir);
+        for cell in &campaign.cells()[..4] {
+            assert!(cache.contains(&cell.fingerprint()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumed_cells_finish_bit_identically_and_clean_up_their_checkpoint() {
+        let dir = temp_cache("ckpt-resume");
+        let campaign = small_campaign("ckpt-resume");
+        let baseline = campaign.run(&ExecOptions::with_threads(2).no_cache());
+
+        // Fabricate an interrupted campaign: cell 0 got partway through
+        // and checkpointed, then the process died before storing any
+        // final result. Cut at half the cell's makespan so the pause is
+        // genuinely mid-run.
+        let cache = ResultCache::new(&dir);
+        let cell = &campaign.cells()[0];
+        let key = cell.fingerprint();
+        let cut = half_makespan(&baseline.reports[0]);
+        let mut sim = cell
+            .setup
+            .build_simulation(cell.workload.generate(), &cell.scheduler);
+        let snapshot = sim
+            .snapshot_at(cut)
+            .expect("workload must still be running at the checkpoint time");
+        cache.store_checkpoint(&key, &snapshot).unwrap();
+        assert!(cache.has_checkpoint(&key));
+
+        let resumed = campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&dir)
+                .checkpoint_every(SimDuration::from_secs(120))
+                .resume(),
+        );
+        assert_eq!(resumed.stats.cache_hits, 0);
+        assert_eq!(
+            fingerprint_reports(&baseline),
+            fingerprint_reports(&resumed),
+            "a resumed cell must reproduce the uninterrupted run byte-for-byte"
+        );
+        // Final results supersede mid-run checkpoints.
+        for cell in campaign.cells() {
+            assert!(!cache.has_checkpoint(&cell.fingerprint()));
+            assert!(cache.contains(&cell.fingerprint()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_degrades_to_a_fresh_run() {
+        let dir = temp_cache("ckpt-mismatch");
+        let campaign = small_campaign("ckpt-mismatch");
+        let baseline = campaign.run(&ExecOptions::with_threads(2).no_cache());
+
+        // Plant a FIFO snapshot at the LAS_MQ cell's key: restore rejects
+        // the scheduler-name mismatch and the executor restarts the cell.
+        let cache = ResultCache::new(&dir);
+        let donor = &campaign.cells()[3]; // FIFO
+        let victim_key = campaign.cells()[0].fingerprint(); // LAS_MQ
+        let mut sim = donor
+            .setup
+            .build_simulation(donor.workload.generate(), &donor.scheduler);
+        let snapshot = sim
+            .snapshot_at(half_makespan(&baseline.reports[3]))
+            .expect("mid-run");
+        cache.store_checkpoint(&victim_key, &snapshot).unwrap();
+
+        let resumed = campaign.run(&ExecOptions::with_threads(1).cache_dir(&dir).resume());
+        assert_eq!(
+            fingerprint_reports(&baseline),
+            fingerprint_reports(&resumed)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_results() {
+        let dir = temp_cache("ckpt-noop");
+        let campaign = small_campaign("ckpt-noop");
+        let baseline = campaign.run(&ExecOptions::with_threads(2).no_cache());
+        let checkpointed = campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&dir)
+                .checkpoint_every(SimDuration::from_secs(30)),
+        );
+        assert_eq!(
+            fingerprint_reports(&baseline),
+            fingerprint_reports(&checkpointed)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

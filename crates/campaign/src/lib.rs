@@ -13,6 +13,12 @@
 //! * a **resumable manifest/journal** ([`Manifest`]) — interrupted
 //!   campaigns pick up where they left off on the next run, and
 //!   `repro campaign-status` shows per-campaign completion;
+//! * **mid-cell checkpoints** — with [`ExecOptions::checkpoint_every`],
+//!   simulating cells periodically write a
+//!   [`SimSnapshot`](lasmq_simulator::SimSnapshot) next to their cache
+//!   entry, and [`ExecOptions::resume`] restores it so a killed campaign
+//!   restarts cells from their last checkpoint instead of from scratch —
+//!   with bit-identical final reports either way;
 //! * **progress reporting** on stderr (cells done/total, cache hits,
 //!   per-worker throughput, ETA), keeping stdout byte-stable;
 //! * optional **telemetry artifacts** — with
@@ -58,7 +64,7 @@ pub mod workload;
 
 pub use artifacts::write_cell_artifacts;
 pub use cache::{ResultCache, DEFAULT_CACHE_DIR};
-pub use exec::{Campaign, CampaignResult, CampaignStats, ExecOptions};
+pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailure, ExecOptions};
 pub use kind::{ParseSchedulerError, SchedulerKind};
 pub use manifest::{status_report, Manifest, ManifestCell};
 pub use run::{RunCell, CACHE_SCHEMA_VERSION};

@@ -1,8 +1,8 @@
 //! Shared simulation setups for the paper's two evaluation environments.
 
 use lasmq_simulator::{
-    ClusterConfig, FailureConfig, JobSpec, PreemptionPolicy, SimDuration, Simulation,
-    SimulationReport, SpeculationConfig,
+    ClusterConfig, FailureConfig, JobSpec, PreemptionPolicy, Scheduler, SimDuration, SimError,
+    SimSnapshot, Simulation, SimulationReport, SpeculationConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +124,23 @@ impl SimSetup {
     /// oracle scheduler without oracle exposure are programming errors in
     /// an experiment definition).
     pub fn run(&self, jobs: Vec<JobSpec>, kind: &SchedulerKind) -> SimulationReport {
+        self.build_simulation(jobs, kind).run()
+    }
+
+    /// Builds the simulation without running it, so the caller can drive
+    /// it incrementally — pause it with
+    /// [`run_until`](Simulation::run_until), checkpoint it with
+    /// [`run_with_checkpoints`](Simulation::run_with_checkpoints), or
+    /// snapshot and fork it.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run).
+    pub fn build_simulation(
+        &self,
+        jobs: Vec<JobSpec>,
+        kind: &SchedulerKind,
+    ) -> Simulation<Box<dyn Scheduler>> {
         Simulation::builder()
             .cluster(self.cluster)
             .quantum(self.quantum)
@@ -136,7 +153,22 @@ impl SimSetup {
             .admission_opt(self.admission_limit)
             .build(kind.build())
             .expect("experiment setup must be valid")
-            .run()
+    }
+
+    /// Rebuilds a paused simulation of `kind` from a mid-run `snapshot`
+    /// (the snapshot embeds the full setup, so `self` only supplies the
+    /// scheduler instance — a snapshot taken under a different setup has a
+    /// different cache fingerprint and never reaches this call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Simulation::restore`] errors: schema or scheduler
+    /// mismatch, or scheduler state the instance rejects.
+    pub fn resume_simulation(
+        snapshot: SimSnapshot,
+        kind: &SchedulerKind,
+    ) -> Result<Simulation<Box<dyn Scheduler>>, SimError> {
+        Simulation::restore(snapshot, kind.build())
     }
 }
 

@@ -236,6 +236,77 @@ impl MultilevelQueue {
         self.queues.iter().map(Vec::len).collect()
     }
 
+    /// The maximum effective service observed for a job so far (the
+    /// monotonic demotion key). `None` for unknown jobs.
+    pub fn max_effective_of(&self, job: JobId) -> Option<f64> {
+        self.index.get(&job).map(|e| e.max_effective)
+    }
+
+    /// The next arrival sequence number to be issued. Together with
+    /// per-job [`seq_of`](Self::seq_of) values this fully determines FIFO
+    /// tie-breaking, so snapshots capture it.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Re-inserts a snapshotted job directly into queue `queue` with its
+    /// original arrival `seq` and monotonic `max_effective` key, preserving
+    /// in-queue order (jobs must be replayed queue by queue in their
+    /// snapshotted order). Finish by calling
+    /// [`set_next_seq`](Self::set_next_seq).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `queue` is out of range or the job is already
+    /// present.
+    pub fn restore_job(
+        &mut self,
+        job: JobId,
+        queue: usize,
+        seq: u64,
+        max_effective: f64,
+    ) -> Result<(), String> {
+        if queue >= self.queues.len() {
+            return Err(format!(
+                "queue {queue} out of range (structure has {})",
+                self.queues.len()
+            ));
+        }
+        if self.index.contains_key(&job) {
+            return Err(format!("{job} restored twice"));
+        }
+        self.index.insert(
+            job,
+            Entry {
+                queue,
+                pos: self.queues[queue].len(),
+                seq,
+                max_effective,
+            },
+        );
+        self.queues[queue].push(job);
+        Ok(())
+    }
+
+    /// Sets the next arrival sequence number (the last step of restoring a
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `next_seq` is not beyond every restored job's
+    /// seq (later inserts would collide with restored FIFO ranks).
+    pub fn set_next_seq(&mut self, next_seq: u64) -> Result<(), String> {
+        if let Some(max_seq) = self.index.values().map(|e| e.seq).max() {
+            if next_seq <= max_seq {
+                return Err(format!(
+                    "next_seq {next_seq} collides with an issued seq {max_seq}"
+                ));
+            }
+        }
+        self.next_seq = next_seq;
+        Ok(())
+    }
+
     /// Checks the `index`/`queues` cross-invariants, panicking on any
     /// violation: every queued job has an index entry pointing back at its
     /// exact queue and position, and the index holds nothing else. Used by

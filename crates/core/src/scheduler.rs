@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use lasmq_simulator::{
-    AllocationPlan, JobId, JobView, QueueDemotion, SchedContext, Scheduler, SimTime,
+    AllocationPlan, JobId, JobView, QueueDemotion, SchedContext, Scheduler, Service, SimTime,
 };
 
 use lasmq_schedulers::share::{weighted_shares, ShareRequest};
@@ -24,6 +24,35 @@ use lasmq_schedulers::share::{weighted_shares, ShareRequest};
 use crate::config::{LasMqConfig, QueueOrdering, QueueSharing};
 use crate::estimate::effective_service;
 use crate::mlq::MultilevelQueue;
+
+/// One queued job in a serialized LAS_MQ snapshot: its id, FIFO rank and
+/// monotonic demotion key. Order within the queue list is the live order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct QueuedJobState {
+    job: u32,
+    seq: u64,
+    max_effective: f64,
+}
+
+/// A pending (undrained) demotion in a serialized LAS_MQ snapshot.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct DemotionState {
+    job: u32,
+    from_queue: u32,
+    to_queue: u32,
+    effective: f64,
+}
+
+/// The full serialized form of LAS_MQ's mutable state. Thresholds and
+/// weights are *not* stored — they are pure functions of the configuration
+/// and re-derived on restore, so a snapshot cannot smuggle in a
+/// mismatched lineup.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct LasMqState {
+    queues: Vec<Vec<QueuedJobState>>,
+    next_seq: u64,
+    demotions: Vec<DemotionState>,
+}
 
 /// The paper's contribution: multilevel-feedback-queue job scheduling
 /// without prior size information.
@@ -265,6 +294,71 @@ impl Scheduler for LasMq {
 
     fn drain_demotions(&mut self) -> Vec<QueueDemotion> {
         std::mem::take(&mut self.demotions)
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let queues: Vec<Vec<QueuedJobState>> = (0..self.mlq.num_queues())
+            .map(|i| {
+                self.mlq
+                    .jobs_in(i)
+                    .iter()
+                    .map(|&j| QueuedJobState {
+                        job: u32::from(j),
+                        seq: self.mlq.seq_of(j).expect("queued job has a seq"),
+                        max_effective: self
+                            .mlq
+                            .max_effective_of(j)
+                            .expect("queued job has a demotion key"),
+                    })
+                    .collect()
+            })
+            .collect();
+        let state = LasMqState {
+            queues,
+            next_seq: self.mlq.next_seq(),
+            demotions: self
+                .demotions
+                .iter()
+                .map(|d| DemotionState {
+                    job: u32::from(d.job),
+                    from_queue: d.from_queue,
+                    to_queue: d.to_queue,
+                    effective: d.effective.as_container_secs(),
+                })
+                .collect(),
+        };
+        Some(serde_json::to_string(&state).expect("LAS_MQ state serialization cannot fail"))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let state: LasMqState =
+            serde_json::from_str(state).map_err(|e| format!("malformed LAS_MQ state: {e}"))?;
+        if state.queues.len() != self.config.num_queues() {
+            return Err(format!(
+                "snapshot has {} queues but this configuration has {}",
+                state.queues.len(),
+                self.config.num_queues()
+            ));
+        }
+        let mut mlq = MultilevelQueue::new(self.config.num_queues());
+        for (qi, queue) in state.queues.iter().enumerate() {
+            for entry in queue {
+                mlq.restore_job(JobId::new(entry.job), qi, entry.seq, entry.max_effective)?;
+            }
+        }
+        mlq.set_next_seq(state.next_seq)?;
+        self.mlq = mlq;
+        self.demotions = state
+            .demotions
+            .iter()
+            .map(|d| QueueDemotion {
+                job: JobId::new(d.job),
+                from_queue: d.from_queue,
+                to_queue: d.to_queue,
+                effective: Service::from_container_secs(d.effective),
+            })
+            .collect();
+        Ok(())
     }
 }
 

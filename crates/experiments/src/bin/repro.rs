@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
-//!       [--telemetry DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+//!       [--telemetry DIR] [--checkpoint-every SECS] [--resume]
+//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
 //! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|sjf|srtf] [--containers N]
@@ -17,9 +18,15 @@
 //! `campaign-status` summarizes it). `--telemetry DIR` records scheduler
 //! telemetry on every cell and writes per-cell `samples.csv`,
 //! `decisions.csv` and `summary.json` artifacts under `DIR`. Results are
-//! bit-identical regardless of worker count or cache state. `trace-gen` freezes a workload to a
-//! JSON trace file; `trace-run` replays one under any scheduler and
-//! prints summary metrics.
+//! bit-identical regardless of worker count or cache state.
+//! `--checkpoint-every SECS` makes simulating cells write a mid-run
+//! checkpoint (a snapshot of full engine state) every SECS of simulated
+//! time; `--resume` restores those checkpoints so a killed run picks up
+//! each cell where it left off, with bit-identical final output either
+//! way. `fork-compare` runs the warm-state fork experiment: one snapshot
+//! of a warmed cluster forked into every lineup scheduler. `trace-gen`
+//! freezes a workload to a JSON trace file; `trace-run` replays one under
+//! any scheduler and prints summary metrics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,10 +35,10 @@ use std::time::Instant;
 use lasmq_campaign::{status_report, ExecOptions, DEFAULT_CACHE_DIR};
 use lasmq_experiments::table::TextTable;
 use lasmq_experiments::{
-    ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, fig3, fig56, fig7, fig8,
-    table1, Scale, SchedulerKind, SimSetup,
+    ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, ext_warmstart, fig3, fig56,
+    fig7, fig8, table1, Scale, SchedulerKind, SimSetup,
 };
-use lasmq_simulator::ClusterConfig;
+use lasmq_simulator::{ClusterConfig, SimDuration};
 use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
 
 struct Args {
@@ -41,6 +48,8 @@ struct Args {
     no_cache: bool,
     seed: Option<u64>,
     telemetry: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
     experiments: Vec<String>,
 }
 
@@ -52,6 +61,8 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut no_cache = false;
     let mut seed = None;
     let mut telemetry = None;
+    let mut checkpoint_every = None;
+    let mut resume = false;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -83,6 +94,16 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .ok_or("--telemetry needs a directory argument")?,
                 ));
             }
+            "--checkpoint-every" => {
+                let v = argv
+                    .next()
+                    .ok_or("--checkpoint-every needs an interval in simulated seconds")?;
+                checkpoint_every =
+                    Some(v.parse::<u64>().ok().filter(|&s| s > 0).ok_or_else(|| {
+                        format!("--checkpoint-every needs a positive integer of seconds, got '{v}'")
+                    })?);
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -98,15 +119,27 @@ fn parse_args() -> Result<Option<Args>, String> {
         no_cache,
         seed,
         telemetry,
+        checkpoint_every,
+        resume,
         experiments,
     }))
 }
 
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
-    [--telemetry DIR] <table1|fig3|fig5|fig6|fig7|fig8|extensions|all>
+    [--telemetry DIR] [--checkpoint-every SECS] [--resume] \
+    <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
-       repro trace-run <FILE> [--scheduler NAME] [--containers N]";
+       repro trace-run <FILE> [--scheduler NAME] [--containers N]
+
+  --checkpoint-every SECS   write a mid-run checkpoint of each simulating
+                            cell every SECS simulated seconds (kept in the
+                            campaign cache, deleted once the cell finishes)
+  --resume                  restore cells from their checkpoints after an
+                            interrupted run; final results are bit-identical
+                            to an uninterrupted run
+  fork-compare              snapshot one warmed-up cluster and fork it into
+                            every lineup scheduler (also part of extensions)";
 
 fn main() -> ExitCode {
     // Trace and status subcommands take their own argument shapes.
@@ -144,6 +177,12 @@ fn main() -> ExitCode {
     if let Some(dir) = &args.telemetry {
         exec = exec.telemetry_dir(dir);
     }
+    if let Some(secs) = args.checkpoint_every {
+        exec = exec.checkpoint_every(SimDuration::from_secs(secs));
+    }
+    if args.resume {
+        exec = exec.resume();
+    }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create output directory {}: {e}", args.out.display());
         return ExitCode::FAILURE;
@@ -157,6 +196,7 @@ fn main() -> ExitCode {
         "fig7",
         "fig8",
         "extensions",
+        "fork-compare",
         "all",
     ];
     for e in &args.experiments {
@@ -227,6 +267,13 @@ fn main() -> ExitCode {
         emit(
             "ext_load",
             ext_load::run_with(&scale, &exec).tables(),
+            &args.out,
+        );
+    }
+    if wants("extensions") || wants("fork-compare") {
+        emit(
+            "ext_warmstart",
+            ext_warmstart::run(&scale).tables(),
             &args.out,
         );
     }

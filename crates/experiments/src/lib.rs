@@ -15,8 +15,9 @@
 //! [`ext_robustness`] (failures and slow nodes), [`ext_fairness`]
 //! (the §VII fairness knob) and [`ext_geo`] (the §VII geo-distributed
 //! direction: inter-datacenter shuffle transfers) and [`ext_load`] (load
-//! and admission-cap sweeps). [`autotune`] searches the (k, α₁, p) grid
-//! empirically.
+//! and admission-cap sweeps) and [`ext_warmstart`] (warm-state what-if
+//! forking: one snapshot, every lineup scheduler). [`autotune`] searches
+//! the (k, α₁, p) grid empirically.
 //!
 //! Each module exposes `run(&Scale) -> …Result` returning plain data plus
 //! paper-style [`table::TextTable`]s; the `repro` binary drives them all
@@ -43,6 +44,7 @@ pub mod ext_fairness;
 pub mod ext_geo;
 pub mod ext_load;
 pub mod ext_robustness;
+pub mod ext_warmstart;
 pub mod fig3;
 pub mod fig56;
 pub mod fig7;

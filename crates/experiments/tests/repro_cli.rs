@@ -1,0 +1,43 @@
+//! CLI surface checks for the `repro` binary: the help text must exit
+//! cleanly and advertise the checkpoint/resume/fork-compare surface, and
+//! flag misuse must fail with a pointer to the usage.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn help_exits_zero_and_documents_checkpointing() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8(out.stdout).expect("usage is utf-8");
+    for needle in ["--checkpoint-every", "--resume", "fork-compare"] {
+        assert!(
+            text.contains(needle),
+            "help text must mention {needle}, got:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn bad_checkpoint_interval_is_rejected() {
+    for bad in ["0", "soon"] {
+        let out = repro(&["--checkpoint-every", bad, "fig3"]);
+        assert!(!out.status.success(), "interval '{bad}' must be rejected");
+        let text = String::from_utf8(out.stderr).expect("error is utf-8");
+        assert!(text.contains("--checkpoint-every"), "got:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_experiment_names_fail_fast() {
+    let out = repro(&["fork-comparr"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).expect("error is utf-8");
+    assert!(text.contains("unknown experiment"), "got:\n{text}");
+}

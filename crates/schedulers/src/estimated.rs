@@ -99,6 +99,22 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One frozen estimate in a serialized snapshot of this scheduler.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct FrozenEstimate {
+    job: u32,
+    size: f64,
+}
+
+/// Serialized state: the frozen per-job estimates, sorted by job id so the
+/// payload is byte-stable regardless of map iteration order. The noise
+/// parameters are configuration, not state — restore re-checks nothing
+/// because estimates are self-contained values.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct EstimatedSjfState {
+    estimates: Vec<FrozenEstimate>,
+}
+
 fn to_unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -114,6 +130,31 @@ impl Scheduler for EstimatedSjf {
 
     fn on_job_completed(&mut self, job: JobId, _now: lasmq_simulator::SimTime) {
         self.estimates.remove(&job);
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let mut estimates: Vec<FrozenEstimate> = self
+            .estimates
+            .iter()
+            .map(|(&job, &size)| FrozenEstimate {
+                job: u32::from(job),
+                size: size.as_container_secs(),
+            })
+            .collect();
+        estimates.sort_by_key(|e| e.job);
+        let state = EstimatedSjfState { estimates };
+        Some(serde_json::to_string(&state).expect("SJF-est state serialization cannot fail"))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let state: EstimatedSjfState =
+            serde_json::from_str(state).map_err(|e| format!("malformed SJF-est state: {e}"))?;
+        self.estimates = state
+            .estimates
+            .into_iter()
+            .map(|e| (JobId::new(e.job), Service::from_container_secs(e.size)))
+            .collect();
+        Ok(())
     }
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {

@@ -14,6 +14,14 @@ use lasmq_simulator::{AllocationPlan, SchedContext, Scheduler};
 
 use crate::share::{weighted_shares, ShareRequest};
 
+/// Serialized snapshot of the Fair scheduler. Fair recomputes shares from
+/// scratch every pass, so the only thing worth checking on restore is that
+/// the weighting mode matches the snapshotted run.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct FairState {
+    ignore_priorities: bool,
+}
+
 /// Priority-weighted fair sharing.
 ///
 /// # Examples
@@ -48,6 +56,25 @@ impl Fair {
 impl Scheduler for Fair {
     fn name(&self) -> &str {
         "FAIR"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        let state = FairState {
+            ignore_priorities: self.ignore_priorities,
+        };
+        Some(serde_json::to_string(&state).expect("FAIR state serialization cannot fail"))
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        let state: FairState =
+            serde_json::from_str(state).map_err(|e| format!("malformed FAIR state: {e}"))?;
+        if state.ignore_priorities != self.ignore_priorities {
+            return Err(format!(
+                "snapshot was taken with ignore_priorities={}, this instance uses {}",
+                state.ignore_priorities, self.ignore_priorities
+            ));
+        }
+        Ok(())
     }
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {

@@ -34,6 +34,16 @@ impl Scheduler for Fifo {
         "FIFO"
     }
 
+    // FIFO keeps no state between passes (the plan is recomputed from the
+    // admission-ordered views), so the snapshot is explicitly empty.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    fn restore_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
+
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
         let mut plan = AllocationPlan::new();
         let mut budget = ctx.total_containers();

@@ -38,6 +38,16 @@ impl Scheduler for Las {
         "LAS"
     }
 
+    // LAS re-derives its ordering from attained service (which lives in the
+    // engine's job views) every pass, so there is nothing to snapshot.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    fn restore_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
+
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
         let mut order: Vec<usize> = (0..ctx.jobs().len()).collect();
         let jobs = ctx.jobs();

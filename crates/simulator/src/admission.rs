@@ -105,6 +105,22 @@ impl AdmissionController {
             None => true,
         }
     }
+
+    /// The waiting jobs in admission (FIFO) order. Used for snapshots.
+    pub fn waiting_jobs(&self) -> Vec<JobId> {
+        self.waiting.iter().copied().collect()
+    }
+
+    /// Rebuilds a controller from snapshotted state: the configured cap,
+    /// the number of currently admitted jobs, and the waiting queue in
+    /// FIFO order.
+    pub fn from_snapshot(max_running: Option<usize>, running: usize, waiting: Vec<JobId>) -> Self {
+        AdmissionController {
+            max_running,
+            running,
+            waiting: waiting.into(),
+        }
+    }
 }
 
 impl Default for AdmissionController {

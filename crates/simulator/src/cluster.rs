@@ -246,6 +246,37 @@ impl ClusterState {
         Some(NodeId::new(idx as u32))
     }
 
+    /// Free containers per node, indexed by node id. Used for snapshots.
+    pub fn free_per_node(&self) -> &[u32] {
+        &self.free_per_node
+    }
+
+    /// Rebuilds live occupancy from snapshotted per-node free counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length does not match the node count or any
+    /// entry exceeds the node's capacity.
+    pub fn from_snapshot(config: ClusterConfig, free_per_node: Vec<u32>) -> Self {
+        assert_eq!(
+            free_per_node.len(),
+            config.nodes() as usize,
+            "snapshot node count mismatch"
+        );
+        assert!(
+            free_per_node
+                .iter()
+                .all(|&f| f <= config.containers_per_node()),
+            "snapshot free count exceeds node capacity"
+        );
+        let free_total = free_per_node.iter().sum();
+        ClusterState {
+            config,
+            free_per_node,
+            free_total,
+        }
+    }
+
     /// Returns `containers` containers on `node` to the pool.
     ///
     /// # Panics

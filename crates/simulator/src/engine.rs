@@ -32,6 +32,7 @@ use crate::job::{JobSpec, StageSpec};
 use crate::journal::{Journal, SimEvent};
 use crate::metrics::{EngineStats, JobOutcome, SimulationReport};
 use crate::sched::{JobView, OracleInfo, SchedContext, Scheduler};
+use crate::snapshot::{SimSnapshot, SNAPSHOT_SCHEMA_VERSION};
 use crate::telemetry::{DecisionEvent, Telemetry, TelemetrySample};
 use crate::time::{Service, SimDuration, SimTime};
 
@@ -184,14 +185,14 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-#[derive(Debug, Clone, Copy)]
-struct SpecCopy {
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub(crate) struct SpecCopy {
     node: NodeId,
     containers: u32,
 }
 
-#[derive(Debug, Clone)]
-struct RunningTask {
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct RunningTask {
     task_idx: usize,
     attempt: u32,
     node: NodeId,
@@ -202,8 +203,8 @@ struct RunningTask {
     spec_copy: Option<SpecCopy>,
 }
 
-#[derive(Debug, Clone)]
-struct StageRt {
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct StageRt {
     total: u32,
     next_unstarted: usize,
     completed: u32,
@@ -246,8 +247,8 @@ impl StageRt {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Job {
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct Job {
     spec: JobSpec,
     stage_index: usize,
     stage: StageRt,
@@ -637,13 +638,38 @@ impl<S: Scheduler> Simulation<S> {
         self.scheduler.name()
     }
 
+    /// The current simulated time (the timestamp of the last processed
+    /// event batch).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// Runs the simulation to completion (or to the deadline) and reports
     /// per-job outcomes.
     pub fn run(mut self) -> SimulationReport {
+        self.advance(None);
+        self.finalize()
+    }
+
+    /// Advances the simulation by whole timestamp batches. With
+    /// `until = Some(t)`, stops before the first batch later than `t` and
+    /// returns `true` if such a batch is pending; with `None`, runs to
+    /// completion (or the deadline) and returns `false`.
+    ///
+    /// Stopping only *between* batches keeps the paused state canonical:
+    /// every event at the current timestamp has been handled and the
+    /// coalesced full pass (if any) has run, so a snapshot taken here
+    /// resumes bit-identically.
+    fn advance(&mut self, until: Option<SimTime>) -> bool {
         while let Some(t) = self.events.peek_time() {
             if let Some(deadline) = self.deadline {
                 if t > deadline {
-                    break;
+                    return false;
+                }
+            }
+            if let Some(limit) = until {
+                if t > limit {
+                    return true;
                 }
             }
             self.now = t;
@@ -658,7 +684,209 @@ impl<S: Scheduler> Simulation<S> {
                 self.full_pass();
             }
         }
+        false
+    }
+
+    /// Runs forward until simulated time `until` (inclusive), pausing at a
+    /// batch boundary. Returns `true` if the simulation still has events to
+    /// process (i.e. it paused rather than finished). Pair with
+    /// [`snapshot`](Simulation::snapshot) to checkpoint, then keep calling
+    /// `run_until` / [`run`](Simulation::run) to continue.
+    pub fn run_until(&mut self, until: SimTime) -> bool {
+        self.advance(Some(until))
+    }
+
+    /// Runs forward to (at most) `t` and captures the state there. Returns
+    /// `None` if the simulation finished before `t` (there is nothing left
+    /// to snapshot — [`run`](Simulation::run) it for the report instead).
+    pub fn snapshot_at(&mut self, t: SimTime) -> Option<SimSnapshot> {
+        if self.run_until(t) {
+            Some(self.snapshot())
+        } else {
+            None
+        }
+    }
+
+    /// Runs to completion, handing a fresh [`SimSnapshot`] to `sink` every
+    /// `interval` of simulated time (measured from the current clock; quiet
+    /// stretches with no events produce no redundant checkpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_with_checkpoints(
+        mut self,
+        interval: SimDuration,
+        mut sink: impl FnMut(&SimSnapshot),
+    ) -> SimulationReport {
+        assert!(!interval.is_zero(), "checkpoint interval must be positive");
+        let mut next = self.now + interval;
+        while self.advance(Some(next)) {
+            sink(&self.snapshot());
+            let upcoming = self
+                .events
+                .peek_time()
+                .expect("advance reported pending events");
+            while next < upcoming {
+                next += interval;
+            }
+        }
         self.finalize()
+    }
+
+    /// Captures the complete engine state — clock, event queue, cluster
+    /// occupancy, admission queue, per-job task progress, accumulated
+    /// journal/telemetry — plus the scheduler's
+    /// [`snapshot_state`](Scheduler::snapshot_state), as a serializable
+    /// [`SimSnapshot`].
+    ///
+    /// Snapshots are only well-defined at batch boundaries, which is where
+    /// [`run_until`](Simulation::run_until) pauses; restoring one and
+    /// running to completion yields a byte-identical report to the
+    /// uninterrupted run.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
+            scheduler_name: self.scheduler.name().to_string(),
+            scheduler_state: self.scheduler.snapshot_state(),
+            cluster: *self.cluster.config(),
+            free_per_node: self.cluster.free_per_node().to_vec(),
+            quantum: self.quantum,
+            admission_limit: self.admission.limit(),
+            admission_running: self.admission.running(),
+            admission_waiting: self.admission.waiting_jobs(),
+            preemption: self.preemption,
+            speculation: self.speculation,
+            failures: self.failures,
+            expose_oracle: self.expose_oracle,
+            deadline: self.deadline,
+            journal: self.journal.clone(),
+            telemetry: self.telemetry.clone(),
+            jobs: self.jobs.clone(),
+            events: self.events.snapshot_entries(),
+            events_next_seq: self.events.next_seq(),
+            admitted: self.admitted.clone(),
+            finished_in_admitted: self.finished_in_admitted,
+            plan_order: self.plan_order.clone(),
+            refill_cursor: self.refill_cursor,
+            needs_pass: self.needs_pass,
+            tick_scheduled: self.tick_scheduled,
+            finished_count: self.finished_count,
+            stats: self.stats,
+            util_integral: self.util_integral,
+            last_util_update: self.last_util_update,
+            now: self.now,
+        }
+    }
+
+    /// Rebuilds a paused simulation from a snapshot, continuing under the
+    /// *same* scheduling policy (the scheduler's internal state is restored
+    /// via [`restore_state`](Scheduler::restore_state)). Running the result
+    /// to completion produces a byte-identical report to the uninterrupted
+    /// run the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Snapshot`] if the schema version or scheduler name
+    ///   does not match, or the scheduler rejects its serialized state,
+    /// * [`SimError::OracleNotExposed`] if `scheduler` needs the size
+    ///   oracle but the snapshotted run did not expose it.
+    pub fn restore(snapshot: SimSnapshot, mut scheduler: S) -> Result<Self, SimError> {
+        if snapshot.schema != SNAPSHOT_SCHEMA_VERSION {
+            return Err(SimError::Snapshot(format!(
+                "snapshot schema v{} does not match engine schema v{SNAPSHOT_SCHEMA_VERSION}",
+                snapshot.schema
+            )));
+        }
+        if scheduler.name() != snapshot.scheduler_name {
+            return Err(SimError::Snapshot(format!(
+                "snapshot was taken under scheduler '{}', cannot restore into '{}' \
+                 (use fork to switch policies)",
+                snapshot.scheduler_name,
+                scheduler.name()
+            )));
+        }
+        if let Some(state) = &snapshot.scheduler_state {
+            scheduler
+                .restore_state(state)
+                .map_err(|e| SimError::Snapshot(format!("scheduler state rejected: {e}")))?;
+        }
+        Self::rebuild(snapshot, scheduler)
+    }
+
+    /// Forks a snapshot into a *different* scheduling policy: the cluster,
+    /// jobs and event queue continue exactly where the snapshot paused, but
+    /// `scheduler` starts fresh — it is introduced to every active job (in
+    /// admission order) and an immediate re-plan is scheduled, so the new
+    /// policy takes over from the inherited allocation gracefully.
+    ///
+    /// This is the warm-start primitive: snapshot one warmed-up run, then
+    /// fork it across scheduler arms for variance-reduced paired
+    /// comparisons that share identical warm-up history.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::OracleNotExposed`] if `scheduler` needs the size
+    ///   oracle but the snapshotted run did not expose it,
+    /// * [`SimError::Snapshot`] if the schema version does not match.
+    pub fn fork(snapshot: &SimSnapshot, scheduler: S) -> Result<Self, SimError> {
+        if snapshot.schema != SNAPSHOT_SCHEMA_VERSION {
+            return Err(SimError::Snapshot(format!(
+                "snapshot schema v{} does not match engine schema v{SNAPSHOT_SCHEMA_VERSION}",
+                snapshot.schema
+            )));
+        }
+        let mut sim = Self::rebuild(snapshot.clone(), scheduler)?;
+        for i in 0..sim.admitted.len() {
+            let id = sim.admitted[i];
+            if sim.jobs[id.index()].active() {
+                let view = sim.build_view(id);
+                sim.scheduler.on_job_admitted(&view, sim.now);
+            }
+        }
+        // Stale targets from the donor policy are overwritten before any
+        // refill can read them: the Resched below is strictly the earliest
+        // pending event (all others are later than `now`).
+        sim.events.push(sim.now, Event::Resched);
+        Ok(sim)
+    }
+
+    fn rebuild(snapshot: SimSnapshot, scheduler: S) -> Result<Self, SimError> {
+        if scheduler.requires_oracle() && !snapshot.expose_oracle {
+            return Err(SimError::OracleNotExposed {
+                scheduler: scheduler.name().to_string(),
+            });
+        }
+        Ok(Simulation {
+            scheduler,
+            cluster: ClusterState::from_snapshot(snapshot.cluster, snapshot.free_per_node),
+            admission: AdmissionController::from_snapshot(
+                snapshot.admission_limit,
+                snapshot.admission_running,
+                snapshot.admission_waiting,
+            ),
+            quantum: snapshot.quantum,
+            preemption: snapshot.preemption,
+            speculation: snapshot.speculation,
+            failures: snapshot.failures,
+            expose_oracle: snapshot.expose_oracle,
+            deadline: snapshot.deadline,
+            journal: snapshot.journal,
+            telemetry: snapshot.telemetry,
+            jobs: snapshot.jobs,
+            events: EventQueue::from_snapshot(snapshot.events, snapshot.events_next_seq),
+            admitted: snapshot.admitted,
+            finished_in_admitted: snapshot.finished_in_admitted,
+            plan_order: snapshot.plan_order,
+            refill_cursor: snapshot.refill_cursor,
+            needs_pass: snapshot.needs_pass,
+            tick_scheduled: snapshot.tick_scheduled,
+            finished_count: snapshot.finished_count,
+            stats: snapshot.stats,
+            util_integral: snapshot.util_integral,
+            last_util_update: snapshot.last_util_update,
+            now: snapshot.now,
+        })
     }
 
     fn handle(&mut self, event: Event) {
@@ -1323,6 +1551,14 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn drain_demotions(&mut self) -> Vec<crate::telemetry::QueueDemotion> {
         (**self).drain_demotions()
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        (**self).restore_state(state)
     }
 }
 

@@ -38,6 +38,9 @@ pub enum SimError {
         /// Name of the scheduler that demanded oracle information.
         scheduler: String,
     },
+    /// A [`SimSnapshot`](crate::SimSnapshot) could not be parsed or applied
+    /// (schema mismatch, scheduler mismatch, or corrupt payload).
+    Snapshot(String),
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +61,7 @@ impl fmt::Display for SimError {
                 "scheduler '{scheduler}' requires oracle job sizes but the simulation \
                  was not built with expose_oracle(true)"
             ),
+            SimError::Snapshot(reason) => write!(f, "unusable snapshot: {reason}"),
         }
     }
 }

@@ -7,11 +7,13 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::ids::{JobId, StageId, TaskId};
 use crate::time::SimTime;
 
 /// Something that happens at an instant of simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// A job is submitted to the cluster.
     JobArrival {
@@ -37,6 +39,18 @@ pub enum Event {
     /// An immediate full scheduling pass requested by the engine (coalesced:
     /// at most one outstanding at a time).
     Resched,
+}
+
+/// One pending event with its delivery time and tie-breaking sequence
+/// number, as exposed by [`EventQueue::snapshot_entries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Insertion-order tie breaker (unique per queue lifetime).
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +129,42 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The pending events in delivery order (time, then insertion order),
+    /// without draining the queue. Used to snapshot mid-run state.
+    pub fn snapshot_entries(&self) -> Vec<EventEntry> {
+        let mut entries: Vec<EventEntry> = self
+            .heap
+            .iter()
+            .map(|e| EventEntry {
+                at: e.at,
+                seq: e.seq,
+                event: e.event,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        entries
+    }
+
+    /// Rebuilds a queue from snapshotted entries, preserving the original
+    /// sequence numbers (so restored tie-breaking matches the original run)
+    /// and the next sequence number to hand out.
+    pub fn from_snapshot(entries: Vec<EventEntry>, next_seq: u64) -> Self {
+        let heap = entries
+            .into_iter()
+            .map(|e| Entry {
+                at: e.at,
+                seq: e.seq,
+                event: e.event,
+            })
+            .collect();
+        EventQueue { heap, next_seq }
+    }
+
+    /// The sequence number the next [`push`](EventQueue::push) will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 }
 

@@ -86,6 +86,7 @@ pub mod job;
 pub mod journal;
 pub mod metrics;
 pub mod sched;
+pub mod snapshot;
 pub mod telemetry;
 pub mod testkit;
 pub mod time;
@@ -100,5 +101,6 @@ pub use job::{JobSpec, JobSpecBuilder, StageKind, StageSpec, TaskSpec};
 pub use journal::{Journal, SimEvent};
 pub use metrics::{EngineStats, JobOutcome, SimulationReport};
 pub use sched::{AllocationPlan, JobView, OracleInfo, SchedContext, Scheduler};
+pub use snapshot::{SimSnapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use telemetry::{DecisionEvent, QueueDemotion, Telemetry, TelemetrySample};
 pub use time::{Service, SimDuration, SimTime};

@@ -274,6 +274,29 @@ pub trait Scheduler {
     fn drain_demotions(&mut self) -> Vec<QueueDemotion> {
         Vec::new()
     }
+
+    /// Serializes the scheduler's internal state for a
+    /// [`SimSnapshot`](crate::SimSnapshot) (multilevel queues, service
+    /// counters, estimator caches — whatever is needed to continue
+    /// bit-identically after [`restore_state`](Self::restore_state)).
+    ///
+    /// The payload is an opaque string (conventionally JSON); `None` (the
+    /// default) declares the scheduler stateless, so restore needs no data.
+    fn snapshot_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state produced by [`snapshot_state`](Self::snapshot_state)
+    /// on the same scheduler configuration. The default (for stateless
+    /// schedulers) accepts anything and changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the payload cannot be applied
+    /// (corrupt data, or a mismatch with this scheduler's configuration).
+    fn restore_state(&mut self, _state: &str) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,310 @@
+//! Snapshot/restore correctness: a run paused mid-flight, serialized,
+//! deserialized and resumed must be *byte-identical* to the uninterrupted
+//! run — including the telemetry CSVs — with failures and speculation
+//! enabled. Also covers the warm-state fork primitive and snapshot error
+//! paths.
+
+use proptest::prelude::*;
+
+use lasmq_simulator::{
+    AllocationPlan, ClusterConfig, FailureConfig, JobSpec, SchedContext, Scheduler, SimDuration,
+    SimError, SimTime, Simulation, SimulationReport, SpeculationConfig, StageKind, StageSpec,
+    TaskSpec,
+};
+
+/// A deterministic *stateful* scheduler: rotates which admitted job gets
+/// first claim on the cluster, advancing a cursor every pass. The cursor is
+/// genuine cross-pass state — if restore failed to carry it, the resumed
+/// run would allocate differently and the byte-identity checks below would
+/// fail.
+struct Rotor {
+    cursor: u64,
+}
+
+impl Rotor {
+    fn new() -> Self {
+        Rotor { cursor: 0 }
+    }
+}
+
+impl Scheduler for Rotor {
+    fn name(&self) -> &str {
+        "rotor"
+    }
+
+    fn snapshot_state(&self) -> Option<String> {
+        Some(self.cursor.to_string())
+    }
+
+    fn restore_state(&mut self, state: &str) -> Result<(), String> {
+        self.cursor = state
+            .parse()
+            .map_err(|e| format!("bad rotor cursor {state:?}: {e}"))?;
+        Ok(())
+    }
+
+    fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+        self.cursor += 1;
+        let jobs = ctx.jobs();
+        let n = jobs.len();
+        let mut plan = AllocationPlan::new();
+        let mut budget = ctx.total_containers();
+        for i in 0..n {
+            let job = &jobs[(i + self.cursor as usize) % n];
+            let grant = job.max_useful_allocation().min(budget);
+            if grant > 0 {
+                plan.push(job.id, grant);
+                budget -= grant;
+            }
+        }
+        plan
+    }
+}
+
+fn staged_job(arrival: u64, map_tasks: u32, dur: u64, reduce_tasks: u32) -> JobSpec {
+    let mut builder = JobSpec::builder()
+        .arrival(SimTime::from_secs(arrival))
+        .stage(StageSpec::uniform(
+            StageKind::Map,
+            map_tasks,
+            TaskSpec::new(SimDuration::from_secs(dur)),
+        ));
+    if reduce_tasks > 0 {
+        builder = builder.stage(StageSpec::uniform(
+            StageKind::Reduce,
+            reduce_tasks,
+            TaskSpec::new(SimDuration::from_secs(dur)).with_containers(2),
+        ));
+    }
+    builder.build()
+}
+
+/// A workload gnarly enough to exercise failures, speculation, admission
+/// queueing and multi-stage jobs at once.
+fn workload() -> Vec<JobSpec> {
+    vec![
+        staged_job(0, 6, 8, 2),
+        staged_job(1, 2, 3, 0),
+        staged_job(5, 10, 5, 3),
+        staged_job(9, 1, 20, 0),
+        staged_job(12, 4, 4, 2),
+    ]
+}
+
+fn build(scheduler: Rotor) -> Simulation<Rotor> {
+    Simulation::builder()
+        .cluster(ClusterConfig::new(3, 2))
+        .admission_limit(3)
+        .failures(FailureConfig::with_probability(0.15, 42))
+        .speculation(SpeculationConfig::enabled(2, 1.5))
+        .record_journal(true)
+        .record_telemetry(true)
+        .jobs(workload())
+        .build(scheduler)
+        .expect("valid setup")
+}
+
+/// Byte-level fingerprint of everything a run produces: the serialized
+/// report (outcomes, stats, journal) plus both telemetry CSVs verbatim.
+fn fingerprint(report: &SimulationReport) -> String {
+    let mut out = serde_json::to_string(report).expect("report serializes");
+    if let Some(tel) = report.telemetry() {
+        out.push_str(&tel.samples_csv());
+        out.push_str(&tel.decisions_csv());
+    }
+    out
+}
+
+#[test]
+fn restore_after_json_roundtrip_is_byte_identical() {
+    let baseline = fingerprint(&build(Rotor::new()).run());
+
+    let mut sim = build(Rotor::new());
+    let snap = sim.snapshot_at(SimTime::from_secs(15)).expect("mid-run");
+    drop(sim); // the original is gone; only the snapshot survives
+    let json = snap.to_json();
+    let revived = lasmq_simulator::SimSnapshot::from_json(&json).expect("parses");
+    let resumed = Simulation::restore(revived, Rotor::new()).expect("restores");
+    assert_eq!(fingerprint(&resumed.run()), baseline);
+}
+
+#[test]
+fn every_checkpoint_resumes_to_the_same_report() {
+    let baseline = fingerprint(&build(Rotor::new()).run());
+
+    let mut checkpoints = Vec::new();
+    let direct = build(Rotor::new()).run_with_checkpoints(SimDuration::from_secs(10), |snap| {
+        checkpoints.push(snap.to_json())
+    });
+    assert_eq!(
+        fingerprint(&direct),
+        baseline,
+        "checkpointing perturbed the run"
+    );
+    assert!(!checkpoints.is_empty(), "no checkpoints were taken");
+
+    for json in &checkpoints {
+        let snap = lasmq_simulator::SimSnapshot::from_json(json).expect("parses");
+        let resumed = Simulation::restore(snap, Rotor::new()).expect("restores");
+        assert_eq!(fingerprint(&resumed.run()), baseline);
+    }
+}
+
+#[test]
+fn snapshot_accessors_describe_the_pause_point() {
+    let mut sim = build(Rotor::new());
+    let snap = sim.snapshot_at(SimTime::from_secs(15)).expect("mid-run");
+    assert_eq!(snap.schema(), lasmq_simulator::SNAPSHOT_SCHEMA_VERSION);
+    assert_eq!(snap.scheduler_name(), "rotor");
+    assert!(snap.now() >= SimTime::from_secs(15));
+    assert_eq!(snap.total_jobs(), 5);
+    assert!(snap.finished_jobs() < 5);
+    assert!(snap.pending_events() > 0);
+}
+
+#[test]
+fn snapshot_at_returns_none_once_finished() {
+    let mut sim = build(Rotor::new());
+    assert!(sim.snapshot_at(SimTime::from_secs(1_000_000)).is_none());
+}
+
+#[test]
+fn restore_rejects_wrong_scheduler_name() {
+    struct Other;
+    impl Scheduler for Other {
+        fn name(&self) -> &str {
+            "other"
+        }
+        fn allocate(&mut self, _ctx: &SchedContext<'_>) -> AllocationPlan {
+            AllocationPlan::new()
+        }
+    }
+    let mut sim = build(Rotor::new());
+    let snap = sim.snapshot_at(SimTime::from_secs(15)).expect("mid-run");
+    let err = Simulation::restore(snap, Other).unwrap_err();
+    assert!(matches!(err, SimError::Snapshot(_)), "got {err:?}");
+    assert!(
+        err.to_string().contains("fork"),
+        "message should point at fork: {err}"
+    );
+}
+
+#[test]
+fn from_json_rejects_garbage_and_future_schemas() {
+    assert!(matches!(
+        lasmq_simulator::SimSnapshot::from_json("not json"),
+        Err(SimError::Snapshot(_))
+    ));
+
+    let mut sim = build(Rotor::new());
+    let json = sim
+        .snapshot_at(SimTime::from_secs(15))
+        .expect("mid-run")
+        .to_json();
+    let bumped = json.replacen("\"schema\":1", "\"schema\":999", 1);
+    assert_ne!(json, bumped, "schema field not found to corrupt");
+    let err = lasmq_simulator::SimSnapshot::from_json(&bumped).unwrap_err();
+    assert!(err.to_string().contains("schema"), "got {err}");
+}
+
+#[test]
+fn fork_switches_policy_and_still_completes_everything() {
+    struct Greedy;
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+            let mut budget = ctx.total_containers();
+            let mut plan = AllocationPlan::new();
+            for j in ctx.jobs() {
+                let grant = j.max_useful_allocation().min(budget);
+                if grant > 0 {
+                    plan.push(j.id, grant);
+                    budget -= grant;
+                }
+            }
+            plan
+        }
+    }
+
+    let mut sim = build(Rotor::new());
+    let snap = sim.snapshot_at(SimTime::from_secs(15)).expect("mid-run");
+
+    // Fork into a different policy: allowed, runs to completion.
+    let forked = Simulation::fork(&snap, Greedy).expect("fork");
+    assert_eq!(forked.scheduler_name(), "greedy");
+    let report = forked.run();
+    assert!(report.all_completed());
+    assert_eq!(report.scheduler(), "greedy");
+
+    // Forking into the *same* policy also works (it just re-plans at the
+    // pause point rather than restoring scheduler state — fork is "take
+    // over", not "resume", so it is NOT required to match restore's
+    // trajectory). The snapshot's serialized state is still available for
+    // callers that want to seed the new arm.
+    assert!(snap.scheduler_state().is_some(), "rotor state was captured");
+    let fork_same = Simulation::fork(&snap, Rotor::new())
+        .expect("fork same policy")
+        .run();
+    assert!(fork_same.all_completed());
+    let restored = Simulation::restore(snap, Rotor::new())
+        .expect("restore")
+        .run();
+    assert!(restored.all_completed());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant, property-tested: for random workloads,
+    /// cluster shapes and snapshot times — with failures and speculation
+    /// on — snapshot → serialize → restore → run equals the uninterrupted
+    /// run byte-for-byte, telemetry included.
+    #[test]
+    fn snapshot_restore_run_is_byte_identical(
+        jobs in prop::collection::vec(
+            (1u32..=8, 1u64..=15, 0u32..=4, 0u64..40).prop_map(
+                |(tasks, dur, reduce, arrival)| staged_job(arrival, tasks, dur, reduce),
+            ),
+            1..7,
+        ),
+        nodes in 1u32..=3,
+        // Reduce tasks are 2 containers wide, so a node must fit 2.
+        per_node in 2u32..=4,
+        limit in 1usize..=6,
+        fail_prob in 0.0f64..0.3,
+        seed in 0u64..1_000,
+        cut_secs in 1u64..120,
+    ) {
+        let build = || {
+            Simulation::builder()
+                .cluster(ClusterConfig::new(nodes, per_node))
+                .admission_limit(limit)
+                .failures(FailureConfig::with_probability(fail_prob, seed))
+                .speculation(SpeculationConfig::enabled(2, 1.3))
+                .record_journal(true)
+                .record_telemetry(true)
+                .jobs(jobs.clone())
+                .build(Rotor::new())
+                .expect("valid setup")
+        };
+        let baseline = fingerprint(&build().run());
+
+        let mut sim = build();
+        match sim.snapshot_at(SimTime::from_secs(cut_secs)) {
+            None => {
+                // Finished before the cut: nothing to restore, but the
+                // partial run must still agree with the baseline.
+                prop_assert_eq!(fingerprint(&sim.run()), baseline);
+            }
+            Some(snap) => {
+                let json = snap.to_json();
+                let revived = lasmq_simulator::SimSnapshot::from_json(&json)
+                    .expect("snapshot JSON parses");
+                let resumed = Simulation::restore(revived, Rotor::new()).expect("restores");
+                prop_assert_eq!(fingerprint(&resumed.run()), baseline);
+            }
+        }
+    }
+}
