@@ -60,7 +60,49 @@ pub fn bootstrap_ci(
         confidence > 0.0 && confidence < 1.0,
         "confidence must be in (0, 1)"
     );
+    compute_bootstrap(values, statistic, confidence, resamples, seed)
+}
 
+/// Non-panicking [`bootstrap_ci`]: `None` for an empty or non-finite
+/// sample, zero resamples, or a confidence outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_analysis::try_bootstrap_ci;
+///
+/// let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+/// assert!(try_bootstrap_ci(&[], mean, 0.95, 100, 0).is_none());
+/// let ci = try_bootstrap_ci(&[5.0], mean, 0.95, 100, 0).unwrap();
+/// assert_eq!((ci.low, ci.point, ci.high), (5.0, 5.0, 5.0));
+/// ```
+pub fn try_bootstrap_ci(
+    values: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if values.is_empty()
+        || values.iter().any(|v| !v.is_finite())
+        || resamples == 0
+        || !(confidence > 0.0 && confidence < 1.0)
+    {
+        return None;
+    }
+    Some(compute_bootstrap(
+        values, statistic, confidence, resamples, seed,
+    ))
+}
+
+/// Shared implementation; callers have validated the arguments.
+fn compute_bootstrap(
+    values: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> BootstrapCi {
     let n = values.len();
     let point = statistic(values);
     let mut stats = Vec::with_capacity(resamples);
@@ -138,5 +180,29 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_panics() {
         let _ = bootstrap_ci(&[], mean, 0.9, 10, 0);
+    }
+
+    #[test]
+    fn try_bootstrap_rejects_degenerate_inputs_without_panicking() {
+        assert!(try_bootstrap_ci(&[], mean, 0.9, 10, 0).is_none());
+        assert!(try_bootstrap_ci(&[1.0, f64::NAN], mean, 0.9, 10, 0).is_none());
+        assert!(try_bootstrap_ci(&[1.0], mean, 0.9, 0, 0).is_none());
+        assert!(try_bootstrap_ci(&[1.0], mean, 1.5, 10, 0).is_none());
+        assert!(try_bootstrap_ci(&[1.0], mean, 0.0, 10, 0).is_none());
+    }
+
+    #[test]
+    fn try_bootstrap_single_value_collapses_to_the_point() {
+        // The single-job edge case: every resample of a one-element
+        // sample is that element, so the interval is degenerate but
+        // finite — no NaN anywhere.
+        let ci = try_bootstrap_ci(&[7.5], mean, 0.95, 50, 3).unwrap();
+        assert_eq!((ci.low, ci.point, ci.high), (7.5, 7.5, 7.5));
+        // And the variant agrees with the panicking one on good input.
+        let data: Vec<f64> = (0..20).map(f64::from).collect();
+        assert_eq!(
+            try_bootstrap_ci(&data, mean, 0.9, 100, 1),
+            Some(bootstrap_ci(&data, mean, 0.9, 100, 1))
+        );
     }
 }

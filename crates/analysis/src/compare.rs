@@ -6,7 +6,7 @@
 //! interval on the mean difference that excludes zero is evidence the
 //! gap is real, not seed luck.
 
-use crate::summary::{summarize, SampleSummary};
+use crate::summary::{summarize, try_summarize, SampleSummary};
 
 /// The result of a paired comparison `a − b` across seeds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +79,33 @@ pub fn paired_compare(a: &[f64], b: &[f64]) -> PairedComparison {
     }
 }
 
+/// Non-panicking [`paired_compare`]: `None` when the slices differ in
+/// length, are empty, or contain non-finite values — the shapes that
+/// arise naturally when a campaign produced no completed repetitions for
+/// one of the two schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_analysis::try_paired_compare;
+///
+/// assert!(try_paired_compare(&[], &[]).is_none());
+/// assert!(try_paired_compare(&[1.0], &[1.0, 2.0]).is_none());
+/// let cmp = try_paired_compare(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+/// assert_eq!(cmp.difference.mean, -2.0);
+/// ```
+pub fn try_paired_compare(a: &[f64], b: &[f64]) -> Option<PairedComparison> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    Some(PairedComparison {
+        difference: try_summarize(&diffs)?,
+        mean_a: a.iter().sum::<f64>() / a.len() as f64,
+        mean_b: b.iter().sum::<f64>() / b.len() as f64,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +138,23 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mismatched_lengths_panic() {
         let _ = paired_compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn try_paired_compare_degrades_instead_of_panicking() {
+        assert!(try_paired_compare(&[], &[]).is_none());
+        assert!(try_paired_compare(&[1.0], &[]).is_none());
+        assert!(try_paired_compare(&[1.0, f64::NAN], &[2.0, 3.0]).is_none());
+
+        // A single pair is usable (never significant, never NaN).
+        let cmp = try_paired_compare(&[1.0], &[5.0]).unwrap();
+        assert!(!cmp.is_significant());
+        assert_eq!(cmp.difference.mean, -4.0);
+        assert!(cmp.improvement_pct().is_finite());
+
+        // And it agrees with the panicking variant on good input.
+        let a = [1.0, 1.1, 0.9];
+        let b = [2.0, 2.1, 1.9];
+        assert_eq!(try_paired_compare(&a, &b), Some(paired_compare(&a, &b)));
     }
 }

@@ -13,6 +13,11 @@
 //!   per level, preemption churn) reduced from a run's telemetry series.
 //!
 //! Everything is fully deterministic (the bootstrap uses an explicit seed).
+//! Each statistic has a panicking form (malformed input in an experiment
+//! definition is a programming error) and a non-panicking `try_` form
+//! ([`try_summarize`], [`try_paired_compare`], [`try_bootstrap_ci`]) that
+//! returns `None` on empty or non-finite samples — the shapes that occur
+//! legitimately in pipeline code, e.g. a size bin no job landed in.
 //!
 //! # Examples
 //!
@@ -35,7 +40,7 @@ pub mod compare;
 pub mod summary;
 pub mod telemetry;
 
-pub use bootstrap::{bootstrap_ci, BootstrapCi};
-pub use compare::{paired_compare, PairedComparison};
-pub use summary::{summarize, SampleSummary};
+pub use bootstrap::{bootstrap_ci, try_bootstrap_ci, BootstrapCi};
+pub use compare::{paired_compare, try_paired_compare, PairedComparison};
+pub use summary::{summarize, try_summarize, SampleSummary};
 pub use telemetry::TelemetrySummary;

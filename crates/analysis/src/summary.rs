@@ -91,6 +91,32 @@ pub fn summarize(values: &[f64]) -> SampleSummary {
     for &v in values {
         assert!(v.is_finite(), "sample contains a non-finite value: {v}");
     }
+    compute_summary(values)
+}
+
+/// Non-panicking [`summarize`]: `None` for an empty sample or one with
+/// non-finite entries, so pipeline code over possibly-empty slices (a
+/// bin no job landed in, a run where nothing completed) degrades to "no
+/// data" instead of a panic or a NaN-poisoned table.
+///
+/// # Examples
+///
+/// ```
+/// use lasmq_analysis::try_summarize;
+///
+/// assert!(try_summarize(&[]).is_none());
+/// assert!(try_summarize(&[1.0, f64::NAN]).is_none());
+/// assert_eq!(try_summarize(&[3.0]).unwrap().mean, 3.0);
+/// ```
+pub fn try_summarize(values: &[f64]) -> Option<SampleSummary> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    Some(compute_summary(values))
+}
+
+/// Shared implementation; callers have validated `values`.
+fn compute_summary(values: &[f64]) -> SampleSummary {
     let n = values.len();
     let mean = values.iter().sum::<f64>() / n as f64;
     if n == 1 {
@@ -156,5 +182,26 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_panics() {
         let _ = summarize(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_summarize_rejects_degenerate_inputs_without_panicking() {
+        assert!(try_summarize(&[]).is_none());
+        assert!(try_summarize(&[f64::NAN]).is_none());
+        assert!(try_summarize(&[1.0, f64::INFINITY]).is_none());
+        assert!(try_summarize(&[1.0, f64::NEG_INFINITY, 2.0]).is_none());
+    }
+
+    #[test]
+    fn try_summarize_single_value_is_fully_finite() {
+        // The single-job edge case: one completed job in a bin must
+        // produce a usable summary, not NaN spread.
+        let s = try_summarize(&[42.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert!(s.std_dev == 0.0 && s.sem == 0.0 && s.ci95_half_width == 0.0);
+        assert!(s.ci95().0.is_finite() && s.ci95().1.is_finite());
+        assert_eq!(Some(s), try_summarize(&[42.0]));
+        assert_eq!(s, summarize(&[42.0]));
     }
 }

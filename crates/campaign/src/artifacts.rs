@@ -13,6 +13,12 @@
 //! All three are rendered deterministically from the report, so a warm
 //! cache run reproduces them byte-for-byte: the cached report round-trips
 //! telemetry losslessly and every float prints shortest-round-trip.
+//!
+//! Verified campaigns ([`ExecOptions::verify`](crate::ExecOptions::verify))
+//! additionally write `invariants.json` — the engine's
+//! [`InvariantReport`](lasmq_simulator::InvariantReport) for the cell —
+//! without touching the telemetry CSVs, which stay byte-identical whether
+//! or not the invariant checker was armed.
 
 use std::fs;
 use std::io;
@@ -67,6 +73,33 @@ pub fn write_cell_artifacts(
     )?;
     write_atomic(&dir.join("summary.json"), summary_json.as_bytes())?;
     Ok(Some(dir))
+}
+
+/// Writes one cell's invariant-checker report under
+/// `root/<sanitized label>/invariants.json`.
+///
+/// Returns the artifact path, or `Ok(None)` without touching the
+/// filesystem when the report carries no invariant section (the run was
+/// not verified — which is different from a verified run with zero
+/// violations, whose report is present and clean).
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unwritable directory, full disk).
+pub fn write_invariant_artifact(
+    root: &Path,
+    label: &str,
+    report: &SimulationReport,
+) -> io::Result<Option<PathBuf>> {
+    let Some(invariants) = report.invariants() else {
+        return Ok(None);
+    };
+    let dir = root.join(sanitize_label(label));
+    fs::create_dir_all(&dir)?;
+    let json = serde_json::to_string(invariants).expect("invariant reports always serialize");
+    let path = dir.join("invariants.json");
+    write_atomic(&path, json.as_bytes())?;
+    Ok(Some(path))
 }
 
 /// Writes `bytes` to `path` through a sibling temp file + rename.
@@ -133,6 +166,33 @@ mod tests {
         let report = SimulationReport::new("test".into(), vec![], EngineStats::default());
         assert!(write_cell_artifacts(&root, "x", &report).unwrap().is_none());
         assert!(!root.exists(), "no directory should be created");
+    }
+
+    #[test]
+    fn invariant_artifact_written_only_for_verified_reports() {
+        use lasmq_simulator::InvariantReport;
+
+        let root = scratch("invariants");
+        let plain = SimulationReport::new("test".into(), vec![], EngineStats::default());
+        assert!(write_invariant_artifact(&root, "cell", &plain)
+            .unwrap()
+            .is_none());
+        assert!(!root.exists());
+
+        let invariants = InvariantReport {
+            checks_run: 7,
+            ..InvariantReport::default()
+        };
+        let verified = plain.with_invariants(invariants);
+        let path = write_invariant_artifact(&root, "cell", &verified)
+            .unwrap()
+            .expect("verified report has an invariant section");
+        assert_eq!(path, root.join("cell").join("invariants.json"));
+        let parsed: InvariantReport =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.checks_run, 7);
+        assert!(parsed.is_clean());
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

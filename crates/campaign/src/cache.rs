@@ -21,12 +21,45 @@
 //! than restoring bad state. Checkpoints are deleted once the cell's
 //! final result lands.
 
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lasmq_simulator::{SimSnapshot, SimulationReport};
+
+/// Why a stored mid-run checkpoint could not be used.
+///
+/// Structured so callers can tell "nothing to resume" apart from "a
+/// checkpoint exists but is unusable" — the executor stays silent on
+/// [`Missing`](CheckpointError::Missing) and warns (then restarts the cell
+/// from scratch) on everything else. Nothing here panics: a truncated,
+/// corrupt or schema-mismatched `.ckpt.json` degrades to a fresh run.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// No checkpoint file exists for the key.
+    Missing,
+    /// The checkpoint file exists but could not be read.
+    Unreadable(io::Error),
+    /// The file was read but does not decode as a snapshot this engine
+    /// understands: truncated or corrupt JSON, or a
+    /// [`SNAPSHOT_SCHEMA_VERSION`](lasmq_simulator::SNAPSHOT_SCHEMA_VERSION)
+    /// from a different engine generation.
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no checkpoint"),
+            CheckpointError::Unreadable(e) => write!(f, "checkpoint unreadable: {e}"),
+            CheckpointError::Invalid(detail) => write!(f, "checkpoint invalid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// Default cache location, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "target/campaign-cache";
@@ -95,8 +128,26 @@ impl ResultCache {
     /// or schema-mismatched checkpoints count as misses — the executor
     /// restarts the cell from scratch.
     pub fn load_checkpoint(&self, key: &str) -> Option<SimSnapshot> {
-        let text = fs::read_to_string(self.checkpoint_path(key)).ok()?;
-        SimSnapshot::from_json(&text).ok()
+        self.try_load_checkpoint(key).ok()
+    }
+
+    /// Loads the checkpoint stored under `key`, reporting *why* an unusable
+    /// one failed instead of flattening everything into a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Missing`] when no `.ckpt.json` exists,
+    /// [`CheckpointError::Unreadable`] on IO failure, and
+    /// [`CheckpointError::Invalid`] on truncated/corrupt JSON or a
+    /// snapshot-schema mismatch.
+    pub fn try_load_checkpoint(&self, key: &str) -> Result<SimSnapshot, CheckpointError> {
+        let path = self.checkpoint_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(CheckpointError::Missing),
+            Err(e) => return Err(CheckpointError::Unreadable(e)),
+        };
+        SimSnapshot::from_json(&text).map_err(|e| CheckpointError::Invalid(e.to_string()))
     }
 
     /// Stores a mid-run checkpoint under `key`, atomically (same
@@ -189,6 +240,85 @@ mod tests {
         fs::create_dir_all(cache.dir()).unwrap();
         fs::write(cache.entry_path("deadbeef"), "{not json").unwrap();
         assert!(cache.load("deadbeef").is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    /// A genuine mid-run snapshot's JSON, for corrupting in tests.
+    fn real_checkpoint_json() -> String {
+        let cell = RunCell::new(
+            "ckpt",
+            SchedulerKind::las_mq_simulations(),
+            WorkloadSpec::Facebook {
+                jobs: 40,
+                seed: 11,
+                load: None,
+            },
+            SimSetup::trace_sim(),
+        );
+        let makespan = cell
+            .setup
+            .run(cell.workload.generate(), &cell.scheduler)
+            .outcomes()
+            .iter()
+            .filter_map(|o| o.finish)
+            .max()
+            .expect("at least one job finished");
+        let cut = lasmq_simulator::SimTime::from_millis(makespan.as_millis() / 2);
+        let mut sim = cell
+            .setup
+            .build_simulation(cell.workload.generate(), &cell.scheduler);
+        sim.snapshot_at(cut)
+            .expect("workload still running at half makespan")
+            .to_json()
+    }
+
+    #[test]
+    fn unusable_checkpoints_yield_structured_errors_not_panics() {
+        let cache = ResultCache::new(temp_dir("ckpt-errors"));
+        fs::create_dir_all(cache.dir()).unwrap();
+
+        // Nothing stored: a miss, distinct from damage.
+        assert!(matches!(
+            cache.try_load_checkpoint("absent"),
+            Err(CheckpointError::Missing)
+        ));
+
+        // Corrupt JSON.
+        fs::write(cache.checkpoint_path("corrupt"), "{not json").unwrap();
+        let err = cache.try_load_checkpoint("corrupt").unwrap_err();
+        assert!(
+            matches!(&err, CheckpointError::Invalid(d) if d.contains("malformed")),
+            "unexpected error: {err}"
+        );
+
+        // Truncated write (e.g. the disk filled mid-write of a non-atomic
+        // copy): also Invalid, also not a panic.
+        let json = real_checkpoint_json();
+        fs::write(cache.checkpoint_path("truncated"), &json[..json.len() / 2]).unwrap();
+        assert!(matches!(
+            cache.try_load_checkpoint("truncated"),
+            Err(CheckpointError::Invalid(_))
+        ));
+
+        // A snapshot stamped with a foreign schema version: parses as JSON
+        // but is refused with the version mismatch spelled out.
+        let foreign = json.replacen(
+            &format!("\"schema\":{}", lasmq_simulator::SNAPSHOT_SCHEMA_VERSION),
+            "\"schema\":999",
+            1,
+        );
+        assert_ne!(foreign, json, "schema field must be present to rewrite");
+        fs::write(cache.checkpoint_path("foreign"), foreign).unwrap();
+        let err = cache.try_load_checkpoint("foreign").unwrap_err();
+        assert!(
+            matches!(&err, CheckpointError::Invalid(d) if d.contains("schema v999")),
+            "unexpected error: {err}"
+        );
+
+        // The lenient accessor flattens all of these into misses.
+        for key in ["absent", "corrupt", "truncated", "foreign"] {
+            assert!(cache.load_checkpoint(key).is_none());
+        }
         let _ = fs::remove_dir_all(cache.dir());
     }
 }

@@ -18,7 +18,10 @@
 //! ([`write_cell_artifacts`](crate::artifacts::write_cell_artifacts));
 //! because `record_telemetry` is part of the cached setup, telemetry runs
 //! get their own cache entries and warm-cache reruns reproduce the
-//! artifacts byte-for-byte.
+//! artifacts byte-for-byte. [`ExecOptions::verify`] works the same way
+//! for the engine's runtime invariant checker: verified cells address
+//! their own cache entries and their reports carry an
+//! [`InvariantReport`](lasmq_simulator::InvariantReport).
 
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -30,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use lasmq_simulator::{Scheduler, SimDuration, Simulation, SimulationReport};
 
-use crate::cache::{ResultCache, DEFAULT_CACHE_DIR};
+use crate::cache::{CheckpointError, ResultCache, DEFAULT_CACHE_DIR};
 use crate::manifest::Manifest;
 use crate::run::RunCell;
 use crate::setup::SimSetup;
@@ -59,6 +62,14 @@ pub struct ExecOptions {
     /// scratch. Unusable checkpoints (older schema, different scheduler)
     /// degrade to a warning and a fresh run.
     pub resume: bool,
+    /// When set, every cell runs with the engine's runtime invariant
+    /// checker armed; reports carry an
+    /// [`InvariantReport`](lasmq_simulator::InvariantReport) and any
+    /// violation is warned about on stderr (the campaign still completes
+    /// — violations are data, not panics). Like telemetry,
+    /// `check_invariants` is part of the cached setup, so verified runs
+    /// address their own cache entries.
+    pub verify: bool,
 }
 
 impl Default for ExecOptions {
@@ -71,6 +82,7 @@ impl Default for ExecOptions {
             telemetry_dir: None,
             checkpoint_every: None,
             resume: false,
+            verify: false,
         }
     }
 }
@@ -120,6 +132,13 @@ impl ExecOptions {
     /// [`ExecOptions::resume`]).
     pub fn resume(mut self) -> Self {
         self.resume = true;
+        self
+    }
+
+    /// Arms the engine's runtime invariant checker on every cell (see
+    /// [`ExecOptions::verify`]).
+    pub fn verify(mut self) -> Self {
+        self.verify = true;
         self
     }
 
@@ -272,20 +291,28 @@ impl Campaign {
     pub fn try_run(&self, opts: &ExecOptions) -> Result<CampaignResult, CampaignError> {
         let start = Instant::now();
         let total = self.cells.len();
-        // A telemetry run executes the same grid with recording switched
-        // on; `record_telemetry` is part of each cell's fingerprint, so
-        // these cells address their own cache entries.
-        let telemetry_cells: Option<Vec<RunCell>> = opts.telemetry_dir.as_ref().map(|_| {
-            self.cells
-                .iter()
-                .cloned()
-                .map(|mut cell| {
-                    cell.setup = cell.setup.record_telemetry(true);
-                    cell
-                })
-                .collect()
-        });
-        let cells: &[RunCell] = telemetry_cells.as_deref().unwrap_or(&self.cells);
+        // Telemetry and verification both execute the same grid with an
+        // engine extension switched on; `record_telemetry` and
+        // `check_invariants` are part of each cell's fingerprint, so
+        // these cells address their own cache entries. The two compose:
+        // a verified telemetry run is its own fingerprint again.
+        let prepared_cells: Option<Vec<RunCell>> = (opts.telemetry_dir.is_some() || opts.verify)
+            .then(|| {
+                self.cells
+                    .iter()
+                    .cloned()
+                    .map(|mut cell| {
+                        if opts.telemetry_dir.is_some() {
+                            cell.setup = cell.setup.record_telemetry(true);
+                        }
+                        if opts.verify {
+                            cell.setup = cell.setup.check_invariants(true);
+                        }
+                        cell
+                    })
+                    .collect()
+            });
+        let cells: &[RunCell] = prepared_cells.as_deref().unwrap_or(&self.cells);
         let keys: Vec<String> = cells.iter().map(RunCell::fingerprint).collect();
         let cache = opts.resolved_cache();
         if let Some(cache) = &cache {
@@ -409,6 +436,16 @@ impl Campaign {
                 report
             }
         };
+        // A verified cell with violations is data, not a panic — but it
+        // is never something to scroll past silently.
+        if let Some(invariants) = report.invariants() {
+            if !invariants.is_clean() {
+                eprintln!(
+                    "[campaign {}] warning: invariant violations in {}: {invariants}",
+                    self.name, cell.label
+                );
+            }
+        }
         // Cached reports round-trip telemetry, so artifacts
         // come out identical whether the report was simulated
         // or loaded. IO trouble degrades to a warning; the
@@ -417,6 +454,13 @@ impl Campaign {
             if let Err(err) = crate::artifacts::write_cell_artifacts(root, &cell.label, &report) {
                 eprintln!(
                     "[campaign {}] warning: telemetry artifacts for {}: {err}",
+                    self.name, cell.label
+                );
+            }
+            if let Err(err) = crate::artifacts::write_invariant_artifact(root, &cell.label, &report)
+            {
+                eprintln!(
+                    "[campaign {}] warning: invariant artifact for {}: {err}",
                     self.name, cell.label
                 );
             }
@@ -434,15 +478,26 @@ impl Campaign {
         opts: &ExecOptions,
     ) -> SimulationReport {
         if opts.resume {
-            if let Some(snapshot) = cache.and_then(|c| c.load_checkpoint(key)) {
-                match SimSetup::resume_simulation(snapshot, &cell.scheduler) {
-                    Ok(sim) => return self.drive_cell(sim, key, cache, opts),
-                    Err(err) => eprintln!(
-                        "[campaign {}] warning: checkpoint for {} unusable ({err}); \
+            match cache.map(|c| c.try_load_checkpoint(key)) {
+                Some(Ok(snapshot)) => {
+                    match SimSetup::resume_simulation(snapshot, &cell.scheduler) {
+                        Ok(sim) => return self.drive_cell(sim, key, cache, opts),
+                        Err(err) => eprintln!(
+                            "[campaign {}] warning: checkpoint for {} unusable ({err}); \
                          restarting the cell",
-                        self.name, cell.label
-                    ),
+                            self.name, cell.label
+                        ),
+                    }
                 }
+                // Nothing to resume: the normal case, not worth a warning.
+                Some(Err(CheckpointError::Missing)) | None => {}
+                // Truncated, corrupt or schema-mismatched checkpoint:
+                // degrade to a fresh run, but say why.
+                Some(Err(err)) => eprintln!(
+                    "[campaign {}] warning: checkpoint for {} unusable ({err}); \
+                     restarting the cell",
+                    self.name, cell.label
+                ),
             }
         }
         let sim = cell
@@ -698,6 +753,138 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&cache);
         let _ = std::fs::remove_dir_all(&art);
+    }
+
+    #[test]
+    fn verified_runs_carry_invariants_and_use_distinct_cache_entries() {
+        let cache = temp_cache("verify-split");
+        let campaign = small_campaign("verify-split");
+
+        let plain = campaign.run(&ExecOptions::with_threads(2).cache_dir(&cache));
+        assert_eq!(plain.stats.cache_hits, 0);
+        assert!(plain.reports.iter().all(|r| r.invariants().is_none()));
+
+        // Same grid with the checker armed: fingerprints differ, nothing
+        // hits the plain entries, every report carries a clean invariant
+        // section with real work behind it.
+        let verified = campaign.run(&ExecOptions::with_threads(2).cache_dir(&cache).verify());
+        assert_eq!(verified.stats.cache_hits, 0);
+        for report in &verified.reports {
+            let invariants = report
+                .invariants()
+                .expect("verified campaigns must return invariant-bearing reports");
+            assert!(invariants.is_clean(), "{invariants}");
+            assert!(invariants.checks_run > 0);
+        }
+
+        // Checking observes, never steers: scheduling outcomes identical.
+        for (p, v) in plain.reports.iter().zip(&verified.reports) {
+            assert_eq!(p.stats(), v.stats());
+        }
+
+        // A warm verified rerun answers from the verified entries and
+        // round-trips the invariant section.
+        let warm = campaign.run(&ExecOptions::with_threads(1).cache_dir(&cache).verify());
+        assert_eq!(warm.stats.cache_hits, 4);
+        assert!(warm.reports.iter().all(|r| r.invariants().is_some()));
+        assert_eq!(fingerprint_reports(&verified), fingerprint_reports(&warm));
+
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+
+    #[test]
+    fn verify_leaves_telemetry_artifacts_byte_identical() {
+        let cache = temp_cache("verify-telem-cache");
+        let plain_art = temp_cache("verify-telem-plain");
+        let verify_art = temp_cache("verify-telem-verify");
+        let campaign = small_campaign("verify-telem");
+
+        campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&cache)
+                .telemetry_dir(&plain_art),
+        );
+        campaign.run(
+            &ExecOptions::with_threads(2)
+                .cache_dir(&cache)
+                .telemetry_dir(&verify_art)
+                .verify(),
+        );
+
+        for cell in campaign.cells() {
+            let sub = crate::artifacts::sanitize_label(&cell.label);
+            // The invariant checker must not perturb what the run records:
+            // the CSV artifacts are byte-identical with and without it.
+            for file in ["samples.csv", "decisions.csv", "summary.json"] {
+                let plain = std::fs::read(plain_art.join(&sub).join(file)).unwrap();
+                let verified = std::fs::read(verify_art.join(&sub).join(file)).unwrap();
+                assert_eq!(
+                    plain, verified,
+                    "{file} for {} must be byte-identical under verify",
+                    cell.label
+                );
+            }
+            // Only the verified run gets the extra invariant artifact.
+            let invariants_path = verify_art.join(&sub).join("invariants.json");
+            let parsed: lasmq_simulator::InvariantReport =
+                serde_json::from_str(&std::fs::read_to_string(&invariants_path).unwrap()).unwrap();
+            assert!(parsed.is_clean() && parsed.checks_run > 0, "{parsed}");
+            assert!(!plain_art.join(&sub).join("invariants.json").exists());
+        }
+
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_dir_all(&plain_art);
+        let _ = std::fs::remove_dir_all(&verify_art);
+    }
+
+    #[test]
+    fn damaged_checkpoints_degrade_to_fresh_runs() {
+        let dir = temp_cache("ckpt-damaged");
+        let campaign = small_campaign("ckpt-damaged");
+        let baseline = campaign.run(&ExecOptions::with_threads(2).no_cache());
+
+        // Plant three flavors of damage: corrupt JSON at cell 0, a
+        // truncated snapshot at cell 1, and a foreign schema version at
+        // cell 2. All must degrade to fresh, bit-identical runs.
+        let cache = ResultCache::new(&dir);
+        let donor = &campaign.cells()[3];
+        let mut sim = donor
+            .setup
+            .build_simulation(donor.workload.generate(), &donor.scheduler);
+        let json = sim
+            .snapshot_at(half_makespan(&baseline.reports[3]))
+            .expect("mid-run")
+            .to_json();
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(
+            cache.checkpoint_path(&campaign.cells()[0].fingerprint()),
+            "{definitely not a snapshot",
+        )
+        .unwrap();
+        std::fs::write(
+            cache.checkpoint_path(&campaign.cells()[1].fingerprint()),
+            &json[..json.len() / 2],
+        )
+        .unwrap();
+        let foreign = json.replacen(
+            &format!("\"schema\":{}", lasmq_simulator::SNAPSHOT_SCHEMA_VERSION),
+            "\"schema\":999",
+            1,
+        );
+        assert_ne!(foreign, json);
+        std::fs::write(
+            cache.checkpoint_path(&campaign.cells()[2].fingerprint()),
+            foreign,
+        )
+        .unwrap();
+
+        let resumed = campaign.run(&ExecOptions::with_threads(1).cache_dir(&dir).resume());
+        assert_eq!(
+            fingerprint_reports(&baseline),
+            fingerprint_reports(&resumed),
+            "damaged checkpoints must not leak into results"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //!   [`ExecOptions::telemetry_dir`], every cell runs with simulator
 //!   telemetry enabled and writes deterministic `samples.csv`,
 //!   `decisions.csv` and `summary.json` under a per-cell directory
-//!   ([`write_cell_artifacts`]).
+//!   ([`write_cell_artifacts`]);
+//! * optional **runtime verification** — with [`ExecOptions::verify`],
+//!   every cell runs with the engine's invariant checker armed; reports
+//!   carry an
+//!   [`InvariantReport`](lasmq_simulator::InvariantReport) and, combined
+//!   with a telemetry directory, each cell also gets an
+//!   `invariants.json` artifact ([`write_invariant_artifact`]).
 //!
 //! Results are **bit-identical regardless of worker count or cache
 //! state**: cell simulations are single-threaded and deterministic,
@@ -62,8 +68,8 @@ pub mod run;
 pub mod setup;
 pub mod workload;
 
-pub use artifacts::write_cell_artifacts;
-pub use cache::{ResultCache, DEFAULT_CACHE_DIR};
+pub use artifacts::{write_cell_artifacts, write_invariant_artifact};
+pub use cache::{CheckpointError, ResultCache, DEFAULT_CACHE_DIR};
 pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailure, ExecOptions};
 pub use kind::{ParseSchedulerError, SchedulerKind};
 pub use manifest::{status_report, Manifest, ManifestCell};

@@ -12,7 +12,10 @@ use crate::workload::WorkloadSpec;
 ///
 /// v2: reports may embed telemetry and setups carry `record_telemetry`,
 /// so v1 entries no longer describe what a run would produce today.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: setups carry `check_invariants` and verified reports embed an
+/// invariant section, so v2 entries describe neither.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// One unit of campaign work: run `workload` under `scheduler` in
 /// `setup`.

@@ -23,6 +23,11 @@ pub struct SimSetup {
     /// cache entries and warm-cache runs reproduce them bit-identically.
     #[serde(default)]
     record_telemetry: bool,
+    /// Whether runs arm the engine's runtime invariant checker. Also part
+    /// of the fingerprint: verified reports carry an invariant section, so
+    /// they must not share cache entries with unverified ones.
+    #[serde(default)]
+    check_invariants: bool,
 }
 
 impl SimSetup {
@@ -37,6 +42,7 @@ impl SimSetup {
             speculation: SpeculationConfig::disabled(),
             failures: FailureConfig::disabled(),
             record_telemetry: false,
+            check_invariants: false,
         }
     }
 
@@ -51,6 +57,7 @@ impl SimSetup {
             speculation: SpeculationConfig::disabled(),
             failures: FailureConfig::disabled(),
             record_telemetry: false,
+            check_invariants: false,
         }
     }
 
@@ -111,6 +118,18 @@ impl SimSetup {
         self.record_telemetry
     }
 
+    /// Arms or disarms the engine's runtime invariant checker for runs of
+    /// this setup (see `lasmq_simulator::SimulationBuilder::check_invariants`).
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
+        self
+    }
+
+    /// Whether runs of this setup arm the invariant checker.
+    pub fn checks_invariants(&self) -> bool {
+        self.check_invariants
+    }
+
     /// The configured cluster.
     pub fn cluster_config(&self) -> ClusterConfig {
         self.cluster
@@ -149,6 +168,7 @@ impl SimSetup {
             .failures(self.failures)
             .expose_oracle(kind.requires_oracle())
             .record_telemetry(self.record_telemetry)
+            .check_invariants(self.check_invariants)
             .jobs(jobs)
             .admission_opt(self.admission_limit)
             .build(kind.build())

@@ -307,28 +307,62 @@ impl MultilevelQueue {
         Ok(())
     }
 
-    /// Checks the `index`/`queues` cross-invariants, panicking on any
-    /// violation: every queued job has an index entry pointing back at its
-    /// exact queue and position, and the index holds nothing else. Used by
-    /// property tests; O(total jobs).
+    /// Checks the `index`/`queues` cross-invariants without panicking:
+    /// every queued job has an index entry pointing back at its exact queue
+    /// and position (which also guarantees each job appears in at most one
+    /// queue slot), every seq was actually issued, and the index holds
+    /// nothing else. O(total jobs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found. Used by the
+    /// engine's runtime invariant checker via
+    /// [`Scheduler::check_consistency`](lasmq_simulator::Scheduler::check_consistency).
+    pub fn check_consistent(&self) -> Result<(), String> {
+        let queued: usize = self.queues.iter().map(Vec::len).sum();
+        if queued != self.index.len() {
+            return Err(format!(
+                "{queued} queued job slot(s) but {} index entries",
+                self.index.len()
+            ));
+        }
+        for (qi, queue) in self.queues.iter().enumerate() {
+            for (pos, &job) in queue.iter().enumerate() {
+                let Some(entry) = self.index.get(&job) else {
+                    return Err(format!("{job} is queued but missing from the index"));
+                };
+                if entry.queue != qi {
+                    return Err(format!(
+                        "{job} sits in queue {qi} but is indexed in queue {}",
+                        entry.queue
+                    ));
+                }
+                if entry.pos != pos {
+                    return Err(format!(
+                        "{job} sits at position {pos} of queue {qi} but is indexed at {}",
+                        entry.pos
+                    ));
+                }
+                if entry.seq >= self.next_seq {
+                    return Err(format!(
+                        "{job} carries seq {} but only {} have been issued",
+                        entry.seq, self.next_seq
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`check_consistent`](Self::check_consistent),
+    /// for tests.
     ///
     /// # Panics
     ///
     /// Panics if the structure is inconsistent.
     pub fn assert_consistent(&self) {
-        let queued: usize = self.queues.iter().map(Vec::len).sum();
-        assert_eq!(
-            queued,
-            self.index.len(),
-            "index size must match total queued jobs"
-        );
-        for (qi, queue) in self.queues.iter().enumerate() {
-            for (pos, &job) in queue.iter().enumerate() {
-                let entry = self.index.get(&job).expect("queued job must be indexed");
-                assert_eq!(entry.queue, qi, "{job} indexed in the wrong queue");
-                assert_eq!(entry.pos, pos, "{job} indexed at the wrong position");
-                assert!(entry.seq < self.next_seq, "{job} has an unissued seq");
-            }
+        if let Err(detail) = self.check_consistent() {
+            panic!("multilevel queue inconsistent: {detail}");
         }
     }
 }

@@ -360,6 +360,10 @@ impl Scheduler for LasMq {
             .collect();
         Ok(())
     }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        self.mlq.check_consistent()
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,112 @@ proptest! {
         prop_assert!(aware.as_container_secs() + 1e-9 >= view.attained.as_container_secs());
     }
 
+    /// `MultilevelQueue` matches a naive `Vec`-of-`Vec`s model checker op
+    /// for op: identical queue contents *in order* (so identical pop
+    /// order), identical membership, identical observe() answers, and a
+    /// structurally consistent index after every single operation.
+    #[test]
+    fn mlq_matches_vec_model(
+        ops in prop::collection::vec((0u32..25, 0.0f64..1e5, 0u8..4), 1..300),
+    ) {
+        #[derive(Clone)]
+        struct ModelEntry {
+            job: JobId,
+            seq: u64,
+            max_effective: f64,
+        }
+        // The model is the spec made literal: plain vectors, linear
+        // scans, and the same swap-removal the real structure documents.
+        struct Model {
+            queues: Vec<Vec<ModelEntry>>,
+            next_seq: u64,
+        }
+        impl Model {
+            fn find(&self, job: JobId) -> Option<(usize, usize)> {
+                self.queues.iter().enumerate().find_map(|(q, jobs)| {
+                    jobs.iter().position(|e| e.job == job).map(|p| (q, p))
+                })
+            }
+            fn insert(&mut self, job: JobId) {
+                if self.find(job).is_some() {
+                    return;
+                }
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.queues[0].push(ModelEntry { job, seq, max_effective: 0.0 });
+            }
+            fn remove(&mut self, job: JobId) {
+                if let Some((q, p)) = self.find(job) {
+                    self.queues[q].swap_remove(p);
+                }
+            }
+            fn observe(
+                &mut self,
+                job: JobId,
+                effective: f64,
+                thresholds: &[Service],
+            ) -> Option<usize> {
+                let (q, p) = self.find(job)?;
+                let entry = &mut self.queues[q][p];
+                entry.max_effective = entry.max_effective.max(effective);
+                let max_effective = entry.max_effective;
+                let target = thresholds
+                    .iter()
+                    .position(|t| max_effective <= t.as_container_secs() * (1.0 + 1e-6))
+                    .unwrap_or(thresholds.len());
+                if target <= q {
+                    return Some(q);
+                }
+                let entry = self.queues[q].swap_remove(p);
+                self.queues[target].push(entry);
+                Some(target)
+            }
+        }
+
+        let thresholds: Vec<Service> =
+            [10.0, 100.0, 1_000.0].iter().map(|&t| Service::from_container_secs(t)).collect();
+        let mut mlq = MultilevelQueue::new(4);
+        let mut model = Model { queues: vec![Vec::new(); 4], next_seq: 0 };
+        for (id, service, op) in ops {
+            let job = JobId::new(id);
+            match op {
+                0 => {
+                    mlq.insert(job);
+                    model.insert(job);
+                }
+                1 => {
+                    mlq.remove(job);
+                    model.remove(job);
+                }
+                2 => {
+                    let got = mlq.observe(job, Service::from_container_secs(service), &thresholds);
+                    let want = model.observe(job, service, &thresholds);
+                    prop_assert_eq!(got, want, "observe disagreed for {}", job);
+                }
+                _ => {
+                    let queue = (id as usize) % mlq.num_queues();
+                    mlq.sort_queue_with_seq(queue, |_, seq| seq);
+                    model.queues[queue].sort_by_key(|e| e.seq);
+                }
+            }
+            prop_assert_eq!(mlq.len(), model.queues.iter().map(Vec::len).sum::<usize>());
+            for q in 0..4 {
+                let real: Vec<JobId> = mlq.jobs_in(q).to_vec();
+                let want: Vec<JobId> = model.queues[q].iter().map(|e| e.job).collect();
+                prop_assert_eq!(real, want, "queue {} contents diverged", q);
+                for entry in &model.queues[q] {
+                    prop_assert_eq!(mlq.queue_of(entry.job), Some(q));
+                    prop_assert_eq!(mlq.seq_of(entry.job), Some(entry.seq));
+                    let eff = mlq.max_effective_of(entry.job).expect("queued job has a key");
+                    prop_assert!((eff - entry.max_effective).abs() < 1e-12);
+                }
+            }
+            if let Err(detail) = mlq.check_consistent() {
+                return Err(TestCaseError::fail(format!("inconsistent structure: {detail}")));
+            }
+        }
+    }
+
     /// Thresholds grow by exactly the configured step.
     #[test]
     fn thresholds_are_geometric(

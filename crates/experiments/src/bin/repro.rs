@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
-//!       [--telemetry DIR] [--checkpoint-every SECS] [--resume]
+//!       [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify]
 //!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
@@ -23,7 +23,10 @@
 //! checkpoint (a snapshot of full engine state) every SECS of simulated
 //! time; `--resume` restores those checkpoints so a killed run picks up
 //! each cell where it left off, with bit-identical final output either
-//! way. `fork-compare` runs the warm-state fork experiment: one snapshot
+//! way. `--verify` arms the engine's runtime invariant checker on every
+//! cell (container conservation, clock monotonicity, task accounting,
+//! queue consistency, snapshot fidelity); violations are warned about on
+//! stderr without aborting, and tables stay byte-identical. `fork-compare` runs the warm-state fork experiment: one snapshot
 //! of a warmed cluster forked into every lineup scheduler. `trace-gen`
 //! freezes a workload to a JSON trace file; `trace-run` replays one under
 //! any scheduler and prints summary metrics.
@@ -50,6 +53,7 @@ struct Args {
     telemetry: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     resume: bool,
+    verify: bool,
     experiments: Vec<String>,
 }
 
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut telemetry = None;
     let mut checkpoint_every = None;
     let mut resume = false;
+    let mut verify = false;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                     })?);
             }
             "--resume" => resume = true,
+            "--verify" => verify = true,
             "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -121,12 +127,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         telemetry,
         checkpoint_every,
         resume,
+        verify,
         experiments,
     }))
 }
 
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
-    [--telemetry DIR] [--checkpoint-every SECS] [--resume] \
+    [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify] \
     <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
@@ -138,6 +145,9 @@ const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cach
   --resume                  restore cells from their checkpoints after an
                             interrupted run; final results are bit-identical
                             to an uninterrupted run
+  --verify                  arm the engine's runtime invariant checker on
+                            every cell; violations are reported on stderr
+                            as structured warnings, tables are unchanged
   fork-compare              snapshot one warmed-up cluster and fork it into
                             every lineup scheduler (also part of extensions)";
 
@@ -183,6 +193,9 @@ fn main() -> ExitCode {
     if args.resume {
         exec = exec.resume();
     }
+    if args.verify {
+        exec = exec.verify();
+    }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create output directory {}: {e}", args.out.display());
         return ExitCode::FAILURE;
@@ -208,13 +221,18 @@ fn main() -> ExitCode {
     let wants = |name: &str| args.experiments.iter().any(|e| e == name || e == "all");
 
     println!(
-        "LAS_MQ reproduction — scale: {}, cache: {}\n",
+        "LAS_MQ reproduction — scale: {}, cache: {}{}\n",
         if args.quick {
             "quick (bench)"
         } else {
             "paper (full)"
         },
         if args.no_cache { "off" } else { "on" },
+        if args.verify {
+            ", invariant checks: on"
+        } else {
+            ""
+        },
     );
 
     if wants("table1") {

@@ -12,7 +12,7 @@
 //! ≈ 40 % (80 s) and ≈ 45 % (50 s) and of FIFO by ≈ 46 % / 65 %, with the
 //! gap *widening* at higher load; FIFO is competitive only in bin 4.
 
-use lasmq_analysis::{paired_compare, PairedComparison};
+use lasmq_analysis::{try_paired_compare, PairedComparison};
 use lasmq_campaign::{Campaign, ExecOptions, RunCell, WorkloadSpec};
 use lasmq_simulator::JobOutcome;
 
@@ -69,10 +69,7 @@ impl Fig56Result {
     pub fn lasmq_paired_vs(&self, baseline: &str) -> Option<PairedComparison> {
         let ours = &self.summary_for("LAS_MQ")?.per_rep_mean_response;
         let base = &self.summary_for(baseline)?.per_rep_mean_response;
-        if ours.is_empty() || ours.len() != base.len() {
-            return None;
-        }
-        Some(paired_compare(ours, base))
+        try_paired_compare(ours, base)
     }
 
     /// Which figure number this corresponds to in the paper.

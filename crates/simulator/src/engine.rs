@@ -27,6 +27,7 @@ use crate::cluster::{ClusterConfig, ClusterState};
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
 use crate::ids::{JobId, NodeId, StageId, TaskId};
+use crate::invariant::{InvariantKind, InvariantReport};
 use crate::isolated::isolated_runtime;
 use crate::job::{JobSpec, StageSpec};
 use crate::journal::{Journal, SimEvent};
@@ -345,6 +346,7 @@ pub struct SimulationBuilder {
     expose_oracle: bool,
     record_journal: bool,
     record_telemetry: bool,
+    check_invariants: bool,
     deadline: Option<SimTime>,
     jobs: Vec<JobSpec>,
 }
@@ -361,6 +363,7 @@ impl Default for SimulationBuilder {
             expose_oracle: false,
             record_journal: false,
             record_telemetry: false,
+            check_invariants: false,
             deadline: None,
             jobs: Vec::new(),
         }
@@ -429,6 +432,19 @@ impl SimulationBuilder {
     /// copies, admission verdicts). Off by default and zero-cost when off.
     pub fn record_telemetry(mut self, record: bool) -> Self {
         self.record_telemetry = record;
+        self
+    }
+
+    /// Enables the runtime invariant checker: after every event batch the
+    /// engine audits container conservation (cluster-wide and per node),
+    /// event-clock monotonicity, per-job task accounting, the scheduler's
+    /// own queue consistency ([`Scheduler::check_consistency`]) and —
+    /// sampled — snapshot round-trip fidelity. Breaches are recorded as
+    /// structured [`InvariantViolation`](crate::InvariantViolation)s in
+    /// [`SimulationReport::invariants`](crate::SimulationReport::invariants)
+    /// instead of panicking. Off by default and zero-cost when off.
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
         self
     }
 
@@ -519,6 +535,11 @@ impl SimulationBuilder {
             } else {
                 None
             },
+            invariants: if self.check_invariants {
+                Some(InvariantReport::default())
+            } else {
+                None
+            },
             jobs,
             events,
             admitted: Vec::new(),
@@ -584,6 +605,7 @@ pub struct Simulation<S: Scheduler> {
     deadline: Option<SimTime>,
     journal: Option<Journal>,
     telemetry: Option<Telemetry>,
+    invariants: Option<InvariantReport>,
     jobs: Vec<Job>,
     events: EventQueue,
     admitted: Vec<JobId>,
@@ -672,6 +694,18 @@ impl<S: Scheduler> Simulation<S> {
                     return true;
                 }
             }
+            if let Some(report) = &mut self.invariants {
+                if t < self.now {
+                    report.record(
+                        InvariantKind::ClockMonotonicity,
+                        t.as_millis(),
+                        format!(
+                            "event batch at {t} is earlier than the current clock {}",
+                            self.now
+                        ),
+                    );
+                }
+            }
             self.now = t;
             // Drain every event at this timestamp, then run at most one
             // coalesced full pass.
@@ -683,8 +717,179 @@ impl<S: Scheduler> Simulation<S> {
                 self.needs_pass = false;
                 self.full_pass();
             }
+            if self.invariants.is_some() {
+                self.run_invariant_checks();
+            }
         }
         false
+    }
+
+    /// One audit pass over the engine's entire state. Only ever called when
+    /// the simulation was built with `check_invariants(true)`; records each
+    /// breach as a structured violation instead of aborting the run.
+    fn run_invariant_checks(&mut self) {
+        let Some(mut report) = self.invariants.take() else {
+            return;
+        };
+        report.checks_run += 1;
+        let at = self.now.as_millis();
+
+        // Container conservation, cluster-wide: every used container is
+        // held by exactly one job, and holdings never exceed capacity.
+        let used = self.cluster.used_containers() as u64;
+        let held_sum: u64 = self.jobs.iter().map(|j| j.held as u64).sum();
+        if used != held_sum {
+            report.record(
+                InvariantKind::ContainerConservation,
+                at,
+                format!("cluster reports {used} containers used but jobs hold {held_sum}"),
+            );
+        }
+
+        // Container conservation, per node: recompute each node's load from
+        // the running attempts and compare with the cluster's free counts.
+        let per_node_cap = self.cluster.config().containers_per_node() as u64;
+        let mut used_per_node = vec![0u64; self.cluster.config().nodes() as usize];
+        for job in &self.jobs {
+            for r in &job.stage.running {
+                used_per_node[r.node.index()] += r.containers as u64;
+                if let Some(copy) = r.spec_copy {
+                    used_per_node[copy.node.index()] += copy.containers as u64;
+                }
+            }
+        }
+        for (i, (&expected, &free)) in used_per_node
+            .iter()
+            .zip(self.cluster.free_per_node())
+            .enumerate()
+        {
+            let actual = per_node_cap - free as u64;
+            if expected != actual {
+                report.record(
+                    InvariantKind::ContainerConservation,
+                    at,
+                    format!(
+                        "node {i}: running attempts occupy {expected} containers \
+                         but the cluster accounts {actual} as used"
+                    ),
+                );
+            }
+        }
+
+        // Task accounting: per active job, every issued task is in exactly
+        // one of {completed, running, requeued}, and holdings match the
+        // widths of running attempts.
+        let mut finished = 0usize;
+        let mut active = 0usize;
+        for (i, job) in self.jobs.iter().enumerate() {
+            if job.finished() {
+                finished += 1;
+                if job.held != 0 || !job.stage.running.is_empty() {
+                    report.record(
+                        InvariantKind::TaskAccounting,
+                        at,
+                        format!(
+                            "finished job {i} still holds {} container(s) and {} running task(s)",
+                            job.held,
+                            job.stage.running.len()
+                        ),
+                    );
+                }
+                continue;
+            }
+            if job.active() {
+                active += 1;
+            }
+            let st = &job.stage;
+            let accounted =
+                st.completed as usize + st.running.len() + st.requeued.len() + st.total as usize
+                    - st.next_unstarted;
+            if accounted != st.total as usize {
+                report.record(
+                    InvariantKind::TaskAccounting,
+                    at,
+                    format!(
+                        "job {i} stage {}: completed {} + running {} + requeued {} + \
+                         never-started {} != {} total tasks",
+                        job.stage_index,
+                        st.completed,
+                        st.running.len(),
+                        st.requeued.len(),
+                        st.total as usize - st.next_unstarted,
+                        st.total
+                    ),
+                );
+            }
+            let held_by_attempts: u64 = st
+                .running
+                .iter()
+                .map(|r| r.containers as u64 + r.spec_copy.map_or(0, |c| c.containers as u64))
+                .sum();
+            if job.held as u64 != held_by_attempts {
+                report.record(
+                    InvariantKind::TaskAccounting,
+                    at,
+                    format!(
+                        "job {i} holds {} container(s) but its running attempts occupy {}",
+                        job.held, held_by_attempts
+                    ),
+                );
+            }
+        }
+        if finished != self.finished_count {
+            report.record(
+                InvariantKind::TaskAccounting,
+                at,
+                format!(
+                    "finished_count {} disagrees with {} jobs marked finished",
+                    self.finished_count, finished
+                ),
+            );
+        }
+        if active != self.admission.running() {
+            report.record(
+                InvariantKind::TaskAccounting,
+                at,
+                format!(
+                    "admission reports {} running job(s) but {} are admitted and unfinished",
+                    self.admission.running(),
+                    active
+                ),
+            );
+        }
+
+        // Scheduler-internal structures (for LAS_MQ: the multilevel queue's
+        // membership uniqueness and back-pointers).
+        if let Err(detail) = self.scheduler.check_consistency() {
+            report.record(InvariantKind::QueueConsistency, at, detail);
+        }
+
+        // Snapshot fidelity is the one expensive check (it serializes the
+        // whole engine), so it is sampled rather than run per batch.
+        if report.checks_run % 64 == 1 {
+            let snap = self.snapshot();
+            let json = snap.to_json();
+            match SimSnapshot::from_json(&json) {
+                Ok(back) => {
+                    if back.to_json() != json {
+                        report.record(
+                            InvariantKind::SnapshotFidelity,
+                            at,
+                            "snapshot JSON does not round-trip bit-identically".to_string(),
+                        );
+                    }
+                }
+                Err(e) => {
+                    report.record(
+                        InvariantKind::SnapshotFidelity,
+                        at,
+                        format!("live snapshot failed to re-parse: {e}"),
+                    );
+                }
+            }
+        }
+
+        self.invariants = Some(report);
     }
 
     /// Runs forward until simulated time `until` (inclusive), pausing at a
@@ -762,6 +967,7 @@ impl<S: Scheduler> Simulation<S> {
             deadline: self.deadline,
             journal: self.journal.clone(),
             telemetry: self.telemetry.clone(),
+            invariants: self.invariants.clone(),
             jobs: self.jobs.clone(),
             events: self.events.snapshot_entries(),
             events_next_seq: self.events.next_seq(),
@@ -873,6 +1079,7 @@ impl<S: Scheduler> Simulation<S> {
             deadline: snapshot.deadline,
             journal: snapshot.journal,
             telemetry: snapshot.telemetry,
+            invariants: snapshot.invariants,
             jobs: snapshot.jobs,
             events: EventQueue::from_snapshot(snapshot.events, snapshot.events_next_seq),
             admitted: snapshot.admitted,
@@ -1516,6 +1723,9 @@ impl<S: Scheduler> Simulation<S> {
         if let Some(telemetry) = self.telemetry {
             report = report.with_telemetry(telemetry);
         }
+        if let Some(invariants) = self.invariants {
+            report = report.with_invariants(invariants);
+        }
         report
     }
 }
@@ -1559,6 +1769,10 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn restore_state(&mut self, state: &str) -> Result<(), String> {
         (**self).restore_state(state)
+    }
+
+    fn check_consistency(&self) -> Result<(), String> {
+        (**self).check_consistency()
     }
 }
 
@@ -2338,6 +2552,151 @@ mod tests {
         );
         assert!(tel.samples().iter().all(|s| s.queue_depths.len() == 2));
         assert_eq!(tel.queue_columns(), 2);
+    }
+
+    #[test]
+    fn invariant_checker_is_off_by_default() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .job(map_job(0, 1, 1))
+            .build(Greedy)
+            .unwrap()
+            .run();
+        assert!(report.invariants().is_none());
+    }
+
+    #[test]
+    fn clean_run_reports_no_violations() {
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::new(2, 2))
+            .check_invariants(true)
+            .jobs(vec![two_stage_job(0), map_job(3, 5, 7), map_job(4, 2, 13)])
+            .build(EvenSplit)
+            .unwrap()
+            .run();
+        let inv = report.invariants().expect("checking was enabled");
+        assert!(inv.is_clean(), "unexpected violations: {inv}");
+        assert!(inv.checks_run > 0);
+    }
+
+    #[test]
+    fn invariant_checking_does_not_perturb_outcomes() {
+        let jobs = vec![map_job(0, 5, 7), map_job(3, 2, 13), map_job(4, 9, 3)];
+        let run = |check: bool| {
+            Simulation::builder()
+                .cluster(ClusterConfig::new(2, 3))
+                .check_invariants(check)
+                .jobs(jobs.clone())
+                .build(EvenSplit)
+                .unwrap()
+                .run()
+        };
+        let plain = run(false);
+        let checked = run(true);
+        assert_eq!(plain.outcomes(), checked.outcomes());
+        assert_eq!(plain.stats(), checked.stats());
+    }
+
+    #[test]
+    fn mutation_corrupted_holdings_are_caught() {
+        // Mutation test for the oracle itself: inject an accounting bug
+        // mid-run (a phantom container holding, the kind of bug a botched
+        // refactor of the refill path would introduce) and require the
+        // checker to flag it as a structured violation, not a panic.
+        let mut sim = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .check_invariants(true)
+            .jobs(vec![map_job(0, 8, 10), map_job(2, 8, 10)])
+            .build(EvenSplit)
+            .unwrap();
+        assert!(sim.run_until(SimTime::from_secs(5)), "run must be mid-way");
+        let clean = sim.invariants.clone().expect("checking was enabled");
+        assert_eq!(clean.violations_total, 0, "run was clean before injection");
+        sim.jobs[0].held += 1; // the injected bug
+        sim.run_invariant_checks();
+        let inv = sim.invariants.as_ref().unwrap();
+        assert!(!inv.is_clean(), "injected bug went undetected");
+        assert!(inv.violations.iter().any(|v| matches!(
+            v.kind,
+            InvariantKind::ContainerConservation | InvariantKind::TaskAccounting
+        )));
+    }
+
+    #[test]
+    fn mutation_corrupted_task_counts_are_caught() {
+        let mut sim = Simulation::builder()
+            .cluster(ClusterConfig::single_node(4))
+            .check_invariants(true)
+            .jobs(vec![map_job(0, 8, 10)])
+            .build(Greedy)
+            .unwrap();
+        assert!(sim.run_until(SimTime::from_secs(5)));
+        sim.jobs[0].stage.completed += 1; // a lost task completion
+        sim.run_invariant_checks();
+        let inv = sim.invariants.as_ref().unwrap();
+        assert!(inv
+            .violations
+            .iter()
+            .any(|v| v.kind == InvariantKind::TaskAccounting));
+    }
+
+    #[test]
+    fn scheduler_consistency_errors_become_violations() {
+        /// Greedy allocation plus an always-failing self check.
+        struct BrokenQueues;
+        impl Scheduler for BrokenQueues {
+            fn name(&self) -> &str {
+                "broken-queues"
+            }
+            fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
+                ctx.jobs()
+                    .iter()
+                    .map(|j| (j.id, j.max_useful_allocation()))
+                    .collect()
+            }
+            fn check_consistency(&self) -> Result<(), String> {
+                Err("job 3 appears in two queues".to_string())
+            }
+        }
+        let report = Simulation::builder()
+            .cluster(ClusterConfig::single_node(2))
+            .check_invariants(true)
+            .job(map_job(0, 2, 5))
+            .build(BrokenQueues)
+            .unwrap()
+            .run();
+        let inv = report.invariants().expect("checking was enabled");
+        assert!(!inv.is_clean());
+        assert!(inv
+            .violations
+            .iter()
+            .any(|v| v.kind == InvariantKind::QueueConsistency && v.detail.contains("two queues")));
+    }
+
+    #[test]
+    fn invariant_state_survives_snapshot_restore() {
+        let jobs = vec![map_job(0, 6, 9), map_job(2, 3, 4)];
+        let uninterrupted = Simulation::builder()
+            .cluster(ClusterConfig::single_node(3))
+            .check_invariants(true)
+            .jobs(jobs.clone())
+            .build(Greedy)
+            .unwrap()
+            .run();
+        let mut first = Simulation::builder()
+            .cluster(ClusterConfig::single_node(3))
+            .check_invariants(true)
+            .jobs(jobs)
+            .build(Greedy)
+            .unwrap();
+        assert!(first.run_until(SimTime::from_secs(6)));
+        let snap = SimSnapshot::from_json(&first.snapshot().to_json()).unwrap();
+        let resumed = Simulation::restore(snap, Greedy).unwrap().run();
+        let a = uninterrupted.invariants().unwrap();
+        let b = resumed.invariants().unwrap();
+        assert_eq!(a.checks_run, b.checks_run);
+        assert_eq!(a.violations_total, b.violations_total);
+        assert_eq!(uninterrupted.outcomes(), resumed.outcomes());
     }
 
     #[test]

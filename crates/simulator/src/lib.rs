@@ -81,6 +81,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod ids;
+pub mod invariant;
 pub mod isolated;
 pub mod job;
 pub mod journal;
@@ -97,6 +98,7 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use ids::{JobId, NodeId, StageId, TaskId};
+pub use invariant::{InvariantKind, InvariantReport, InvariantViolation};
 pub use job::{JobSpec, JobSpecBuilder, StageKind, StageSpec, TaskSpec};
 pub use journal::{Journal, SimEvent};
 pub use metrics::{EngineStats, JobOutcome, SimulationReport};

@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::ids::JobId;
+use crate::invariant::InvariantReport;
 use crate::journal::Journal;
 use crate::telemetry::Telemetry;
 use crate::time::{Service, SimDuration, SimTime};
@@ -107,6 +108,8 @@ pub struct SimulationReport {
     journal: Option<Journal>,
     #[serde(default)]
     telemetry: Option<Telemetry>,
+    #[serde(default)]
+    invariants: Option<InvariantReport>,
 }
 
 impl SimulationReport {
@@ -119,6 +122,7 @@ impl SimulationReport {
             stats,
             journal: None,
             telemetry: None,
+            invariants: None,
         }
     }
 
@@ -144,6 +148,19 @@ impl SimulationReport {
     /// [`record_telemetry`](crate::SimulationBuilder::record_telemetry).
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_ref()
+    }
+
+    /// Attaches the invariant checker's outcome (engine use).
+    pub fn with_invariants(mut self, invariants: InvariantReport) -> Self {
+        self.invariants = Some(invariants);
+        self
+    }
+
+    /// The invariant checker's outcome, if the run was built with
+    /// [`check_invariants`](crate::SimulationBuilder::check_invariants).
+    /// `None` means checking was off, not that the run was clean.
+    pub fn invariants(&self) -> Option<&InvariantReport> {
+        self.invariants.as_ref()
     }
 
     /// Name of the scheduler that produced this run.

@@ -297,6 +297,22 @@ pub trait Scheduler {
     fn restore_state(&mut self, _state: &str) -> Result<(), String> {
         Ok(())
     }
+
+    /// Audits the scheduler's internal data structures for consistency
+    /// (queue membership uniqueness, valid back-pointers, monotone
+    /// counters). Called by the engine's runtime invariant checker when
+    /// the simulation was built with
+    /// [`SimulationBuilder::check_invariants`](crate::SimulationBuilder::check_invariants);
+    /// never called otherwise, so the default costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency
+    /// found. Implementations should report, not panic — the engine turns
+    /// the message into a structured violation.
+    fn check_consistency(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

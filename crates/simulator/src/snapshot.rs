@@ -36,6 +36,7 @@ use crate::engine::{FailureConfig, Job, PreemptionPolicy, SpeculationConfig};
 use crate::error::SimError;
 use crate::event::EventEntry;
 use crate::ids::JobId;
+use crate::invariant::InvariantReport;
 use crate::journal::Journal;
 use crate::metrics::EngineStats;
 use crate::telemetry::Telemetry;
@@ -73,6 +74,10 @@ pub struct SimSnapshot {
     pub(crate) deadline: Option<SimTime>,
     pub(crate) journal: Option<Journal>,
     pub(crate) telemetry: Option<Telemetry>,
+    /// Accumulated invariant-checker state; `None` when checking is off.
+    /// Defaults on deserialization so pre-checker snapshots still parse.
+    #[serde(default)]
+    pub(crate) invariants: Option<InvariantReport>,
     pub(crate) jobs: Vec<Job>,
     pub(crate) events: Vec<EventEntry>,
     pub(crate) events_next_seq: u64,

@@ -1,0 +1,72 @@
+//! Differential smoke test: one PUMA cell and one Facebook-trace cell,
+//! each run under all five schedulers through both the optimized engine
+//! (invariant checker armed) and the naive reference executor.
+//!
+//! Exits non-zero on any trace divergence or invariant violation, so CI
+//! can gate on it (`verify-smoke` job).
+
+use std::process::ExitCode;
+
+use lasmq_campaign::SchedulerKind;
+use lasmq_verify::{run_differential, DiffCell};
+use lasmq_workload::{FacebookTrace, PumaWorkload};
+
+fn lineup() -> Vec<SchedulerKind> {
+    let mut kinds = SchedulerKind::paper_lineup_simulations();
+    kinds.push(SchedulerKind::Sjf);
+    kinds
+}
+
+fn main() -> ExitCode {
+    let puma = PumaWorkload::new().jobs(40).seed(7).generate();
+    let facebook = FacebookTrace::new().jobs(120).seed(3).generate();
+
+    let mut cells = Vec::new();
+    for kind in lineup() {
+        cells.push(DiffCell::new(
+            format!("puma-40/{kind}"),
+            puma.clone(),
+            kind.clone(),
+        ));
+        cells.push(DiffCell::new(
+            format!("facebook-120/{kind}"),
+            facebook.clone(),
+            kind,
+        ));
+    }
+
+    let mut failures = 0usize;
+    println!("{:<24} {:>5} {:>6}  result", "cell", "jobs", "done");
+    for cell in &cells {
+        match run_differential(cell) {
+            Ok(result) => {
+                let status = if result.is_clean() { "ok" } else { "FAIL" };
+                println!(
+                    "{:<24} {:>5} {:>6}  {status} ({} checks)",
+                    result.name, result.jobs, result.completed, result.invariants.checks_run
+                );
+                if !result.is_clean() {
+                    failures += 1;
+                    for d in &result.divergences {
+                        eprintln!("  divergence: {d}");
+                    }
+                    for v in &result.invariants.violations {
+                        eprintln!("  violation:  {v}");
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("{}: failed to build: {e}", cell.name);
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("verify-smoke: {failures} of {} cells failed", cells.len());
+        ExitCode::FAILURE
+    } else {
+        println!("verify-smoke: all {} cells clean", cells.len());
+        ExitCode::SUCCESS
+    }
+}

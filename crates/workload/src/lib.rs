@@ -15,9 +15,10 @@
 //! Supporting modules: [`dist`] (first-principles distributions),
 //! [`arrivals`] (Poisson/batch arrival processes), [`skew`] (map/reduce
 //! data-skew models, §II of the paper), [`trace`] (a JSON trace format
-//! for freezing and replaying workloads) and [`swim`] (ingestion of
+//! for freezing and replaying workloads), [`swim`] (ingestion of
 //! published SWIM-format MapReduce traces, so the real Facebook 2010
-//! trace can be replayed when a copy is available).
+//! trace can be replayed when a copy is available) and [`adversarial`]
+//! (seeded hostile traces for the `lasmq-verify` differential oracle).
 //!
 //! # Examples
 //!
@@ -36,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod arrivals;
 pub mod dist;
 pub mod facebook;
@@ -45,6 +47,7 @@ pub mod swim;
 pub mod trace;
 pub mod uniform;
 
+pub use adversarial::{AdversarialScenario, AdversarialWorkload};
 pub use facebook::FacebookTrace;
 pub use puma::PumaWorkload;
 pub use trace::{Trace, TraceError, TraceSummary};
