@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use lasmq_campaign::{SchedulerKind, SimSetup};
 use lasmq_core::mlq::MultilevelQueue;
 use lasmq_core::LasMq;
 use lasmq_schedulers::share::{weighted_shares, ShareRequest};
@@ -14,6 +15,7 @@ use lasmq_simulator::{
     ClusterConfig, JobId, JobSpec, Service, SimDuration, SimTime, Simulation, StageKind, StageSpec,
     TaskSpec,
 };
+use lasmq_workload::FacebookTrace;
 
 fn synthetic_jobs(n: usize) -> Vec<JobSpec> {
     (0..n)
@@ -64,6 +66,38 @@ fn bench_engine(c: &mut Criterion) {
                 .build(LasMq::with_paper_defaults())
                 .expect("valid setup")
                 .run();
+            black_box(report)
+        });
+    });
+    group.finish();
+
+    // Facebook-scale: the paper's §V-C trace environment (heavy-tailed
+    // job widths, 100-container pool) at a 3,000-job prefix — large
+    // enough that scheduling-pass cost dominates, small enough for
+    // criterion's iteration counts. The full 24,443-job trace is the
+    // perf-smoke binary's job; this group tracks the same workload shape
+    // and pits the incremental engine against the full-rebuild reference.
+    let trace = FacebookTrace::new().jobs(3_000).seed(0).generate();
+    let kind = SchedulerKind::las_mq_simulations();
+    let events = SimSetup::trace_sim()
+        .run(trace.clone(), &kind)
+        .stats()
+        .events_processed;
+
+    let mut group = c.benchmark_group("facebook_scale");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("las_mq_3000_jobs_incremental", |b| {
+        b.iter(|| {
+            let report = SimSetup::trace_sim().run(trace.clone(), &kind);
+            black_box(report)
+        });
+    });
+    group.bench_function("las_mq_3000_jobs_full_rebuild", |b| {
+        b.iter(|| {
+            let report = SimSetup::trace_sim()
+                .full_rebuild_passes(true)
+                .run(trace.clone(), &kind);
             black_box(report)
         });
     });

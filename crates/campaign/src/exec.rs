@@ -424,10 +424,13 @@ impl Campaign {
         let report = match cache.and_then(|c| c.load(key)) {
             Some(cached) => {
                 hits.fetch_add(1, Ordering::Relaxed);
+                crate::profile::record_cell(&cached, true, Duration::ZERO);
                 cached
             }
             None => {
+                let sim_start = Instant::now();
                 let report = self.simulate_cell(cell, key, cache, opts);
+                crate::profile::record_cell(&report, false, sim_start.elapsed());
                 if let Some(cache) = cache {
                     let _ = cache.store(key, &report);
                     // The result supersedes any mid-run checkpoint.

@@ -31,7 +31,12 @@
 //!   carry an
 //!   [`InvariantReport`](lasmq_simulator::InvariantReport) and, combined
 //!   with a telemetry directory, each cell also gets an
-//!   `invariants.json` artifact ([`write_invariant_artifact`]).
+//!   `invariants.json` artifact ([`write_invariant_artifact`]);
+//! * optional **execution profiling** — [`profile::set_enabled`] arms
+//!   process-wide counters (cells, cache hits, simulated events,
+//!   scheduling passes, simulating wall-clock) that a caller brackets
+//!   with [`profile::snapshot`] for per-figure deltas, as
+//!   `repro --profile` does.
 //!
 //! Results are **bit-identical regardless of worker count or cache
 //! state**: cell simulations are single-threaded and deterministic,
@@ -64,6 +69,7 @@ pub mod cache;
 pub mod exec;
 pub mod kind;
 pub mod manifest;
+pub mod profile;
 pub mod run;
 pub mod setup;
 pub mod workload;
@@ -73,6 +79,7 @@ pub use cache::{CheckpointError, ResultCache, DEFAULT_CACHE_DIR};
 pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailure, ExecOptions};
 pub use kind::{ParseSchedulerError, SchedulerKind};
 pub use manifest::{status_report, Manifest, ManifestCell};
+pub use profile::ProfileSnapshot;
 pub use run::{RunCell, CACHE_SCHEMA_VERSION};
 pub use setup::SimSetup;
 pub use workload::WorkloadSpec;

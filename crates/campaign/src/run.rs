@@ -15,7 +15,10 @@ use crate::workload::WorkloadSpec;
 ///
 /// v3: setups carry `check_invariants` and verified reports embed an
 /// invariant section, so v2 entries describe neither.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: reports carry `EngineStats::events_processed` and setups carry
+/// `full_rebuild_passes`, so v3 entries lack both fields.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// One unit of campaign work: run `workload` under `scheduler` in
 /// `setup`.

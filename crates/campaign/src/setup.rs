@@ -28,6 +28,12 @@ pub struct SimSetup {
     /// they must not share cache entries with unverified ones.
     #[serde(default)]
     check_invariants: bool,
+    /// Whether runs disable the engine's incremental scheduling passes and
+    /// rebuild every job view each pass (the pre-incremental code path,
+    /// kept for A/B byte-identity checks). Part of the fingerprint out of
+    /// caution, though both modes produce identical reports.
+    #[serde(default)]
+    full_rebuild_passes: bool,
 }
 
 impl SimSetup {
@@ -43,6 +49,7 @@ impl SimSetup {
             failures: FailureConfig::disabled(),
             record_telemetry: false,
             check_invariants: false,
+            full_rebuild_passes: false,
         }
     }
 
@@ -58,6 +65,7 @@ impl SimSetup {
             failures: FailureConfig::disabled(),
             record_telemetry: false,
             check_invariants: false,
+            full_rebuild_passes: false,
         }
     }
 
@@ -130,6 +138,14 @@ impl SimSetup {
         self.check_invariants
     }
 
+    /// Forces (or lifts) full per-pass view rebuilds for runs of this
+    /// setup (see `lasmq_simulator::SimulationBuilder::full_rebuild_passes`)
+    /// — the reference mode for incremental-vs-full A/B equality tests.
+    pub fn full_rebuild_passes(mut self, full_rebuild: bool) -> Self {
+        self.full_rebuild_passes = full_rebuild;
+        self
+    }
+
     /// The configured cluster.
     pub fn cluster_config(&self) -> ClusterConfig {
         self.cluster
@@ -169,6 +185,7 @@ impl SimSetup {
             .expose_oracle(kind.requires_oracle())
             .record_telemetry(self.record_telemetry)
             .check_invariants(self.check_invariants)
+            .full_rebuild_passes(self.full_rebuild_passes)
             .jobs(jobs)
             .admission_opt(self.admission_limit)
             .build(kind.build())

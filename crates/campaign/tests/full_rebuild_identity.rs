@@ -1,0 +1,129 @@
+//! Campaign-level incremental-vs-full byte identity: every scheduler in
+//! the paper lineup, run over the same workloads through [`SimSetup`],
+//! must produce byte-identical serialized reports and telemetry CSVs
+//! whether the engine schedules incrementally (the default) or with
+//! `full_rebuild_passes(true)` (the pre-incremental reference mode).
+//!
+//! This is the campaign-facing face of the engine-level A/B test in
+//! `lasmq-simulator/tests/incremental_identity.rs`: it exercises the real
+//! LAS_MQ scheduler (whose incremental path maintains per-queue demand
+//! sums and skips clean-queue sorts) rather than a synthetic one.
+
+use proptest::prelude::*;
+
+use lasmq_campaign::{SchedulerKind, SimSetup};
+use lasmq_simulator::SimulationReport;
+use lasmq_workload::{AdversarialScenario, AdversarialWorkload, FacebookTrace, UniformWorkload};
+
+fn lineup() -> Vec<SchedulerKind> {
+    let mut kinds = SchedulerKind::paper_lineup_simulations();
+    kinds.push(SchedulerKind::Sjf);
+    kinds
+}
+
+/// Serialized report plus both telemetry CSVs, byte-for-byte.
+fn fingerprint(report: &SimulationReport) -> String {
+    let mut out = serde_json::to_string(report).expect("report serializes");
+    if let Some(tel) = report.telemetry() {
+        out.push_str(&tel.samples_csv());
+        out.push_str(&tel.decisions_csv());
+    }
+    out
+}
+
+fn assert_modes_identical(setup: SimSetup, jobs: &[lasmq_simulator::JobSpec], label: &str) {
+    for kind in lineup() {
+        let incremental = setup
+            .clone()
+            .record_telemetry(true)
+            .check_invariants(true)
+            .run(jobs.to_vec(), &kind);
+        let full = setup
+            .clone()
+            .record_telemetry(true)
+            .check_invariants(true)
+            .full_rebuild_passes(true)
+            .run(jobs.to_vec(), &kind);
+        assert!(
+            incremental.invariants().is_some_and(|i| i.is_clean()),
+            "{label}/{kind}: invariant violations in incremental mode"
+        );
+        assert_eq!(
+            fingerprint(&incremental),
+            fingerprint(&full),
+            "{label}/{kind}: incremental and full-rebuild outputs diverge"
+        );
+    }
+}
+
+#[test]
+fn facebook_trace_is_mode_independent() {
+    let jobs = FacebookTrace::new().jobs(80).seed(3).generate();
+    assert_modes_identical(SimSetup::trace_sim(), &jobs, "facebook");
+}
+
+#[test]
+fn uniform_batch_is_mode_independent() {
+    let jobs = UniformWorkload::new().jobs(12).tasks_per_job(40).generate();
+    assert_modes_identical(SimSetup::uniform_sim(), &jobs, "uniform");
+}
+
+#[test]
+fn testbed_setup_is_mode_independent() {
+    let jobs = FacebookTrace::new().jobs(40).seed(9).generate();
+    assert_modes_identical(SimSetup::testbed(), &jobs, "testbed");
+}
+
+#[test]
+fn adversarial_ties_and_tiny_tasks_are_mode_independent() {
+    for scenario in [
+        AdversarialScenario::Bursty,
+        AdversarialScenario::TinyTasks,
+        AdversarialScenario::Mixed,
+    ] {
+        let jobs = AdversarialWorkload::new(scenario)
+            .jobs(20)
+            .seed(11)
+            .max_width(30)
+            .generate();
+        assert_modes_identical(SimSetup::trace_sim(), &jobs, scenario.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fuzzed corners of the same guarantee, focused on the schedulers
+    /// with genuinely incremental paths: same-instant arrival bursts and
+    /// 1 ms tasks must not shake a single byte loose between modes.
+    #[test]
+    fn fuzzed_adversarial_cells_are_mode_independent(
+        scenario in prop_oneof![
+            Just(AdversarialScenario::Bursty),
+            Just(AdversarialScenario::TinyTasks),
+            Just(AdversarialScenario::Mixed),
+        ],
+        seed in 0u64..1_000,
+        jobs in 5usize..25,
+    ) {
+        let trace = AdversarialWorkload::new(scenario)
+            .jobs(jobs)
+            .seed(seed)
+            .max_width(30)
+            .generate();
+        for kind in [
+            SchedulerKind::las_mq_simulations(),
+            SchedulerKind::las_mq_experiments(),
+            SchedulerKind::Fair,
+        ] {
+            let base = SimSetup::trace_sim().record_telemetry(true).check_invariants(true);
+            let incremental = base.clone().run(trace.clone(), &kind);
+            let full = base.full_rebuild_passes(true).run(trace.clone(), &kind);
+            prop_assert!(
+                incremental.invariants().is_some_and(|i| i.is_clean()),
+                "{}/{kind}: invariant violations", scenario.name()
+            );
+            prop_assert_eq!(fingerprint(&incremental), fingerprint(&full));
+        }
+    }
+}

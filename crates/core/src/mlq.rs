@@ -44,6 +44,14 @@ pub struct MultilevelQueue {
     queues: Vec<Vec<JobId>>,
     index: HashMap<JobId, Entry>,
     next_seq: u64,
+    /// Per-queue "order may be stale" flags: set by membership changes
+    /// (insert, demotion, swap-removal) and by callers whose sort keys
+    /// changed ([`mark_queue_dirty`](Self::mark_queue_dirty)); cleared by
+    /// the sort methods. A clean queue's stored order *is* its sorted
+    /// order, so incremental schedulers skip re-sorting it — sound
+    /// whenever the sort key is a strict total order (LAS_MQ tie-breaks on
+    /// the unique arrival seq), because then the sorted order is unique.
+    dirty: Vec<bool>,
 }
 
 impl MultilevelQueue {
@@ -58,6 +66,7 @@ impl MultilevelQueue {
             queues: vec![Vec::new(); k],
             index: HashMap::new(),
             next_seq: 0,
+            dirty: vec![true; k],
         }
     }
 
@@ -94,6 +103,7 @@ impl MultilevelQueue {
             },
         );
         self.queues[0].push(job);
+        self.dirty[0] = true;
     }
 
     /// Removes a completed job in O(1). Idempotent.
@@ -104,6 +114,7 @@ impl MultilevelQueue {
     pub fn remove(&mut self, job: JobId) {
         if let Some(entry) = self.index.remove(&job) {
             self.swap_out(entry.queue, entry.pos);
+            self.dirty[entry.queue] = true;
         }
     }
 
@@ -189,6 +200,8 @@ impl MultilevelQueue {
             .get_mut(&job)
             .expect("observed job is indexed")
             .pos = new_pos;
+        self.dirty[current] = true;
+        self.dirty[target] = true;
         Some(target)
     }
 
@@ -202,6 +215,7 @@ impl MultilevelQueue {
     pub fn sort_queue_by_key<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId) -> K) {
         self.queues[i].sort_by_key(|&j| key(j));
         self.reindex(i);
+        self.dirty[i] = false;
     }
 
     /// Sorts queue `i` ascending by `key(job, seq)`, where `seq` is the
@@ -229,6 +243,28 @@ impl MultilevelQueue {
             key(j, seq)
         });
         self.reindex(i);
+        self.dirty[i] = false;
+    }
+
+    /// Whether queue `i`'s stored order may be stale (see the `dirty` field
+    /// docs). Freshly built structures report every queue dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn queue_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Flags queue `i` for re-sorting — for callers whose *sort keys*
+    /// changed in ways this structure cannot see (LAS_MQ marks a job's
+    /// queue when the job's remaining demand moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn mark_queue_dirty(&mut self, i: usize) {
+        self.dirty[i] = true;
     }
 
     /// Per-queue job counts (handy for tests and introspection).
@@ -285,6 +321,7 @@ impl MultilevelQueue {
             },
         );
         self.queues[queue].push(job);
+        self.dirty[queue] = true;
         Ok(())
     }
 

@@ -12,14 +12,21 @@
 //!    each queue in order granting `min(rᵢ, jrt)` containers per job, and
 //!    finally share any remaining containers with jobs that can still use
 //!    them (work conservation).
-
-use std::collections::HashMap;
+//!
+//! Both steps run *incrementally* when the engine supplies a changed-job
+//! hint ([`SchedContext::changed`]): only changed jobs are re-observed (an
+//! unchanged view implies an unchanged effective service, and demotion is
+//! monotonic, so unchanged jobs can never move), per-queue demand sums are
+//! maintained as a running total, and a queue is only re-sorted when its
+//! membership or a member's sort key actually moved. Without the hint the
+//! scheduler falls back to the full per-pass recomputation, which produces
+//! bit-identical plans.
 
 use lasmq_simulator::{
     AllocationPlan, JobId, JobView, QueueDemotion, SchedContext, Scheduler, Service, SimTime,
 };
 
-use lasmq_schedulers::share::{weighted_shares, ShareRequest};
+use lasmq_schedulers::share::{weighted_shares_into, ShareRequest, ShareScratch};
 
 use crate::config::{LasMqConfig, QueueOrdering, QueueSharing};
 use crate::estimate::effective_service;
@@ -52,6 +59,35 @@ struct LasMqState {
     queues: Vec<Vec<QueuedJobState>>,
     next_seq: u64,
     demotions: Vec<DemotionState>,
+}
+
+/// Sentinel for [`CachedDemand::contrib_queue`]: the job currently
+/// contributes demand to no queue.
+const NO_QUEUE: u32 = u32::MAX;
+
+/// Per-job demand snapshot from the last time the job's view was
+/// refreshed. The defaults mirror the legacy full-pass fallbacks for jobs
+/// without a view: `remaining_demand = u32::MAX` (sorts last) and
+/// `max_useful = 0` (never granted), so an [`EMPTY`](CachedDemand::EMPTY)
+/// entry behaves exactly like a missing per-pass lookup used to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CachedDemand {
+    /// `JobView::remaining_demand` — the in-queue sort key.
+    remaining_demand: u32,
+    /// `JobView::max_useful_allocation` — the grant cap, also summed into
+    /// [`LasMq::queue_demand`].
+    max_useful: u32,
+    /// Which queue's demand sum currently includes `max_useful`
+    /// ([`NO_QUEUE`] if none).
+    contrib_queue: u32,
+}
+
+impl CachedDemand {
+    const EMPTY: CachedDemand = CachedDemand {
+        remaining_demand: u32::MAX,
+        max_useful: 0,
+        contrib_queue: NO_QUEUE,
+    };
 }
 
 /// The paper's contribution: multilevel-feedback-queue job scheduling
@@ -95,6 +131,30 @@ pub struct LasMq {
     mlq: MultilevelQueue,
     /// Demotions since the engine last drained them (telemetry).
     demotions: Vec<QueueDemotion>,
+    /// Last-refreshed demand per job, indexed by `JobId::index()`
+    /// ([`CachedDemand::EMPTY`] for jobs never seen or completed).
+    job_cache: Vec<CachedDemand>,
+    /// Running per-queue demand: `queue_demand[q]` is the sum of
+    /// `max_useful` over every cached job contributing to queue `q` —
+    /// maintained by [`refresh_job`](Self::refresh_job) and
+    /// [`on_job_completed`](Scheduler::on_job_completed) so a pass never
+    /// re-walks every queue member.
+    queue_demand: Vec<u64>,
+    /// Epoch-stamped per-job grants for the current pass, indexed by
+    /// `JobId::index()`: an entry counts only if its stamp equals
+    /// [`pass_epoch`](Self::pass_epoch). Replaces a per-pass `HashMap`
+    /// without any per-pass clearing cost.
+    granted: Vec<(u64, u32)>,
+    /// Monotonic pass counter validating `granted` stamps. Starts at 0 and
+    /// is bumped before use, so the zero stamp never matches.
+    pass_epoch: u64,
+    /// Reused per-pass buffers: capped per-queue demands, share requests,
+    /// allotments and the share computation's working memory. Hold no
+    /// meaningful state between passes.
+    demands_buf: Vec<u32>,
+    req_buf: Vec<ShareRequest>,
+    allot_buf: Vec<u32>,
+    share_scratch: ShareScratch,
 }
 
 impl LasMq {
@@ -103,12 +163,21 @@ impl LasMq {
         let thresholds = config.thresholds();
         let weights = config.weight_vector();
         let mlq = MultilevelQueue::new(config.num_queues());
+        let queue_demand = vec![0; config.num_queues()];
         LasMq {
             config,
             thresholds,
             weights,
             mlq,
             demotions: Vec::new(),
+            job_cache: Vec::new(),
+            queue_demand,
+            granted: Vec::new(),
+            pass_epoch: 0,
+            demands_buf: Vec::new(),
+            req_buf: Vec::new(),
+            allot_buf: Vec::new(),
+            share_scratch: ShareScratch::default(),
         }
     }
 
@@ -132,71 +201,90 @@ impl LasMq {
         self.mlq.queue_lengths()
     }
 
-    /// Algorithm 1: refresh effective service, demote, and re-sort every
-    /// queue.
-    fn update_job_orders(&mut self, ordered: &[JobView], views: &HashMap<JobId, &JobView>) {
-        // Iterate in admission order (not map order) so defensively
-        // inserted jobs receive deterministic sequence numbers.
-        for view in ordered {
-            // Defensive: jobs normally enter via `on_job_admitted`.
-            self.mlq.insert(view.id);
-            let effective = effective_service(
-                view,
-                self.config.stage_awareness(),
-                self.config.min_progress_for_estimate(),
-            );
-            let before = self.mlq.queue_of(view.id);
-            let after = self.mlq.observe(view.id, effective, &self.thresholds);
-            if let (Some(from), Some(to)) = (before, after) {
-                if to != from {
-                    self.demotions.push(QueueDemotion {
-                        job: view.id,
-                        from_queue: from as u32,
-                        to_queue: to as u32,
-                        effective,
-                    });
-                }
+    /// Algorithm 1, per job: refresh the job's effective service, demote it
+    /// if warranted, and fold its current demand into the cache — moving
+    /// its `max_useful` contribution to whichever queue it now sits in and
+    /// flagging that queue for re-sorting if its sort key moved.
+    ///
+    /// Only *changed* jobs need this: demotion tracks the monotonic maximum
+    /// of the effective service, and an unchanged view reproduces the same
+    /// effective service, so re-observing an unchanged job is a no-op.
+    fn refresh_job(&mut self, view: &JobView) {
+        // Defensive: jobs normally enter via `on_job_admitted`. Callers
+        // iterate views in admission order so defensively inserted jobs
+        // receive deterministic sequence numbers.
+        self.mlq.insert(view.id);
+        let effective = effective_service(
+            view,
+            self.config.stage_awareness(),
+            self.config.min_progress_for_estimate(),
+        );
+        let before = self.mlq.queue_of(view.id);
+        let after = self.mlq.observe(view.id, effective, &self.thresholds);
+        if let (Some(from), Some(to)) = (before, after) {
+            if to != from {
+                self.demotions.push(QueueDemotion {
+                    job: view.id,
+                    from_queue: from as u32,
+                    to_queue: to as u32,
+                    effective,
+                });
             }
         }
-        for i in 0..self.mlq.num_queues() {
-            match self.config.ordering() {
-                QueueOrdering::RemainingDemand => {
-                    self.mlq.sort_queue_with_seq(i, |job, seq| {
-                        let demand = views
-                            .get(&job)
-                            .map(|v| v.remaining_demand())
-                            .unwrap_or(u32::MAX);
-                        (demand, seq)
-                    });
-                }
-                QueueOrdering::Fifo => {
-                    self.mlq.sort_queue_with_seq(i, |_, seq| seq);
-                }
-            }
+        let current = after.expect("job was just inserted");
+
+        let idx = view.id.index();
+        if idx >= self.job_cache.len() {
+            self.job_cache.resize(idx + 1, CachedDemand::EMPTY);
+            self.granted.resize(idx + 1, (0, 0));
         }
+        let old = self.job_cache[idx];
+        let max_useful = view.max_useful_allocation();
+        if old.contrib_queue != NO_QUEUE {
+            self.queue_demand[old.contrib_queue as usize] -= u64::from(old.max_useful);
+        }
+        self.queue_demand[current] += u64::from(max_useful);
+        let remaining_demand = view.remaining_demand();
+        if remaining_demand != old.remaining_demand {
+            // The in-queue sort key moved; membership changes (insert,
+            // demotion) already flag their queues inside the structure.
+            self.mlq.mark_queue_dirty(current);
+        }
+        self.job_cache[idx] = CachedDemand {
+            remaining_demand,
+            max_useful,
+            contrib_queue: current as u32,
+        };
     }
 
-    /// How many containers each queue receives this pass.
-    fn queue_allotments(&self, capacity: u32, queue_demands: &[u32]) -> Vec<u32> {
+    /// How many containers each queue receives this pass, written into
+    /// `self.allot_buf` (buffers reused across passes).
+    fn queue_allotments(&mut self, capacity: u32) {
         match self.config.sharing() {
             QueueSharing::Weighted => {
-                let requests: Vec<ShareRequest> = queue_demands
-                    .iter()
-                    .zip(&self.weights)
-                    .map(|(&demand, &weight)| ShareRequest::new(demand, weight))
-                    .collect();
-                weighted_shares(capacity, &requests)
+                self.req_buf.clear();
+                self.req_buf.extend(
+                    self.demands_buf
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(&demand, &weight)| ShareRequest::new(demand, weight)),
+                );
+                weighted_shares_into(
+                    capacity,
+                    &self.req_buf,
+                    &mut self.share_scratch,
+                    &mut self.allot_buf,
+                );
             }
             QueueSharing::StrictPriority => {
                 let mut remaining = capacity;
-                queue_demands
-                    .iter()
-                    .map(|&demand| {
+                self.allot_buf.clear();
+                self.allot_buf
+                    .extend(self.demands_buf.iter().map(|&demand| {
                         let r = demand.min(remaining);
                         remaining -= r;
                         r
-                    })
-                    .collect()
+                    }));
             }
         }
     }
@@ -213,48 +301,122 @@ impl Scheduler for LasMq {
 
     fn on_job_completed(&mut self, job: JobId, _now: SimTime) {
         self.mlq.remove(job);
+        if let Some(entry) = self.job_cache.get_mut(job.index()) {
+            if entry.contrib_queue != NO_QUEUE {
+                self.queue_demand[entry.contrib_queue as usize] -= u64::from(entry.max_useful);
+            }
+            *entry = CachedDemand::EMPTY;
+        }
     }
 
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan {
-        let views: HashMap<JobId, &JobView> = ctx.jobs().iter().map(|v| (v.id, v)).collect();
-        self.update_job_orders(ctx.jobs(), &views);
+        let mut plan = AllocationPlan::new();
+        self.allocate_into(ctx, &mut plan);
+        plan
+    }
 
-        let k = self.mlq.num_queues();
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, plan: &mut AllocationPlan) {
+        plan.clear();
+        self.pass_epoch += 1;
+        let views = ctx.jobs();
+
+        // Algorithm 1: refresh effective service, demote, update the
+        // demand cache — for changed jobs only when the engine says which
+        // ones changed, otherwise from scratch for everyone.
+        match ctx.changed() {
+            Some(changed) => {
+                for &slot in changed {
+                    self.refresh_job(&views[slot]);
+                }
+            }
+            None => {
+                // No hint: discard the cache and rebuild it from every
+                // view, which reproduces the legacy full pass bit for bit
+                // (an EMPTY entry carries the legacy missing-view
+                // fallbacks).
+                for entry in &mut self.job_cache {
+                    *entry = CachedDemand::EMPTY;
+                }
+                for demand in &mut self.queue_demand {
+                    *demand = 0;
+                }
+                for i in 0..self.mlq.num_queues() {
+                    self.mlq.mark_queue_dirty(i);
+                }
+                for view in views {
+                    self.refresh_job(view);
+                }
+            }
+        }
+
+        // Re-sort only queues whose order may have moved. A clean queue's
+        // stored order *is* its sorted order: both keys below tie-break on
+        // the unique arrival seq, so the sorted order is total and unique.
+        let LasMq {
+            mlq,
+            config,
+            job_cache,
+            ..
+        } = self;
+        let k = mlq.num_queues();
+        for i in 0..k {
+            if !mlq.queue_dirty(i) {
+                continue;
+            }
+            match config.ordering() {
+                QueueOrdering::RemainingDemand => {
+                    mlq.sort_queue_with_seq(i, |job, seq| {
+                        let demand = job_cache
+                            .get(job.index())
+                            .map(|c| c.remaining_demand)
+                            .unwrap_or(u32::MAX);
+                        (demand, seq)
+                    });
+                }
+                QueueOrdering::Fifo => {
+                    mlq.sort_queue_with_seq(i, |_, seq| seq);
+                }
+            }
+        }
+
         let capacity = ctx.total_containers();
 
-        // Per-queue useful demand, saturating at capacity.
-        let queue_demands: Vec<u32> = (0..k)
-            .map(|i| {
-                let sum: u64 = self
-                    .mlq
-                    .jobs_in(i)
-                    .iter()
-                    .filter_map(|j| views.get(j))
-                    .map(|v| v.max_useful_allocation() as u64)
-                    .sum();
-                sum.min(capacity as u64) as u32
-            })
-            .collect();
-        let allotments = self.queue_allotments(capacity, &queue_demands);
+        // Per-queue useful demand, saturating at capacity — read straight
+        // off the maintained running sums.
+        self.demands_buf.clear();
+        self.demands_buf.extend(
+            self.queue_demand
+                .iter()
+                .map(|&sum| sum.min(u64::from(capacity)) as u32),
+        );
+        self.queue_allotments(capacity);
 
         // Algorithm 2: walk queues in priority order, granting
         // min(rᵢ, job demand) to each job in queue order.
-        let mut plan = AllocationPlan::new();
-        let mut granted: HashMap<JobId, u32> = HashMap::new();
+        let LasMq {
+            mlq,
+            job_cache,
+            granted,
+            pass_epoch,
+            allot_buf,
+            ..
+        } = self;
+        let epoch = *pass_epoch;
         let mut assigned_total: u32 = 0;
-        for (i, &allotment) in allotments.iter().enumerate().take(k) {
+        for (i, &allotment) in allot_buf.iter().enumerate().take(k) {
             let mut budget = allotment;
-            for &job in self.mlq.jobs_in(i) {
+            for &job in mlq.jobs_in(i) {
                 if budget == 0 {
                     break;
                 }
-                let Some(view) = views.get(&job) else {
-                    continue;
-                };
-                let grant = view.max_useful_allocation().min(budget);
+                let max_useful = job_cache
+                    .get(job.index())
+                    .map(|c| c.max_useful)
+                    .unwrap_or(0);
+                let grant = max_useful.min(budget);
                 if grant > 0 {
                     plan.push(job, grant);
-                    granted.insert(job, grant);
+                    granted[job.index()] = (epoch, grant);
                     budget -= grant;
                     assigned_total += grant;
                 }
@@ -266,26 +428,29 @@ impl Scheduler for LasMq {
         let mut leftover = capacity - assigned_total.min(capacity);
         if leftover > 0 {
             'outer: for i in 0..k {
-                for &job in self.mlq.jobs_in(i) {
+                for &job in mlq.jobs_in(i) {
                     if leftover == 0 {
                         break 'outer;
                     }
-                    let Some(view) = views.get(&job) else {
-                        continue;
+                    let max_useful = job_cache
+                        .get(job.index())
+                        .map(|c| c.max_useful)
+                        .unwrap_or(0);
+                    let already = match granted.get(job.index()) {
+                        Some(&(stamp, g)) if stamp == epoch => g,
+                        _ => 0,
                     };
-                    let already = granted.get(&job).copied().unwrap_or(0);
-                    let unmet = view.max_useful_allocation().saturating_sub(already);
+                    let unmet = max_useful.saturating_sub(already);
                     let extra = unmet.min(leftover);
                     if extra > 0 {
                         // Last entry wins: raise the job's target.
                         plan.push(job, already + extra);
-                        granted.insert(job, already + extra);
+                        granted[job.index()] = (epoch, already + extra);
                         leftover -= extra;
                     }
                 }
             }
         }
-        plan
     }
 
     fn queue_depths(&self) -> Option<Vec<u32>> {
@@ -348,6 +513,13 @@ impl Scheduler for LasMq {
         }
         mlq.set_next_seq(state.next_seq)?;
         self.mlq = mlq;
+        // Demand caches are derived state, not snapshotted: the engine
+        // marks every active job changed after a restore, so the first
+        // pass refreshes them all (the fresh structure reports every queue
+        // dirty, forcing the full re-sort too).
+        self.job_cache.clear();
+        self.queue_demand = vec![0; self.config.num_queues()];
+        self.granted.clear();
         self.demotions = state
             .demotions
             .iter()
@@ -362,12 +534,42 @@ impl Scheduler for LasMq {
     }
 
     fn check_consistency(&self) -> Result<(), String> {
-        self.mlq.check_consistent()
+        self.mlq.check_consistent()?;
+        // The running demand sums must agree with a from-scratch rewalk of
+        // the cached entries, and every contributing job must actually sit
+        // in the queue its contribution is booked under.
+        let mut sums = vec![0u64; self.mlq.num_queues()];
+        for (i, sum) in sums.iter_mut().enumerate() {
+            for &job in self.mlq.jobs_in(i) {
+                let Some(entry) = self.job_cache.get(job.index()) else {
+                    continue;
+                };
+                if entry.contrib_queue == NO_QUEUE {
+                    continue;
+                }
+                if entry.contrib_queue as usize != i {
+                    return Err(format!(
+                        "{job} sits in queue {i} but its demand is booked under queue {}",
+                        entry.contrib_queue
+                    ));
+                }
+                *sum += u64::from(entry.max_useful);
+            }
+        }
+        if sums != self.queue_demand {
+            return Err(format!(
+                "cached per-queue demand {:?} diverged from recomputed {:?}",
+                self.queue_demand, sums
+            ));
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use lasmq_simulator::Service;
 

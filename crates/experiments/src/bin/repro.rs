@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
 //!       [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify]
+//!       [--profile]
 //!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
@@ -26,7 +27,11 @@
 //! way. `--verify` arms the engine's runtime invariant checker on every
 //! cell (container conservation, clock monotonicity, task accounting,
 //! queue consistency, snapshot fidelity); violations are warned about on
-//! stderr without aborting, and tables stay byte-identical. `fork-compare` runs the warm-state fork experiment: one snapshot
+//! stderr without aborting, and tables stay byte-identical. `--profile`
+//! prints a per-figure cost line after each figure — cells run, cache
+//! hits, engine events, scheduling passes, wall-clock spent simulating,
+//! and events/sec — without changing a byte of the tables or CSVs.
+//! `fork-compare` runs the warm-state fork experiment: one snapshot
 //! of a warmed cluster forked into every lineup scheduler. `trace-gen`
 //! freezes a workload to a JSON trace file; `trace-run` replays one under
 //! any scheduler and prints summary metrics.
@@ -54,6 +59,7 @@ struct Args {
     checkpoint_every: Option<u64>,
     resume: bool,
     verify: bool,
+    profile: bool,
     experiments: Vec<String>,
 }
 
@@ -68,6 +74,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut checkpoint_every = None;
     let mut resume = false;
     let mut verify = false;
+    let mut profile = false;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -110,6 +117,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--resume" => resume = true,
             "--verify" => verify = true,
+            "--profile" => profile = true,
             "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -128,12 +136,13 @@ fn parse_args() -> Result<Option<Args>, String> {
         checkpoint_every,
         resume,
         verify,
+        profile,
         experiments,
     }))
 }
 
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
-    [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify] \
+    [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify] [--profile] \
     <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
@@ -148,6 +157,10 @@ const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cach
   --verify                  arm the engine's runtime invariant checker on
                             every cell; violations are reported on stderr
                             as structured warnings, tables are unchanged
+  --profile                 print a per-figure cost line (cells, cache
+                            hits, engine events, scheduling passes,
+                            simulating wall-clock, events/sec); tables
+                            and CSVs are unchanged
   fork-compare              snapshot one warmed-up cluster and fork it into
                             every lineup scheduler (also part of extensions)";
 
@@ -196,6 +209,9 @@ fn main() -> ExitCode {
     if args.verify {
         exec = exec.verify();
     }
+    if args.profile {
+        lasmq_campaign::profile::set_enabled(true);
+    }
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("cannot create output directory {}: {e}", args.out.display());
         return ExitCode::FAILURE;
@@ -235,64 +251,93 @@ fn main() -> ExitCode {
         },
     );
 
+    let profile = args.profile;
     if wants("table1") {
-        emit("table1", table1::run(&scale).tables(), &args.out);
+        emit(
+            "table1",
+            || table1::run(&scale).tables(),
+            &args.out,
+            profile,
+        );
     }
     if wants("fig3") {
-        emit("fig3", fig3::run_with(&scale, &exec).tables(), &args.out);
+        emit(
+            "fig3",
+            || fig3::run_with(&scale, &exec).tables(),
+            &args.out,
+            profile,
+        );
     }
     if wants("fig5") {
         emit(
             "fig5",
-            fig56::run_with(&scale, 80.0, &exec).tables(),
+            || fig56::run_with(&scale, 80.0, &exec).tables(),
             &args.out,
+            profile,
         );
     }
     if wants("fig6") {
         emit(
             "fig6",
-            fig56::run_with(&scale, 50.0, &exec).tables(),
+            || fig56::run_with(&scale, 50.0, &exec).tables(),
             &args.out,
+            profile,
         );
     }
     if wants("fig7") {
-        emit("fig7", fig7::run_with(&scale, &exec).tables(), &args.out);
+        emit(
+            "fig7",
+            || fig7::run_with(&scale, &exec).tables(),
+            &args.out,
+            profile,
+        );
     }
     if wants("fig8") {
-        emit("fig8", fig8::run_with(&scale, &exec).tables(), &args.out);
+        emit(
+            "fig8",
+            || fig8::run_with(&scale, &exec).tables(),
+            &args.out,
+            profile,
+        );
     }
     if wants("extensions") {
         emit(
             "ext_estimation",
-            ext_estimation::run_with(&scale, &exec).tables(),
+            || ext_estimation::run_with(&scale, &exec).tables(),
             &args.out,
+            profile,
         );
         emit(
             "ext_robustness",
-            ext_robustness::run_with(&scale, &exec).tables(),
+            || ext_robustness::run_with(&scale, &exec).tables(),
             &args.out,
+            profile,
         );
         emit(
             "ext_fairness",
-            ext_fairness::run_with(&scale, &exec).tables(),
+            || ext_fairness::run_with(&scale, &exec).tables(),
             &args.out,
+            profile,
         );
         emit(
             "ext_geo",
-            ext_geo::run_with(&scale, &exec).tables(),
+            || ext_geo::run_with(&scale, &exec).tables(),
             &args.out,
+            profile,
         );
         emit(
             "ext_load",
-            ext_load::run_with(&scale, &exec).tables(),
+            || ext_load::run_with(&scale, &exec).tables(),
             &args.out,
+            profile,
         );
     }
     if wants("extensions") || wants("fork-compare") {
         emit(
             "ext_warmstart",
-            ext_warmstart::run(&scale).tables(),
+            || ext_warmstart::run(&scale).tables(),
             &args.out,
+            profile,
         );
     }
     ExitCode::SUCCESS
@@ -406,8 +451,15 @@ fn trace_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn emit(name: &str, tables: Vec<TextTable>, out: &std::path::Path) {
+/// Runs one figure (the closure builds its tables, which is where the
+/// campaign executes), prints and saves the tables, and — with
+/// `--profile` — follows up with the figure's execution-cost line read
+/// from the campaign profile counters.
+fn emit(name: &str, tables: impl FnOnce() -> Vec<TextTable>, out: &std::path::Path, profile: bool) {
+    let before = lasmq_campaign::profile::snapshot();
     let start = Instant::now();
+    let tables = tables();
+    let wall = start.elapsed();
     for (i, table) in tables.iter().enumerate() {
         println!("{table}");
         let path = out.join(format!("{name}_{i}.csv"));
@@ -416,8 +468,27 @@ fn emit(name: &str, tables: Vec<TextTable>, out: &std::path::Path) {
         }
     }
     println!(
-        "[{name} done in {:.1}s; CSVs in {}]\n",
-        start.elapsed().as_secs_f64(),
+        "[{name} done in {:.1}s; CSVs in {}]",
+        wall.as_secs_f64(),
         out.display()
     );
+    if profile {
+        let delta = lasmq_campaign::profile::snapshot().since(&before);
+        match delta.events_per_sec() {
+            Some(rate) => println!(
+                "[{name} profile] {} cells ({} cached), {} events / {} passes \
+                 in {:.2}s simulating = {rate:.0} events/s",
+                delta.cells,
+                delta.cache_hits,
+                delta.events,
+                delta.passes,
+                delta.sim_wall.as_secs_f64(),
+            ),
+            None => println!(
+                "[{name} profile] {} cells ({} cached), nothing simulated",
+                delta.cells, delta.cache_hits,
+            ),
+        }
+    }
+    println!();
 }

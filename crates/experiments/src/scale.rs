@@ -14,11 +14,11 @@ pub struct Scale {
     pub puma_repetitions: usize,
     /// Jobs in the heavy-tailed trace (paper: 24,443).
     pub facebook_jobs: usize,
-    /// Jobs in the uniform batch. The paper uses 10,000; the full scale
-    /// here is 2,000 — the comparison is ratio-preserving in the job count
-    /// (FIFO's mean is half the batch makespan, processor sharing's is the
-    /// whole makespan, for any N), and 2,000 keeps the detailed task-level
-    /// engine within seconds instead of hours.
+    /// Jobs in the uniform batch (paper: 10,000). Earlier revisions ran
+    /// 2,000 here because full engine passes over a 10,000-job batch were
+    /// prohibitively slow; the incremental scheduling path (dirty-set view
+    /// refresh, per-queue demand sums, skip-clean-queue sorts) brought the
+    /// full batch back within interactive reach.
     pub uniform_jobs: usize,
     /// Tasks each uniform job splits into (size 10,000 split into
     /// 1,000 × 10 s tasks, so a job needs ten cluster waves).
@@ -34,7 +34,7 @@ impl Scale {
             puma_jobs: 100,
             puma_repetitions: 3,
             facebook_jobs: 24_443,
-            uniform_jobs: 2_000,
+            uniform_jobs: 10_000,
             uniform_tasks_per_job: 1_000,
             seed: 42,
         }
@@ -74,6 +74,7 @@ mod tests {
         let s = Scale::paper();
         assert_eq!(s.puma_jobs, 100);
         assert_eq!(s.facebook_jobs, 24_443);
+        assert_eq!(s.uniform_jobs, 10_000);
     }
 
     #[test]

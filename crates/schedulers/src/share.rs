@@ -24,6 +24,17 @@ impl ShareRequest {
     }
 }
 
+/// Reusable working memory for [`weighted_shares_into`], so schedulers
+/// that compute shares every scheduling pass pay no per-pass allocations.
+/// The buffers hold no meaningful state between calls.
+#[derive(Debug, Clone, Default)]
+pub struct ShareScratch {
+    alloc: Vec<f64>,
+    active: Vec<usize>,
+    capped: Vec<usize>,
+    order: Vec<usize>,
+}
+
 /// Splits `capacity` containers among `requests` by weighted max-min
 /// fairness with demand caps.
 ///
@@ -52,6 +63,24 @@ impl ShareRequest {
 /// assert_eq!(alloc, vec![2, 6]);
 /// ```
 pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
+    let mut out = Vec::new();
+    weighted_shares_into(capacity, requests, &mut ShareScratch::default(), &mut out);
+    out
+}
+
+/// [`weighted_shares`] into a caller-owned output buffer with caller-owned
+/// scratch space — identical results, zero allocations once the buffers
+/// are warm.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or not finite.
+pub fn weighted_shares_into(
+    capacity: u32,
+    requests: &[ShareRequest],
+    scratch: &mut ShareScratch,
+    out: &mut Vec<u32>,
+) {
     for r in requests {
         assert!(
             r.weight.is_finite() && r.weight >= 0.0,
@@ -59,10 +88,12 @@ pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
         );
     }
     let n = requests.len();
-    let mut alloc = vec![0.0_f64; n];
-    let mut active: Vec<usize> = (0..n)
-        .filter(|&i| requests[i].demand > 0 && requests[i].weight > 0.0)
-        .collect();
+    let alloc = &mut scratch.alloc;
+    alloc.clear();
+    alloc.resize(n, 0.0_f64);
+    let active = &mut scratch.active;
+    active.clear();
+    active.extend((0..n).filter(|&i| requests[i].demand > 0 && requests[i].weight > 0.0));
     let mut remaining =
         (capacity as f64).min(requests.iter().map(|r| r.demand as f64).sum::<f64>());
 
@@ -75,9 +106,10 @@ pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
         }
         // The binding party is the one that fills up first at the current
         // rate; cap all parties that would overfill, then recompute.
-        let mut capped = Vec::new();
+        let capped = &mut scratch.capped;
+        capped.clear();
         let mut handed_out = 0.0;
-        for &i in &active {
+        for &i in &*active {
             let share = remaining * requests[i].weight / wsum;
             let room = requests[i].demand as f64 - alloc[i];
             if share >= room - 1e-12 {
@@ -88,7 +120,7 @@ pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
         }
         if capped.is_empty() {
             // No one caps: distribute everything and finish.
-            for &i in &active {
+            for &i in &*active {
                 alloc[i] += remaining * requests[i].weight / wsum;
             }
             remaining = 0.0;
@@ -98,27 +130,36 @@ pub fn weighted_shares(capacity: u32, requests: &[ShareRequest]) -> Vec<u32> {
         }
     }
 
-    round_largest_remainder(capacity, requests, &alloc)
+    round_largest_remainder(capacity, requests, alloc, &mut scratch.order, out);
 }
 
 /// Rounds fractional allocations to integers: floor everything, then hand
 /// leftover containers to the largest fractional parts that still have
 /// demand headroom.
-fn round_largest_remainder(capacity: u32, requests: &[ShareRequest], alloc: &[f64]) -> Vec<u32> {
-    let mut ints: Vec<u32> = alloc
-        .iter()
-        .zip(requests)
-        .map(|(&a, r)| (a.floor() as u32).min(r.demand))
-        .collect();
+fn round_largest_remainder(
+    capacity: u32,
+    requests: &[ShareRequest],
+    alloc: &[f64],
+    order: &mut Vec<usize>,
+    ints: &mut Vec<u32>,
+) {
+    ints.clear();
+    ints.extend(
+        alloc
+            .iter()
+            .zip(requests)
+            .map(|(&a, r)| (a.floor() as u32).min(r.demand)),
+    );
     let target: u32 = {
         let total_demand: u64 = requests.iter().map(|r| r.demand as u64).sum();
         (capacity as u64).min(total_demand) as u32
     };
     let mut assigned: u32 = ints.iter().sum();
     if assigned >= target {
-        return ints;
+        return;
     }
-    let mut order: Vec<usize> = (0..alloc.len()).collect();
+    order.clear();
+    order.extend(0..alloc.len());
     order.sort_by(|&a, &b| {
         let fa = alloc[a] - alloc[a].floor();
         let fb = alloc[b] - alloc[b].floor();
@@ -128,9 +169,9 @@ fn round_largest_remainder(capacity: u32, requests: &[ShareRequest], alloc: &[f6
     // when floors were demand-clamped).
     loop {
         let before = assigned;
-        for &i in &order {
+        for &i in &*order {
             if assigned == target {
-                return ints;
+                return;
             }
             if ints[i] < requests[i].demand {
                 ints[i] += 1;
@@ -138,7 +179,7 @@ fn round_largest_remainder(capacity: u32, requests: &[ShareRequest], alloc: &[f6
             }
         }
         if assigned == before {
-            return ints; // all demands met
+            return; // all demands met
         }
     }
 }

@@ -25,14 +25,14 @@
 use crate::admission::AdmissionController;
 use crate::cluster::{ClusterConfig, ClusterState};
 use crate::error::SimError;
-use crate::event::{Event, EventQueue};
+use crate::event::{Event, EventEntry, EventQueue};
 use crate::ids::{JobId, NodeId, StageId, TaskId};
 use crate::invariant::{InvariantKind, InvariantReport};
 use crate::isolated::isolated_runtime;
 use crate::job::{JobSpec, StageSpec};
 use crate::journal::{Journal, SimEvent};
 use crate::metrics::{EngineStats, JobOutcome, SimulationReport};
-use crate::sched::{JobView, OracleInfo, SchedContext, Scheduler};
+use crate::sched::{AllocationPlan, JobView, OracleInfo, SchedContext, Scheduler};
 use crate::snapshot::{SimSnapshot, SNAPSHOT_SCHEMA_VERSION};
 use crate::telemetry::{DecisionEvent, Telemetry, TelemetrySample};
 use crate::time::{Service, SimDuration, SimTime};
@@ -347,6 +347,7 @@ pub struct SimulationBuilder {
     record_journal: bool,
     record_telemetry: bool,
     check_invariants: bool,
+    full_rebuild_passes: bool,
     deadline: Option<SimTime>,
     jobs: Vec<JobSpec>,
 }
@@ -364,6 +365,7 @@ impl Default for SimulationBuilder {
             record_journal: false,
             record_telemetry: false,
             check_invariants: false,
+            full_rebuild_passes: false,
             deadline: None,
             jobs: Vec::new(),
         }
@@ -445,6 +447,17 @@ impl SimulationBuilder {
     /// instead of panicking. Off by default and zero-cost when off.
     pub fn check_invariants(mut self, check: bool) -> Self {
         self.check_invariants = check;
+        self
+    }
+
+    /// Forces every scheduling pass to rebuild all job views and hand the
+    /// scheduler no change hints, instead of the default incremental
+    /// dirty-set path. Results are identical either way (the incremental
+    /// path is an optimization, not a policy change); this switch exists so
+    /// regression tests can diff the two paths byte-for-byte and to help
+    /// bisect a suspected dirty-tracking bug. Off by default.
+    pub fn full_rebuild_passes(mut self, full_rebuild: bool) -> Self {
+        self.full_rebuild_passes = full_rebuild;
         self
     }
 
@@ -540,10 +553,19 @@ impl SimulationBuilder {
             } else {
                 None
             },
+            view_slot: vec![usize::MAX; jobs.len()],
+            dirty: vec![false; jobs.len()],
             jobs,
             events,
             admitted: Vec::new(),
             finished_in_admitted: 0,
+            active_views: Vec::new(),
+            dirty_list: Vec::new(),
+            changed_slots: Vec::new(),
+            views_need_compact: false,
+            plan_buf: AllocationPlan::new(),
+            event_scratch: Vec::new(),
+            full_rebuild: self.full_rebuild_passes,
             plan_order: Vec::new(),
             refill_cursor: 0,
             needs_pass: false,
@@ -610,6 +632,30 @@ pub struct Simulation<S: Scheduler> {
     events: EventQueue,
     admitted: Vec<JobId>,
     finished_in_admitted: usize,
+    /// Persistent [`JobView`] buffer, one entry per active admitted job in
+    /// admission order. Between passes only *dirty* jobs (whose progress,
+    /// holdings or stage changed) are re-derived; the rest are reused
+    /// verbatim — a clean job's view is a pure function of its unchanged
+    /// state, so the cached copy is bit-identical to a fresh rebuild.
+    active_views: Vec<JobView>,
+    /// Job index → slot in `active_views` (`usize::MAX` when absent).
+    view_slot: Vec<usize>,
+    /// Job index → whether the job is on `dirty_list`.
+    dirty: Vec<bool>,
+    /// Jobs whose views must be re-derived at the next pass. Jobs with
+    /// running tasks (or a pending stage-readiness deadline) stay listed:
+    /// their views vary with time even without discrete events.
+    dirty_list: Vec<JobId>,
+    /// Slots refreshed this pass, ascending — the scheduler's change hint.
+    changed_slots: Vec<usize>,
+    /// Set when a job finished, so the next pass drops its view slot.
+    views_need_compact: bool,
+    /// Recycled allocation-plan buffer handed to the scheduler each pass.
+    plan_buf: AllocationPlan,
+    /// Recycled buffer for the sampled snapshot-fidelity check.
+    event_scratch: Vec<EventEntry>,
+    /// Compatibility switch: rebuild all views each pass, no change hints.
+    full_rebuild: bool,
     plan_order: Vec<JobId>,
     refill_cursor: usize,
     needs_pass: bool,
@@ -711,6 +757,7 @@ impl<S: Scheduler> Simulation<S> {
             // coalesced full pass.
             while self.events.peek_time() == Some(t) {
                 let (_, event) = self.events.pop().expect("peeked event");
+                self.stats.events_processed += 1;
                 self.handle(event);
             }
             if self.needs_pass {
@@ -865,10 +912,13 @@ impl<S: Scheduler> Simulation<S> {
         }
 
         // Snapshot fidelity is the one expensive check (it serializes the
-        // whole engine), so it is sampled rather than run per batch.
+        // whole engine), so it is sampled rather than run per batch, and the
+        // event-queue staging buffer is recycled across samples.
         if report.checks_run % 64 == 1 {
-            let snap = self.snapshot();
+            let scratch = std::mem::take(&mut self.event_scratch);
+            let snap = self.snapshot_with_event_buf(scratch);
             let json = snap.to_json();
+            self.event_scratch = snap.events;
             match SimSnapshot::from_json(&json) {
                 Ok(back) => {
                     if back.to_json() != json {
@@ -950,6 +1000,14 @@ impl<S: Scheduler> Simulation<S> {
     /// running to completion yields a byte-identical report to the
     /// uninterrupted run.
     pub fn snapshot(&self) -> SimSnapshot {
+        self.snapshot_with_event_buf(Vec::new())
+    }
+
+    /// [`snapshot`](Self::snapshot) writing the event-queue section into a
+    /// recycled buffer — the sampled snapshot-fidelity invariant check
+    /// snapshots repeatedly and reclaims the buffer afterwards.
+    fn snapshot_with_event_buf(&self, mut events: Vec<EventEntry>) -> SimSnapshot {
+        self.events.snapshot_entries_into(&mut events);
         SimSnapshot {
             schema: SNAPSHOT_SCHEMA_VERSION,
             scheduler_name: self.scheduler.name().to_string(),
@@ -969,7 +1027,7 @@ impl<S: Scheduler> Simulation<S> {
             telemetry: self.telemetry.clone(),
             invariants: self.invariants.clone(),
             jobs: self.jobs.clone(),
-            events: self.events.snapshot_entries(),
+            events,
             events_next_seq: self.events.next_seq(),
             admitted: self.admitted.clone(),
             finished_in_admitted: self.finished_in_admitted,
@@ -1063,7 +1121,7 @@ impl<S: Scheduler> Simulation<S> {
                 scheduler: scheduler.name().to_string(),
             });
         }
-        Ok(Simulation {
+        let mut sim = Simulation {
             scheduler,
             cluster: ClusterState::from_snapshot(snapshot.cluster, snapshot.free_per_node),
             admission: AdmissionController::from_snapshot(
@@ -1080,10 +1138,19 @@ impl<S: Scheduler> Simulation<S> {
             journal: snapshot.journal,
             telemetry: snapshot.telemetry,
             invariants: snapshot.invariants,
+            view_slot: vec![usize::MAX; snapshot.jobs.len()],
+            dirty: vec![false; snapshot.jobs.len()],
             jobs: snapshot.jobs,
             events: EventQueue::from_snapshot(snapshot.events, snapshot.events_next_seq),
             admitted: snapshot.admitted,
             finished_in_admitted: snapshot.finished_in_admitted,
+            active_views: Vec::new(),
+            dirty_list: Vec::new(),
+            changed_slots: Vec::new(),
+            views_need_compact: false,
+            plan_buf: AllocationPlan::new(),
+            event_scratch: Vec::new(),
+            full_rebuild: false,
             plan_order: snapshot.plan_order,
             refill_cursor: snapshot.refill_cursor,
             needs_pass: snapshot.needs_pass,
@@ -1093,7 +1160,22 @@ impl<S: Scheduler> Simulation<S> {
             util_integral: snapshot.util_integral,
             last_util_update: snapshot.last_util_update,
             now: snapshot.now,
-        })
+        };
+        // Seed the view cache for every active job, all dirty: the first
+        // pass re-derives each view at pass time, which is exactly what the
+        // uninterrupted run's cache would contain (clean views are pure
+        // functions of unchanged job state, so "refresh everything" and
+        // "refresh the subset that changed" produce identical buffers).
+        for i in 0..sim.admitted.len() {
+            let id = sim.admitted[i];
+            if sim.jobs[id.index()].active() {
+                sim.view_slot[id.index()] = sim.active_views.len();
+                let view = sim.build_view(id);
+                sim.active_views.push(view);
+                sim.mark_dirty(id);
+            }
+        }
+        Ok(sim)
     }
 
     fn handle(&mut self, event: Event) {
@@ -1150,8 +1232,20 @@ impl<S: Scheduler> Simulation<S> {
         }
         let view = self.build_view(id);
         self.scheduler.on_job_admitted(&view, now);
+        // Enter the view cache dirty: the view is re-derived at pass time,
+        // when accruals and stage readiness may differ from admission time.
+        self.view_slot[id.index()] = self.active_views.len();
+        self.active_views.push(view);
+        self.mark_dirty(id);
         self.ensure_tick();
         self.needs_pass = true;
+    }
+
+    fn mark_dirty(&mut self, id: JobId) {
+        if !self.dirty[id.index()] {
+            self.dirty[id.index()] = true;
+            self.dirty_list.push(id);
+        }
     }
 
     fn ensure_tick(&mut self) {
@@ -1177,6 +1271,7 @@ impl<S: Scheduler> Simulation<S> {
 
         self.accrue_job(id);
         self.update_util();
+        self.mark_dirty(id);
         // Failed attempt: give back the containers, re-queue the task.
         if self.jobs[id.index()].stage.running[pos].will_fail {
             let job = &mut self.jobs[id.index()];
@@ -1263,6 +1358,7 @@ impl<S: Scheduler> Simulation<S> {
             job.finished_at = Some(now);
             self.finished_count += 1;
             self.finished_in_admitted += 1;
+            self.views_need_compact = true;
             self.record(SimEvent::JobCompleted { job: id, at: now });
             self.scheduler.on_job_completed(id, now);
             if let Some(next) = self.admission.on_completion(id) {
@@ -1278,7 +1374,7 @@ impl<S: Scheduler> Simulation<S> {
         {
             let now = self.now;
             let job = &self.jobs[id.index()];
-            let target = job.target;
+            let target = self.effective_target(job);
             if job.stage.startable(now) > 0 && job.held < target {
                 while self.jobs[id.index()].held < target
                     && self.jobs[id.index()].stage.startable(now) > 0
@@ -1296,7 +1392,10 @@ impl<S: Scheduler> Simulation<S> {
         while self.cluster.free_containers() > 0 && self.refill_cursor < self.plan_order.len() {
             let cand = self.plan_order[self.refill_cursor];
             let job = &self.jobs[cand.index()];
-            if job.finished() || job.stage.startable(self.now) == 0 || job.held >= job.target {
+            if job.finished()
+                || job.stage.startable(self.now) == 0
+                || job.held >= self.effective_target(job)
+            {
                 self.refill_cursor += 1;
                 continue;
             }
@@ -1389,6 +1488,7 @@ impl<S: Scheduler> Simulation<S> {
             containers,
             at: now,
         });
+        self.mark_dirty(id);
         true
     }
 
@@ -1457,26 +1557,144 @@ impl<S: Scheduler> Simulation<S> {
         }
     }
 
+    /// Drops the view slots of finished jobs, preserving admission order
+    /// (the scheduler contract) and patching the job→slot index.
+    fn compact_views(&mut self) {
+        self.views_need_compact = false;
+        let mut write = 0;
+        for read in 0..self.active_views.len() {
+            let id = self.active_views[read].id;
+            if self.jobs[id.index()].finished() {
+                self.view_slot[id.index()] = usize::MAX;
+                continue;
+            }
+            if write != read {
+                self.active_views.swap(read, write);
+            }
+            self.view_slot[id.index()] = write;
+            write += 1;
+        }
+        self.active_views.truncate(write);
+    }
+
+    /// Re-derives the views of dirty jobs in place and records which slots
+    /// changed. Jobs whose views vary with time even without discrete
+    /// events — running tasks accrue service and progress; a stage-transfer
+    /// delay unlocks `unstarted_tasks` when it expires — stay dirty; the
+    /// rest leave the list until the next mutation. Accrual piggy-backs
+    /// here, gated on nonzero holdings: a container-less job accrues no
+    /// service and `try_start_task` re-anchors `last_accrual` before
+    /// holdings ever become nonzero, so skipping it changes nothing — and
+    /// keeps `last_accrual` independent of *when* a view was refreshed,
+    /// which is what makes restored and uninterrupted runs snapshot
+    /// identically.
+    fn refresh_dirty_views(&mut self) {
+        self.changed_slots.clear();
+        let now = self.now;
+        let mut i = 0;
+        while i < self.dirty_list.len() {
+            let id = self.dirty_list[i];
+            if self.jobs[id.index()].finished() {
+                self.dirty[id.index()] = false;
+                self.dirty_list.swap_remove(i);
+                continue;
+            }
+            if self.jobs[id.index()].held > 0 {
+                self.accrue_job(id);
+            }
+            let view = self.build_view(id);
+            let slot = self.view_slot[id.index()];
+            debug_assert_ne!(slot, usize::MAX, "dirty active {id} missing a view slot");
+            self.active_views[slot] = view;
+            self.changed_slots.push(slot);
+            let job = &self.jobs[id.index()];
+            if !job.stage.running.is_empty() || now < job.stage.ready_at {
+                i += 1;
+            } else {
+                self.dirty[id.index()] = false;
+                self.dirty_list.swap_remove(i);
+            }
+        }
+        self.changed_slots.sort_unstable();
+    }
+
+    /// Safety net for the incremental path: every cached view a pass is
+    /// about to hand the scheduler must match a from-scratch rebuild, and
+    /// the cache must mirror the active jobs in admission order.
+    #[cfg(debug_assertions)]
+    fn assert_view_cache_fresh(&self) {
+        let mut expect = 0;
+        for &id in &self.admitted {
+            if self.jobs[id.index()].finished() {
+                continue;
+            }
+            let slot = self.view_slot[id.index()];
+            assert_eq!(slot, expect, "view cache out of admission order");
+            assert_eq!(
+                self.active_views[slot].id, id,
+                "view slot holds the wrong job"
+            );
+            assert_eq!(
+                self.active_views[slot],
+                self.build_view(id),
+                "stale cached view for {id} — a mutation path missed mark_dirty"
+            );
+            expect += 1;
+        }
+        assert_eq!(
+            self.active_views.len(),
+            expect,
+            "view cache has extra slots"
+        );
+    }
+
+    /// The container target the plan currently assigns `job` — zero unless
+    /// the job appeared in the *latest* pass's plan. Epoch-tagging targets
+    /// replaces the old per-pass sweep that wrote zero into every admitted
+    /// job before applying the plan.
+    fn effective_target(&self, job: &Job) -> u32 {
+        if job.plan_epoch == self.stats.scheduling_passes {
+            job.target
+        } else {
+            0
+        }
+    }
+
     fn full_pass(&mut self) {
         self.stats.scheduling_passes += 1;
         self.compact_admitted();
 
-        for i in 0..self.admitted.len() {
-            let id = self.admitted[i];
-            if !self.jobs[id.index()].finished() {
-                self.accrue_job(id);
+        if self.full_rebuild {
+            for i in 0..self.admitted.len() {
+                let id = self.admitted[i];
+                if self.jobs[id.index()].active() {
+                    self.mark_dirty(id);
+                }
             }
         }
+        if self.views_need_compact {
+            self.compact_views();
+        }
+        self.refresh_dirty_views();
+        #[cfg(debug_assertions)]
+        self.assert_view_cache_fresh();
 
-        let views: Vec<JobView> = self
-            .admitted
-            .iter()
-            .filter(|id| !self.jobs[id.index()].finished())
-            .map(|&id| self.build_view(id))
-            .collect();
-        let ctx = SchedContext::new(self.now, self.cluster.config().total_containers(), &views);
-        let plan = self.scheduler.allocate(&ctx);
-        let active_jobs = views.len() as u32;
+        let ctx = SchedContext::new(
+            self.now,
+            self.cluster.config().total_containers(),
+            &self.active_views,
+        );
+        // In full-rebuild mode the hint is withheld so schedulers take
+        // their treat-everything-as-changed path, mirroring the original
+        // non-incremental engine exactly.
+        let ctx = if self.full_rebuild {
+            ctx
+        } else {
+            ctx.with_changed(&self.changed_slots)
+        };
+        let mut plan = std::mem::take(&mut self.plan_buf);
+        self.scheduler.allocate_into(&ctx, &mut plan);
+        let active_jobs = self.active_views.len() as u32;
 
         // Always drain so schedulers that buffer demotions never accumulate
         // them unboundedly; recording them is the cheap part.
@@ -1493,11 +1711,9 @@ impl<S: Scheduler> Simulation<S> {
             }
         }
 
-        // Reset targets, then apply the plan (last entry wins; clamp to
-        // useful demand).
-        for &id in &self.admitted {
-            self.jobs[id.index()].target = 0;
-        }
+        // Apply the plan (last entry wins; clamp to useful demand). Jobs
+        // the plan skips are implicitly at target zero via their stale
+        // `plan_epoch` (see `effective_target`).
         let epoch = self.stats.scheduling_passes;
         self.plan_order.clear();
         for &(id, target) in plan.entries() {
@@ -1517,6 +1733,7 @@ impl<S: Scheduler> Simulation<S> {
                 self.plan_order.push(id);
             }
         }
+        self.plan_buf = plan;
 
         if self.preemption == PreemptionPolicy::Kill {
             self.kill_over_target();
@@ -1550,7 +1767,10 @@ impl<S: Scheduler> Simulation<S> {
             let id = self.admitted[i];
             loop {
                 let job = &self.jobs[id.index()];
-                if job.finished() || job.held <= job.target || job.stage.running.is_empty() {
+                if job.finished()
+                    || job.held <= self.effective_target(job)
+                    || job.stage.running.is_empty()
+                {
                     break;
                 }
                 // Kill the youngest attempt (least wasted work).
@@ -1564,6 +1784,7 @@ impl<S: Scheduler> Simulation<S> {
                     .expect("nonempty running set");
                 self.accrue_job(id);
                 self.update_util();
+                self.mark_dirty(id);
                 let job = &mut self.jobs[id.index()];
                 let killed = job.stage.running.swap_remove(victim);
                 job.held -= killed.containers;
@@ -1626,6 +1847,7 @@ impl<S: Scheduler> Simulation<S> {
                     break 'outer;
                 };
                 self.accrue_job(id);
+                self.mark_dirty(id);
                 let job = &mut self.jobs[id.index()];
                 let running = &mut job.stage.running[pos];
                 running.spec_copy = Some(SpecCopy { node, containers });
@@ -1755,6 +1977,10 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
         (**self).allocate(ctx)
     }
 
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, plan: &mut crate::sched::AllocationPlan) {
+        (**self).allocate_into(ctx, plan)
+    }
+
     fn queue_depths(&self) -> Option<Vec<u32>> {
         (**self).queue_depths()
     }
@@ -1778,9 +2004,10 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
 fn median_duration(durations: &[SimDuration]) -> SimDuration {
     debug_assert!(!durations.is_empty());
-    let mut sorted = durations.to_vec();
-    sorted.sort_unstable();
-    sorted[sorted.len() / 2]
+    let mut scratch = durations.to_vec();
+    let mid = scratch.len() / 2;
+    // Selection, not a full sort: the upper-median element is all we need.
+    *scratch.select_nth_unstable(mid).1
 }
 
 #[cfg(test)]

@@ -134,17 +134,24 @@ impl EventQueue {
     /// The pending events in delivery order (time, then insertion order),
     /// without draining the queue. Used to snapshot mid-run state.
     pub fn snapshot_entries(&self) -> Vec<EventEntry> {
-        let mut entries: Vec<EventEntry> = self
-            .heap
-            .iter()
-            .map(|e| EventEntry {
-                at: e.at,
-                seq: e.seq,
-                event: e.event,
-            })
-            .collect();
-        entries.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        let mut entries = Vec::new();
+        self.snapshot_entries_into(&mut entries);
         entries
+    }
+
+    /// [`snapshot_entries`](Self::snapshot_entries) into a caller-owned
+    /// buffer, so repeated snapshots (e.g. the engine's sampled
+    /// snapshot-fidelity check) reuse one allocation instead of cloning the
+    /// heap into a fresh `Vec` each time. `(at, seq)` pairs are unique, so
+    /// the unstable sort is deterministic.
+    pub fn snapshot_entries_into(&self, out: &mut Vec<EventEntry>) {
+        out.clear();
+        out.extend(self.heap.iter().map(|e| EventEntry {
+            at: e.at,
+            seq: e.seq,
+            event: e.event,
+        }));
+        out.sort_unstable_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
     }
 
     /// Rebuilds a queue from snapshotted entries, preserving the original

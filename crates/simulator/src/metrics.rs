@@ -77,6 +77,10 @@ pub struct EngineStats {
     pub speculative_launched: u64,
     /// Speculative copies that beat the original attempt.
     pub speculative_won: u64,
+    /// Events popped off the event queue over the run — the denominator of
+    /// engine throughput (events/sec) measurements.
+    #[serde(default)]
+    pub events_processed: u64,
     /// Time the last event was processed (the makespan for completed runs).
     pub makespan: SimTime,
     /// Mean cluster utilization over the run, in `[0, 1]`.

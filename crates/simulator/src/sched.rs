@@ -107,6 +107,7 @@ pub struct SchedContext<'a> {
     now: SimTime,
     total_containers: u32,
     jobs: &'a [JobView],
+    changed: Option<&'a [usize]>,
 }
 
 impl<'a> SchedContext<'a> {
@@ -117,7 +118,17 @@ impl<'a> SchedContext<'a> {
             now,
             total_containers,
             jobs,
+            changed: None,
         }
+    }
+
+    /// Attaches the engine's dirty-set hint: the ascending indices into
+    /// [`jobs`](Self::jobs) whose views differ from the previous `allocate`
+    /// call on the same scheduler instance. See
+    /// [`changed`](Self::changed) for the exact contract.
+    pub fn with_changed(mut self, changed: &'a [usize]) -> Self {
+        self.changed = Some(changed);
+        self
     }
 
     /// The current simulation time.
@@ -133,6 +144,27 @@ impl<'a> SchedContext<'a> {
     /// Views of all admitted, unfinished jobs, in admission order.
     pub fn jobs(&self) -> &[JobView] {
         self.jobs
+    }
+
+    /// Which entries of [`jobs`](Self::jobs) changed since the previous
+    /// `allocate` call on the same scheduler instance, as ascending indices
+    /// into that slice.
+    ///
+    /// `None` means "no information — treat every job as possibly changed"
+    /// (the engine's compatibility mode, hand-built test contexts, and any
+    /// other caller that does not track deltas). `Some(..)` is a *promise*:
+    /// every *job* whose view content differs from what the scheduler saw
+    /// last time appears in the list, at its current slot (newly admitted
+    /// jobs are always listed, and jobs that completed were already
+    /// announced via [`Scheduler::on_job_completed`]). Note the promise is
+    /// per *job*, not per slot: removals compact the slice (preserving
+    /// admission order), so an unlisted job's view may sit at a lower slot
+    /// than last pass while its content is unchanged. Incremental
+    /// schedulers should therefore key their caches by [`JobView::id`]
+    /// when they outlive a single pass; schedulers that ignore the hint
+    /// remain correct.
+    pub fn changed(&self) -> Option<&[usize]> {
+        self.changed
     }
 
     /// Sum of all jobs' useful demand, capped at cluster capacity.
@@ -208,6 +240,12 @@ impl AllocationPlan {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Empties the plan while keeping its allocation, so a buffer can be
+    /// recycled across scheduling passes.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 impl FromIterator<(JobId, u32)> for AllocationPlan {
@@ -259,6 +297,17 @@ pub trait Scheduler {
     /// meets or exceeds capacity, a well-behaved plan allocates every
     /// container (the engine asserts this in debug builds).
     fn allocate(&mut self, ctx: &SchedContext<'_>) -> AllocationPlan;
+
+    /// Buffer-reusing variant of [`allocate`](Self::allocate): clears
+    /// `plan` and fills it with this pass's decision. The engine calls this
+    /// with a persistent buffer so steady-state passes allocate nothing;
+    /// the default simply delegates, so plain schedulers only implement
+    /// `allocate`. Implementations that override this should make
+    /// `allocate` delegate the other way to keep both entry points
+    /// identical.
+    fn allocate_into(&mut self, ctx: &SchedContext<'_>, plan: &mut AllocationPlan) {
+        *plan = self.allocate(ctx);
+    }
 
     /// Current per-queue job counts, highest priority first, for telemetry
     /// sampling. `None` (the default) means the scheduler has no

@@ -45,7 +45,10 @@ use crate::time::{SimDuration, SimTime};
 /// Schema version stamped into every snapshot. Bumped whenever the
 /// serialized layout changes incompatibly; restore refuses snapshots from
 /// a different version rather than misinterpreting them.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+///
+/// * v2 — [`EngineStats`] gained `events_processed`, serialized inside the
+///   `stats` section.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// Complete serializable state of a paused [`Simulation`](crate::Simulation).
 ///

@@ -201,7 +201,8 @@ fn from_json_rejects_garbage_and_future_schemas() {
         .snapshot_at(SimTime::from_secs(15))
         .expect("mid-run")
         .to_json();
-    let bumped = json.replacen("\"schema\":1", "\"schema\":999", 1);
+    let current = format!("\"schema\":{}", lasmq_simulator::SNAPSHOT_SCHEMA_VERSION);
+    let bumped = json.replacen(&current, "\"schema\":999", 1);
     assert_ne!(json, bumped, "schema field not found to corrupt");
     let err = lasmq_simulator::SimSnapshot::from_json(&bumped).unwrap_err();
     assert!(err.to_string().contains("schema"), "got {err}");

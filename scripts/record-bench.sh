@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Re-record the committed perf-smoke baseline (BENCH_5.json).
+#
+# Run this on a quiet machine after an *intentional* throughput change —
+# the CI perf gate compares future runs against the numbers recorded
+# here. The event count in the baseline is deterministic (same trace,
+# same scheduler ⇒ same events); only events/sec is hardware-dependent.
+#
+# Usage: scripts/record-bench.sh [extra perf-smoke args]
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --offline --release -p lasmq-bench
+./target/release/perf-smoke --emit BENCH_5.json "$@"
+echo "--- BENCH_5.json ---"
+cat BENCH_5.json
+echo "Commit BENCH_5.json alongside the change that justified re-recording it."
