@@ -68,6 +68,7 @@ pub mod artifacts;
 pub mod cache;
 pub mod exec;
 pub mod kind;
+pub mod latency;
 pub mod manifest;
 pub mod profile;
 pub mod run;
@@ -78,6 +79,7 @@ pub use artifacts::{write_cell_artifacts, write_invariant_artifact};
 pub use cache::{CheckpointError, ResultCache, DEFAULT_CACHE_DIR};
 pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailure, ExecOptions};
 pub use kind::{ParseSchedulerError, SchedulerKind};
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use manifest::{status_report, Manifest, ManifestCell};
 pub use profile::ProfileSnapshot;
 pub use run::{RunCell, CACHE_SCHEMA_VERSION};

@@ -15,9 +15,12 @@
 //! in the caller's hands.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 use lasmq_simulator::SimulationReport;
+
+use crate::latency::{LatencyHistogram, LatencySummary};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static CELLS: AtomicU64 = AtomicU64::new(0);
@@ -25,6 +28,15 @@ static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static PASSES: AtomicU64 = AtomicU64::new(0);
 static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Distribution of per-cell simulating wall-clock — the same samples
+/// `SIM_NANOS` sums, kept as a histogram so `repro --profile` can report
+/// cell-cost percentiles, not just totals. Lives outside
+/// [`ProfileSnapshot`] (which stays a `Copy` counter block).
+fn cell_wall_hist() -> &'static Mutex<LatencyHistogram> {
+    static HIST: OnceLock<Mutex<LatencyHistogram>> = OnceLock::new();
+    HIST.get_or_init(|| Mutex::new(LatencyHistogram::new()))
+}
 
 /// Turns cell profiling on or off for the whole process.
 pub fn set_enabled(on: bool) {
@@ -53,7 +65,21 @@ pub(crate) fn record_cell(report: &SimulationReport, cache_hit: bool, sim_wall: 
         EVENTS.fetch_add(report.stats().events_processed, Ordering::Relaxed);
         PASSES.fetch_add(report.stats().scheduling_passes, Ordering::Relaxed);
         SIM_NANOS.fetch_add(sim_wall.as_nanos() as u64, Ordering::Relaxed);
+        if let Ok(mut hist) = cell_wall_hist().lock() {
+            hist.record(sim_wall);
+        }
     }
+}
+
+/// Percentile digest of per-cell simulating wall-clock across every
+/// freshly simulated cell since the process started (cache hits cost a
+/// file read, not a simulation, and are excluded). Empty unless profiling
+/// was enabled while cells ran.
+pub fn cell_wall_summary() -> LatencySummary {
+    cell_wall_hist()
+        .lock()
+        .map(|h| h.summary())
+        .unwrap_or_else(|_| LatencyHistogram::new().summary())
 }
 
 /// A point-in-time reading of the process-wide profile counters.

@@ -489,6 +489,20 @@ fn emit(name: &str, tables: impl FnOnce() -> Vec<TextTable>, out: &std::path::Pa
                 delta.cells, delta.cache_hits,
             ),
         }
+        // Process-wide per-cell wall-time percentiles (all figures so
+        // far, not just this one — the histogram is cumulative).
+        let wall = lasmq_campaign::profile::cell_wall_summary();
+        if wall.count > 0 {
+            println!(
+                "[{name} profile] cell wall time: p50 {:.0}ms  p99 {:.0}ms  \
+                 p999 {:.0}ms  max {:.0}ms over {} simulated cells",
+                wall.p50_us / 1000.0,
+                wall.p99_us / 1000.0,
+                wall.p999_us / 1000.0,
+                wall.max_us / 1000.0,
+                wall.count,
+            );
+        }
     }
     println!();
 }

@@ -1,0 +1,496 @@
+//! End-to-end daemon tests over real TCP connections.
+//!
+//! Every test spawns an in-process daemon ([`Daemon::spawn`]) on an
+//! ephemeral port and speaks the newline-delimited JSON protocol through
+//! a small blocking client. Determinism-sensitive tests use
+//! [`Pacing::Manual`], where simulated time moves only on explicit
+//! `advance` requests — the mode the kill → restart → drain byte-identity
+//! check depends on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use lasmq_campaign::SimSetup;
+use lasmq_serve::{Daemon, Pacing, ServeConfig};
+use lasmq_simulator::{ClusterConfig, SimDuration, SimTime, StageKind, StageSpec, TaskSpec};
+use serde::Value;
+
+/// A blocking line-protocol client: one request out, one response in.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("response line");
+        serde_json::parse_value_str(response.trim())
+            .unwrap_or_else(|e| panic!("malformed response '{}': {e}", response.trim()))
+    }
+
+    fn submit(&mut self, spec: &lasmq_simulator::JobSpec) -> Value {
+        let line = format!(
+            r#"{{"op":"submit","job":{}}}"#,
+            serde_json::to_string(spec).unwrap()
+        );
+        self.request(&line)
+    }
+
+    fn advance(&mut self, to_ms: u64) -> Value {
+        self.request(&format!(r#"{{"op":"advance","to_ms":{to_ms}}}"#))
+    }
+
+    fn status(&mut self) -> Value {
+        self.request(r#"{"op":"status"}"#)
+    }
+}
+
+fn field<'a>(value: &'a Value, key: &str) -> &'a Value {
+    let entries = value.as_object().expect("response is an object");
+    serde::__get(entries, key).unwrap_or_else(|| panic!("response missing field '{key}'"))
+}
+
+fn bool_field(value: &Value, key: &str) -> bool {
+    match field(value, key) {
+        Value::Bool(b) => *b,
+        other => panic!("field '{key}' is {}, not bool", other.kind()),
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> u64 {
+    match field(value, key) {
+        Value::UInt(n) => *n,
+        other => panic!("field '{key}' is {}, not uint", other.kind()),
+    }
+}
+
+fn has_field(value: &Value, key: &str) -> bool {
+    value
+        .as_object()
+        .is_some_and(|entries| serde::__get(entries, key).is_some())
+}
+
+/// A single-stage job: `tasks` map tasks of `secs` seconds each.
+fn job(arrival_secs: u64, label: &str, tasks: u32, secs: u64) -> lasmq_simulator::JobSpec {
+    lasmq_simulator::JobSpec::builder()
+        .arrival(SimTime::from_secs(arrival_secs))
+        .label(label)
+        .stage(StageSpec::uniform(
+            StageKind::Map,
+            tasks,
+            TaskSpec::new(SimDuration::from_secs(secs)),
+        ))
+        .build()
+}
+
+fn manual_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        pacing: Pacing::Manual,
+        ..ServeConfig::default()
+    }
+}
+
+fn unique_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lasmq-serve-it-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn submit_status_job_metrics_roundtrip() {
+    let handle = Daemon::spawn(manual_config()).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let pong = client.request(r#"{"op":"ping"}"#);
+    assert!(bool_field(&pong, "ok") && bool_field(&pong, "pong"));
+
+    // Dense ids in submission order.
+    for (i, label) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let resp = client.submit(&job(i as u64 + 1, label, 2, 5));
+        assert!(bool_field(&resp, "ok"), "submit failed: {resp:?}");
+        assert_eq!(u64_field(&resp, "id"), i as u64);
+    }
+
+    let status = client.status();
+    assert_eq!(u64_field(&status, "jobs"), 3);
+    assert_eq!(u64_field(&status, "finished"), 0);
+    assert_eq!(u64_field(&status, "accepted"), 3);
+    assert_eq!(
+        u64_field(&status, "now_ms"),
+        0,
+        "manual pacing: clock still at 0"
+    );
+
+    // Advance far enough for all three 2x5s jobs to drain.
+    let advanced = client.advance(120_000);
+    assert!(bool_field(&advanced, "ok"));
+    let status = client.status();
+    assert_eq!(u64_field(&status, "finished"), 3);
+    assert_eq!(u64_field(&status, "pending_events"), 0);
+
+    // Per-job timestamps.
+    let job0 = client.request(r#"{"op":"job","id":0}"#);
+    assert!(bool_field(&job0, "ok"));
+    assert_eq!(u64_field(&job0, "arrival_ms"), 1000);
+    assert!(u64_field(&job0, "finish_ms") > 1000);
+    let missing = client.request(r#"{"op":"job","id":99}"#);
+    assert!(!bool_field(&missing, "ok"));
+
+    // Metrics reflect the accepted submissions and decision batches.
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    assert!(bool_field(&metrics, "ok"));
+    assert_eq!(u64_field(&metrics, "accepted"), 3);
+    assert_eq!(u64_field(&metrics, "deferred"), 0);
+    let decision = field(&metrics, "decision");
+    assert!(
+        u64_field(decision, "count") > 0,
+        "advance ran scheduling passes"
+    );
+    let ack = field(&metrics, "ack");
+    assert_eq!(
+        u64_field(ack, "count"),
+        3,
+        "one ack latency sample per accept"
+    );
+
+    handle.request_stop();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.accepted, 3);
+    assert_eq!(summary.finished, 3);
+}
+
+#[test]
+fn malformed_lines_get_errors_and_do_not_wedge_the_connection() {
+    let handle = Daemon::spawn(manual_config()).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let err = client.request("this is not json");
+    assert!(!bool_field(&err, "ok"));
+    assert!(
+        !bool_field(&err, "deferred"),
+        "malformed is not backpressure"
+    );
+    let err = client.request(r#"{"op":"warp"}"#);
+    assert!(!bool_field(&err, "ok"));
+
+    // The connection still serves valid requests afterwards.
+    let pong = client.request(r#"{"op":"ping"}"#);
+    assert!(bool_field(&pong, "ok"));
+
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    assert_eq!(u64_field(&metrics, "malformed"), 2);
+
+    handle.request_stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn backpressure_defers_beyond_queue_cap_without_losing_jobs() {
+    let config = ServeConfig {
+        setup: SimSetup::trace_sim()
+            .cluster(ClusterConfig::new(1, 4))
+            .admission(Some(1)),
+        queue_cap: Some(3),
+        ..manual_config()
+    };
+    let handle = Daemon::spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // The first three fill the backlog (nothing has run yet under
+    // manual pacing), the fourth is explicitly deferred — not dropped,
+    // not queued.
+    for i in 0..3u64 {
+        let resp = client.submit(&job(i + 1, &format!("j{i}"), 1, 5));
+        assert!(bool_field(&resp, "ok"), "submit {i} should be accepted");
+    }
+    let deferred = client.submit(&job(4, "overflow", 1, 5));
+    assert!(!bool_field(&deferred, "ok"));
+    assert!(
+        bool_field(&deferred, "deferred"),
+        "queue-full must say deferred"
+    );
+    assert!(
+        field(&deferred, "error")
+            .as_str()
+            .unwrap()
+            .contains("admission queue full"),
+        "got {deferred:?}"
+    );
+
+    // Deferral is refusal, not loss: exactly the accepted jobs exist.
+    let status = client.status();
+    assert_eq!(u64_field(&status, "jobs"), 3);
+    assert_eq!(u64_field(&status, "accepted"), 3);
+    assert_eq!(u64_field(&status, "deferred"), 1);
+
+    // Draining the backlog reopens admission; the client retries the
+    // deferred job and every accepted job finishes.
+    client.advance(60_000);
+    let retry = client.submit(&job(4, "overflow", 1, 5));
+    assert!(bool_field(&retry, "ok"), "retry after drain: {retry:?}");
+    assert_eq!(u64_field(&retry, "id"), 3);
+    client.advance(120_000);
+    let status = client.status();
+    assert_eq!(u64_field(&status, "jobs"), 4);
+    assert_eq!(
+        u64_field(&status, "finished"),
+        4,
+        "no accepted job was lost"
+    );
+
+    handle.request_stop();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.accepted, 4);
+    assert_eq!(summary.deferred, 1);
+}
+
+#[test]
+fn kill_restart_drain_is_byte_identical_to_uninterrupted_run() {
+    let dir = unique_dir("identity");
+    let uninterrupted_path = dir.join("uninterrupted.json");
+    let restarted_path = dir.join("restarted.json");
+
+    let batch1: Vec<_> = (0..6u64)
+        .map(|i| job(i + 1, &format!("a{i}"), 2, 7))
+        .collect();
+    let batch2: Vec<_> = (0..4u64)
+        .map(|i| job(i + 20, &format!("b{i}"), 3, 4))
+        .collect();
+    const T1: u64 = 12_000;
+    const T2: u64 = 300_000;
+
+    let config_for = |path: &PathBuf, resume: bool| ServeConfig {
+        snapshot_path: Some(path.clone()),
+        resume,
+        ..manual_config()
+    };
+
+    // Run A: everything in one daemon lifetime.
+    {
+        let handle = Daemon::spawn(config_for(&uninterrupted_path, false)).unwrap();
+        let mut client = Client::connect(handle.addr());
+        for spec in &batch1 {
+            assert!(bool_field(&client.submit(spec), "ok"));
+        }
+        client.advance(T1);
+        for spec in &batch2 {
+            assert!(bool_field(&client.submit(spec), "ok"));
+        }
+        client.advance(T2);
+        handle.request_stop();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.finished, 10, "run A drained everything");
+        assert_eq!(
+            summary.final_snapshot.as_deref(),
+            Some(uninterrupted_path.as_path())
+        );
+    }
+
+    // Run B, first lifetime: batch1, advance to T1, then a kill
+    // (request_stop is the in-process SIGTERM seam — same code path the
+    // signal handler's latched flag takes).
+    {
+        let handle = Daemon::spawn(config_for(&restarted_path, false)).unwrap();
+        let mut client = Client::connect(handle.addr());
+        for spec in &batch1 {
+            assert!(bool_field(&client.submit(spec), "ok"));
+        }
+        client.advance(T1);
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+
+    // Run B, second lifetime: resume, batch2, drain to T2.
+    {
+        let handle = Daemon::spawn(config_for(&restarted_path, true)).unwrap();
+        let mut client = Client::connect(handle.addr());
+        let status = client.status();
+        assert_eq!(u64_field(&status, "jobs"), 6, "resume restored batch1");
+        assert_eq!(
+            u64_field(&status, "accepted"),
+            6,
+            "counters survive restart"
+        );
+        assert!(
+            u64_field(&status, "now_ms") > 0,
+            "clock restored, not reset"
+        );
+        for spec in &batch2 {
+            assert!(bool_field(&client.submit(spec), "ok"));
+        }
+        client.advance(T2);
+        handle.request_stop();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.finished, 10, "run B drained everything");
+    }
+
+    let uninterrupted = std::fs::read(&uninterrupted_path).unwrap();
+    let restarted = std::fs::read(&restarted_path).unwrap();
+    assert_eq!(
+        uninterrupted, restarted,
+        "kill → restart → drain must leave byte-identical scheduler state"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_verb_writes_final_snapshot_and_restart_restores_counts() {
+    let dir = unique_dir("shutdown");
+    let path = dir.join("state.json");
+
+    {
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            ..manual_config()
+        };
+        let handle = Daemon::spawn(config).unwrap();
+        let mut client = Client::connect(handle.addr());
+        for i in 0..2u64 {
+            assert!(bool_field(
+                &client.submit(&job(i + 1, "durable", 1, 3)),
+                "ok"
+            ));
+        }
+        let ack = client.request(r#"{"op":"shutdown"}"#);
+        assert!(bool_field(&ack, "ok") && bool_field(&ack, "stopping"));
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.final_snapshot.as_deref(), Some(path.as_path()));
+        assert_eq!(summary.accepted, 2);
+    }
+    assert!(path.exists(), "shutdown verb must write the final snapshot");
+
+    {
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            resume: true,
+            ..manual_config()
+        };
+        let handle = Daemon::spawn(config).unwrap();
+        let mut client = Client::connect(handle.addr());
+        let status = client.status();
+        assert_eq!(u64_field(&status, "jobs"), 2);
+        assert_eq!(u64_field(&status, "accepted"), 2);
+        // New submissions continue the dense id sequence.
+        let resp = client.submit(&job(9, "post-restart", 1, 3));
+        assert_eq!(u64_field(&resp, "id"), 2);
+        handle.request_stop();
+        handle.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshot_degrades_to_fresh_start() {
+    let dir = unique_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (name, damage) in [
+        ("garbage.json", &b"{not json at all"[..]),
+        ("empty.json", &b""[..]),
+        ("wrong-shape.json", &br#"{"schema":1,"kind":"LasMq"}"#[..]),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, damage).unwrap();
+        let config = ServeConfig {
+            snapshot_path: Some(path.clone()),
+            resume: true,
+            ..manual_config()
+        };
+        // A damaged snapshot must not kill the daemon: it warns, starts
+        // fresh, and serves normally.
+        let handle = Daemon::spawn(config).unwrap();
+        let mut client = Client::connect(handle.addr());
+        let status = client.status();
+        assert_eq!(u64_field(&status, "jobs"), 0, "{name}: fresh start");
+        assert_eq!(u64_field(&status, "now_ms"), 0);
+        let resp = client.submit(&job(1, "fresh", 1, 3));
+        assert!(bool_field(&resp, "ok"), "{name}: daemon must be functional");
+        handle.request_stop();
+        // The shutdown snapshot then repairs the file in place.
+        handle.join().unwrap();
+        assert!(
+            lasmq_serve::load_snapshot(&path).is_ok(),
+            "{name}: final snapshot replaced the damaged file"
+        );
+    }
+
+    // Missing file: resume silently starts fresh (first boot).
+    let config = ServeConfig {
+        snapshot_path: Some(dir.join("never-written.json")),
+        resume: true,
+        ..manual_config()
+    };
+    let handle = Daemon::spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr());
+    assert_eq!(u64_field(&client.status(), "jobs"), 0);
+    handle.request_stop();
+    handle.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wall_pacing_schedules_submissions_without_advance_requests() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // ~1000 sim-seconds per wall-millisecond: three 3-second jobs
+        // finish within a handful of engine wakeups.
+        pacing: Pacing::Wall {
+            compression: 1_000_000.0,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = Daemon::spawn(config).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    for i in 0..3u64 {
+        let resp = client.submit(&job(0, &format!("wall{i}"), 1, 3));
+        assert!(bool_field(&resp, "ok"));
+    }
+    // `advance` is a manual-pacing verb.
+    let err = client.advance(10);
+    assert!(!bool_field(&err, "ok"));
+    assert!(field(&err, "error")
+        .as_str()
+        .unwrap()
+        .contains("--manual-pacing"));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = client.status();
+        if u64_field(&status, "finished") == 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "wall-paced daemon never finished the jobs: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    assert!(u64_field(field(&metrics, "decision"), "count") > 0);
+    assert!(has_field(field(&metrics, "decision"), "p99_us"));
+
+    handle.request_stop();
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.finished, 3);
+}

@@ -1,0 +1,95 @@
+//! CLI surface checks for the `lasmq-serve` and `lasmq-loadgen`
+//! binaries, mirroring the `repro_cli` pattern: `--help` must exit 0 and
+//! document every flag, and flag misuse must fail with a pointer to the
+//! usage.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> std::process::Output {
+    Command::new(bin).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn serve_help_documents_every_flag() {
+    let out = run(env!("CARGO_BIN_EXE_lasmq-serve"), &["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8(out.stdout).expect("usage is utf-8");
+    for needle in [
+        "--listen",
+        "--scheduler",
+        "--nodes",
+        "--containers",
+        "--quantum-ms",
+        "--admission-cap",
+        "--queue-cap",
+        "--compression",
+        "--manual-pacing",
+        "--snapshot-path",
+        "--snapshot-every-secs",
+        "--resume",
+        "--help",
+        // The protocol verbs ship in the help text too.
+        "\"op\":\"submit\"",
+        "\"op\":\"shutdown\"",
+    ] {
+        assert!(
+            text.contains(needle),
+            "serve help must mention {needle}, got:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn loadgen_help_documents_every_flag() {
+    let out = run(env!("CARGO_BIN_EXE_lasmq-loadgen"), &["--help"]);
+    assert!(out.status.success(), "--help must exit 0");
+    let text = String::from_utf8(out.stdout).expect("usage is utf-8");
+    for needle in [
+        "--addr",
+        "--jobs",
+        "--skip",
+        "--seed",
+        "--compression",
+        "--rate",
+        "--drain-timeout-secs",
+        "--shutdown",
+        "--emit",
+        "--help",
+    ] {
+        assert!(
+            text.contains(needle),
+            "loadgen help must mention {needle}, got:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage() {
+    for args in [
+        &["--frobnicate"][..],
+        &["--compression", "0"][..],
+        &["--compression", "soon"][..],
+        &["--resume"][..], // requires --snapshot-path
+    ] {
+        let out = run(env!("CARGO_BIN_EXE_lasmq-serve"), args);
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let text = String::from_utf8(out.stderr).expect("error is utf-8");
+        assert!(
+            text.contains("USAGE"),
+            "{args:?} error must show usage:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn loadgen_rejects_bad_flags_with_usage() {
+    for args in [&["--frobnicate"][..], &["--jobs", "many"][..], &[][..]] {
+        let out = run(env!("CARGO_BIN_EXE_lasmq-loadgen"), args);
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let text = String::from_utf8(out.stderr).expect("error is utf-8");
+        assert!(
+            text.contains("USAGE"),
+            "{args:?} error must show usage:\n{text}"
+        );
+    }
+}

@@ -729,17 +729,33 @@ impl<S: Scheduler> Simulation<S> {
     /// coalesced full pass (if any) has run, so a snapshot taken here
     /// resumes bit-identically.
     fn advance(&mut self, until: Option<SimTime>) -> bool {
+        self.advance_inner(until, u64::MAX).1
+    }
+
+    /// The one batch loop every driver funnels through — sim-time runs
+    /// ([`run`](Simulation::run) / [`run_until`](Simulation::run_until))
+    /// and the wall-clock daemon ([`step_batch`](Simulation::step_batch))
+    /// alike — so pausing, stepping and running to completion are the same
+    /// code path batch-for-batch. Processes at most `max_batches` timestamp
+    /// batches; returns how many were processed and whether a batch beyond
+    /// `until` (or the `max_batches` budget) is still pending.
+    fn advance_inner(&mut self, until: Option<SimTime>, max_batches: u64) -> (u64, bool) {
+        let mut batches = 0u64;
         while let Some(t) = self.events.peek_time() {
             if let Some(deadline) = self.deadline {
                 if t > deadline {
-                    return false;
+                    return (batches, false);
                 }
             }
             if let Some(limit) = until {
                 if t > limit {
-                    return true;
+                    return (batches, true);
                 }
             }
+            if batches == max_batches {
+                return (batches, true);
+            }
+            batches += 1;
             if let Some(report) = &mut self.invariants {
                 if t < self.now {
                     report.record(
@@ -768,7 +784,7 @@ impl<S: Scheduler> Simulation<S> {
                 self.run_invariant_checks();
             }
         }
-        false
+        (batches, false)
     }
 
     /// One audit pass over the engine's entire state. Only ever called when
@@ -949,6 +965,133 @@ impl<S: Scheduler> Simulation<S> {
     /// `run_until` / [`run`](Simulation::run) to continue.
     pub fn run_until(&mut self, until: SimTime) -> bool {
         self.advance(Some(until))
+    }
+
+    /// Processes exactly one pending timestamp batch (every event at the
+    /// next timestamp plus the coalesced scheduling pass, if one is due),
+    /// provided that batch is at or before `limit`. Returns `true` if a
+    /// batch was processed, `false` if the next batch lies beyond `limit`
+    /// (or the deadline), or the queue is drained.
+    ///
+    /// This is the wall-clock driver's entry point (see
+    /// [`driver`](crate::driver)): it funnels into the same core loop as
+    /// [`run`](Simulation::run) / [`run_until`](Simulation::run_until), so a
+    /// driver-stepped run processes batches in exactly the same order as a
+    /// sim-time run, and the paused state between calls is always a
+    /// canonical batch boundary where [`snapshot`](Simulation::snapshot) is
+    /// well-defined.
+    pub fn step_batch(&mut self, limit: SimTime) -> bool {
+        self.advance_inner(Some(limit), 1).0 > 0
+    }
+
+    /// Injects a job into a *live* simulation — the streaming-admission
+    /// entry point for the wall-clock daemon. The spec's arrival time is
+    /// clamped forward to the current clock if it lies in the past (the
+    /// engine cannot deliver events before `now`), the spec is validated
+    /// against the cluster, and a [`JobId`] is assigned continuing the
+    /// dense index sequence.
+    ///
+    /// Submitting the same specs up-front via
+    /// [`SimulationBuilder::jobs`] or live (in arrival order, before
+    /// running) yields byte-identical runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidJob`] if the spec fails validation against this
+    /// cluster (e.g. a task wider than the whole cluster).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SimError> {
+        let spec = if spec.arrival() < self.now {
+            spec.with_arrival(self.now)
+        } else {
+            spec
+        };
+        spec.validate(self.cluster.config().total_containers())
+            .map_err(|reason| SimError::InvalidJob {
+                job_index: self.jobs.len(),
+                reason,
+            })?;
+        let id = JobId::new(self.jobs.len() as u32);
+        self.events
+            .push(spec.arrival(), Event::JobArrival { job: id });
+        self.jobs.push(Job::new(spec));
+        self.view_slot.push(usize::MAX);
+        self.dirty.push(false);
+        Ok(id)
+    }
+
+    /// Engine counters accumulated so far (passes, events, allocations).
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Total jobs known to the simulation, finished or not.
+    pub fn total_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs that have run to completion.
+    pub fn finished_jobs(&self) -> usize {
+        self.finished_count
+    }
+
+    /// Jobs currently admitted and not yet finished.
+    pub fn running_jobs(&self) -> usize {
+        self.admission.running()
+    }
+
+    /// Jobs parked in the admission queue.
+    pub fn waiting_jobs(&self) -> usize {
+        self.admission.waiting()
+    }
+
+    /// Containers currently occupied by running tasks.
+    pub fn used_containers(&self) -> u32 {
+        self.cluster.used_containers()
+    }
+
+    /// Total container capacity of the cluster.
+    pub fn total_containers(&self) -> u32 {
+        self.cluster.config().total_containers()
+    }
+
+    /// Timestamp of the next pending event batch, or `None` when drained.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Events still pending in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` once every event has been processed — nothing left to run.
+    pub fn is_drained(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The outcome recorded for `id` so far (arrival/admission/finish
+    /// timestamps and derived metrics). `None` for an out-of-range id.
+    pub fn job_outcome(&self, id: JobId) -> Option<JobOutcome> {
+        let total = self.cluster.config().total_containers();
+        self.jobs.get(id.index()).map(|job| JobOutcome {
+            id,
+            label: job.spec.label().to_string(),
+            bin: job.spec.bin(),
+            priority: job.spec.priority(),
+            arrival: job.spec.arrival(),
+            admitted_at: job.admitted_at,
+            first_allocation: job.first_alloc,
+            finish: job.finished_at,
+            true_size: job.spec.total_service(),
+            isolated: isolated_runtime(&job.spec, total),
+        })
+    }
+
+    /// Consumes the (typically drained) simulation and reports per-job
+    /// outcomes — the live-driver equivalent of [`run`](Simulation::run),
+    /// which is `advance-to-completion` + `into_report`.
+    pub fn into_report(self) -> SimulationReport {
+        self.finalize()
     }
 
     /// Runs forward to (at most) `t` and captures the state there. Returns

@@ -220,6 +220,14 @@ impl JobSpec {
         self.arrival
     }
 
+    /// The same spec re-stamped with a different arrival time. Used by
+    /// live submission ([`Simulation::submit`](crate::Simulation::submit))
+    /// to clamp arrivals forward to the current clock.
+    pub fn with_arrival(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
     /// The job's priority (the paper's Fair baseline weighs jobs by a random
     /// priority in 1..=5).
     pub fn priority(&self) -> u8 {

@@ -77,6 +77,7 @@
 
 pub mod admission;
 pub mod cluster;
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -93,6 +94,7 @@ pub mod testkit;
 pub mod time;
 
 pub use cluster::{ClusterConfig, ClusterState};
+pub use driver::{Clock, CompressedWallClock, Driver, DriverStep, VirtualClock};
 pub use engine::{
     FailureConfig, PreemptionPolicy, Simulation, SimulationBuilder, SpeculationConfig,
 };

@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# End-to-end daemon smoke test (also run by CI):
+#
+#   1. start lasmq-serve on an ephemeral port with a snapshot path,
+#   2. replay the first 500 jobs of the Facebook trace open-loop,
+#   3. SIGTERM the daemon mid-trace and require a clean exit plus a
+#      final snapshot on disk,
+#   4. restart with --resume and replay the rest (jobs 500..1000),
+#   5. drain, query metrics, and shut down via the protocol verb.
+#
+# Usage: scripts/serve-smoke.sh  (binaries must already be built
+# --release; CI runs it after `cargo build --offline --release`).
+set -eu
+cd "$(dirname "$0")/.."
+
+SERVE=./target/release/lasmq-serve
+LOADGEN=./target/release/lasmq-loadgen
+OUT=target/serve-smoke
+SNAP=$OUT/state.json
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# Waits for the daemon behind $1 (a log file) to print its bound
+# address, then echoes it.
+scrape_addr() {
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr=$(sed -n 's/^lasmq-serve listening on //p' "$1")
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "daemon never reported its listen address (see $1)" >&2
+    return 1
+}
+
+echo "--- phase 1: fresh daemon, first 500 jobs, SIGTERM ---"
+"$SERVE" --listen 127.0.0.1:0 --compression 100000 \
+    --snapshot-path "$SNAP" >"$OUT/serve1.log" 2>&1 &
+SERVE_PID=$!
+ADDR=$(scrape_addr "$OUT/serve1.log")
+
+"$LOADGEN" --addr "$ADDR" --jobs 500 --rate 5000
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "daemon did not exit cleanly on SIGTERM" >&2; exit 1; }
+grep -q "clean shutdown" "$OUT/serve1.log" || {
+    echo "daemon log is missing the clean-shutdown summary" >&2
+    cat "$OUT/serve1.log" >&2
+    exit 1
+}
+[ -f "$SNAP" ] || { echo "SIGTERM did not leave a final snapshot at $SNAP" >&2; exit 1; }
+echo "SIGTERM exit clean, snapshot written"
+
+echo "--- phase 2: resume, jobs 500..1000, drain, protocol shutdown ---"
+"$SERVE" --listen 127.0.0.1:0 --compression 100000 \
+    --snapshot-path "$SNAP" --resume >"$OUT/serve2.log" 2>&1 &
+SERVE_PID=$!
+ADDR=$(scrape_addr "$OUT/serve2.log")
+
+# No pipe here: a pipeline would mask the loadgen exit code.
+"$LOADGEN" --addr "$ADDR" --skip 500 --jobs 1000 --rate 5000 \
+    --drain-timeout-secs 120 --shutdown >"$OUT/loadgen2.log"
+cat "$OUT/loadgen2.log"
+
+wait "$SERVE_PID" || { echo "daemon did not exit cleanly on shutdown verb" >&2; exit 1; }
+grep -q "clean shutdown" "$OUT/serve2.log" || {
+    echo "resumed daemon log is missing the clean-shutdown summary" >&2
+    cat "$OUT/serve2.log" >&2
+    exit 1
+}
+grep -q "drained: all 1000 jobs finished" "$OUT/loadgen2.log" || {
+    echo "resumed daemon did not finish all 1000 jobs" >&2
+    exit 1
+}
+grep -q "server decision latency" "$OUT/loadgen2.log" || {
+    echo "metrics digest missing from the loadgen report" >&2
+    exit 1
+}
+echo "serve smoke test OK: kill -> resume -> drain across 1000 Facebook-trace jobs"

@@ -22,6 +22,11 @@
 //!   controller.
 //! * [`experiments`] — runners regenerating every table and figure of the
 //!   paper's evaluation (also available as the `repro` binary).
+//! * [`serve`] — a real-time scheduler daemon (`lasmq-serve`): streaming
+//!   job admission over newline-delimited JSON TCP, wall-clock pacing at
+//!   configurable time compression, admission backpressure, and
+//!   snapshot-based kill → restart durability, plus the `lasmq-loadgen`
+//!   open-loop trace replayer.
 //!
 //! # Quickstart
 //!
@@ -70,6 +75,7 @@ pub use lasmq_campaign as campaign;
 pub use lasmq_core as core;
 pub use lasmq_experiments as experiments;
 pub use lasmq_schedulers as schedulers;
+pub use lasmq_serve as serve;
 pub use lasmq_simulator as simulator;
 pub use lasmq_workload as workload;
 pub use lasmq_yarn as yarn;
