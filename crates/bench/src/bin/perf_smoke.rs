@@ -23,44 +23,85 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lasmq_campaign::{SchedulerKind, SimSetup};
-use lasmq_workload::FacebookTrace;
+use lasmq_workload::{FacebookTrace, ScaleTrace};
 
 /// Fractional throughput drop vs the baseline that fails `--check`.
 const REGRESSION_GATE: f64 = 0.30;
 
-/// Measurement iterations; the best run is kept (noise shrinks the
-/// others, never inflates the best).
-const ITERATIONS: usize = 3;
+/// Default measurement iterations; the best run is kept (noise shrinks
+/// the others, never inflates the best).
+const DEFAULT_ITERATIONS: usize = 3;
 
 const USAGE: &str = "\
 perf-smoke: Facebook-scale engine throughput smoke check
 
 USAGE:
-    perf-smoke [--jobs N] [--seed S] [--emit FILE | --check FILE]
+    perf-smoke [--trace NAME] [--jobs N] [--seed S] [--emit FILE | --check FILE]
 
 OPTIONS:
-    --jobs N        trace length in jobs (default 24443, the paper's trace)
+    --trace NAME    workload: 'facebook' (default; the paper's trace on a
+                    flat 100-container pool) or 'scale' (the million-job
+                    heavy-tailed trace on a 1,000-node x 8-container
+                    cluster)
+    --jobs N        trace length in jobs (default: 24443 for facebook,
+                    1000000 for scale)
     --seed S        trace generator seed (default 0)
     --full-rebuild  disable incremental passes (the legacy engine path),
                     for A/B comparison against the default incremental mode
+    --heap-queue    run the event queue on the legacy binary-heap backend,
+                    for A/B byte-identity against the calendar queue
+    --iters N       measurement iterations, best kept (default 3; CI uses 1
+                    for the long scale-trace gate)
+    --report FILE   write the final iteration's full simulation report as
+                    JSON (the byte-identity artifact for A/B diffs)
     --emit FILE     write the measurement as a JSON baseline
     --check FILE    compare against FILE; exit 1 on > 30% regression
     --help          print this help
 ";
 
+#[derive(Clone, Copy, PartialEq)]
+enum TraceKind {
+    Facebook,
+    Scale,
+}
+
+impl TraceKind {
+    fn bench_name(self) -> &'static str {
+        match self {
+            TraceKind::Facebook => "facebook_trace_las_mq",
+            TraceKind::Scale => "scale_trace_las_mq",
+        }
+    }
+
+    fn default_jobs(self) -> usize {
+        match self {
+            TraceKind::Facebook => lasmq_workload::facebook::FACEBOOK_JOB_COUNT,
+            TraceKind::Scale => lasmq_workload::scale::SCALE_JOB_COUNT,
+        }
+    }
+}
+
 struct Args {
-    jobs: usize,
+    trace: TraceKind,
+    jobs: Option<usize>,
     seed: u64,
     full_rebuild: bool,
+    heap_queue: bool,
+    iters: usize,
+    report: Option<String>,
     emit: Option<String>,
     check: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        jobs: lasmq_workload::facebook::FACEBOOK_JOB_COUNT,
+        trace: TraceKind::Facebook,
+        jobs: None,
         seed: 0,
         full_rebuild: false,
+        heap_queue: false,
+        iters: DEFAULT_ITERATIONS,
+        report: None,
         emit: None,
         check: None,
     };
@@ -68,10 +109,19 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
+            "--trace" => {
+                args.trace = match value("--trace")?.as_str() {
+                    "facebook" => TraceKind::Facebook,
+                    "scale" => TraceKind::Scale,
+                    other => return Err(format!("--trace: unknown trace '{other}'")),
+                }
+            }
             "--jobs" => {
-                args.jobs = value("--jobs")?
-                    .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?
+                args.jobs = Some(
+                    value("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?,
+                )
             }
             "--seed" => {
                 args.seed = value("--seed")?
@@ -79,6 +129,16 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--full-rebuild" => args.full_rebuild = true,
+            "--heap-queue" => args.heap_queue = true,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+                if args.iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--report" => args.report = Some(value("--report")?),
             "--emit" => args.emit = Some(value("--emit")?),
             "--check" => args.check = Some(value("--check")?),
             "--help" | "-h" => {
@@ -95,6 +155,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 struct Measurement {
+    trace: TraceKind,
     jobs: usize,
     seed: u64,
     events: u64,
@@ -109,7 +170,7 @@ impl Measurement {
     fn to_json(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "{{");
-        let _ = writeln!(s, "  \"bench\": \"facebook_trace_las_mq\",");
+        let _ = writeln!(s, "  \"bench\": \"{}\",", self.trace.bench_name());
         let _ = writeln!(s, "  \"jobs\": {},", self.jobs);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(s, "  \"events\": {},", self.events);
@@ -120,14 +181,31 @@ impl Measurement {
     }
 }
 
-fn measure(jobs: usize, seed: u64, full_rebuild: bool) -> Measurement {
-    let trace = FacebookTrace::new().jobs(jobs).seed(seed).generate();
-    let setup = SimSetup::trace_sim().full_rebuild_passes(full_rebuild);
+fn measure(args: &Args, jobs: usize) -> (Measurement, lasmq_simulator::SimulationReport) {
+    let (trace, setup) = match args.trace {
+        TraceKind::Facebook => (
+            FacebookTrace::new().jobs(jobs).seed(args.seed).generate(),
+            SimSetup::trace_sim(),
+        ),
+        TraceKind::Scale => {
+            let gen = ScaleTrace::new().jobs(jobs).seed(args.seed);
+            let cluster = gen.cluster();
+            (
+                gen.generate(),
+                SimSetup::scale_sim(cluster.nodes(), cluster.containers_per_node()),
+            )
+        }
+    };
+    let setup = setup
+        .full_rebuild_passes(args.full_rebuild)
+        .heap_event_queue(args.heap_queue);
     let kind = SchedulerKind::las_mq_simulations();
 
+    let iters = args.iters;
     let mut best_secs = f64::INFINITY;
     let mut events = 0;
-    for i in 0..ITERATIONS {
+    let mut last_report = None;
+    for i in 0..iters {
         let trace = trace.clone();
         let start = Instant::now();
         let report = setup.run(trace, &kind);
@@ -136,18 +214,21 @@ fn measure(jobs: usize, seed: u64, full_rebuild: bool) -> Measurement {
         events = report.stats().events_processed;
         best_secs = best_secs.min(secs);
         eprintln!(
-            "  iter {}/{ITERATIONS}: {secs:.2}s, {:.0} events/s ({} passes)",
+            "  iter {}/{iters}: {secs:.2}s, {:.0} events/s ({} passes)",
             i + 1,
             events as f64 / secs,
             report.stats().scheduling_passes
         );
+        last_report = Some(report);
     }
-    Measurement {
+    let measurement = Measurement {
+        trace: args.trace,
         jobs,
-        seed,
+        seed: args.seed,
         events,
         best_secs,
-    }
+    };
+    (measurement, last_report.expect("iters >= 1"))
 }
 
 fn baseline_field(json: &str, key: &str) -> Option<f64> {
@@ -173,9 +254,11 @@ fn main() -> ExitCode {
         }
     };
 
+    let jobs = args.jobs.unwrap_or_else(|| args.trace.default_jobs());
     eprintln!(
-        "perf-smoke: {} Facebook-trace jobs under LAS_MQ (seed {}{})",
-        args.jobs,
+        "perf-smoke: {} {} jobs under LAS_MQ (seed {}{})",
+        jobs,
+        args.trace.bench_name(),
         args.seed,
         if args.full_rebuild {
             ", full-rebuild passes"
@@ -183,13 +266,29 @@ fn main() -> ExitCode {
             ""
         }
     );
-    let m = measure(args.jobs, args.seed, args.full_rebuild);
+    if args.heap_queue {
+        eprintln!("perf-smoke: legacy binary-heap event-queue backend");
+    }
+    let (m, report) = measure(&args, jobs);
     println!(
-        "facebook_trace_las_mq: {} events in {:.2}s = {:.0} events/s",
+        "{}: {} events in {:.2}s = {:.0} events/s",
+        args.trace.bench_name(),
         m.events,
         m.best_secs,
         m.events_per_sec()
     );
+
+    if let Some(path) = &args.report {
+        // Every run of the same workload is deterministic, so the final
+        // iteration's report is THE report; two invocations differing only
+        // in backend flags must produce byte-identical files.
+        let json = serde_json::to_string(&report).expect("report serialization cannot fail");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing report {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {path}");
+    }
 
     if let Some(path) = &args.emit {
         if let Err(e) = std::fs::write(path, m.to_json()) {
@@ -215,6 +314,20 @@ fn main() -> ExitCode {
             eprintln!("error: baseline {path} is missing jobs/events/events_per_sec");
             return ExitCode::FAILURE;
         };
+        if let Some(name) = json
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"bench\":"))
+        {
+            let name = name.trim().trim_end_matches(',').trim_matches('"');
+            if name != m.trace.bench_name() {
+                eprintln!(
+                    "error: baseline {path} records bench '{name}' but this run measured \
+                     '{}' (pass --trace)",
+                    m.trace.bench_name()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         if base_jobs as usize != m.jobs {
             eprintln!(
                 "error: baseline was recorded at {} jobs but this run used {} (pass --jobs)",

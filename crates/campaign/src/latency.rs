@@ -139,9 +139,23 @@ impl LatencyHistogram {
         if self.count == 0 {
             return None;
         }
-        let p = p.clamp(0.0, 100.0);
-        // Rank of the target sample, 1-based: ceil(p/100 * count), at least 1.
-        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let p = if p.is_nan() {
+            100.0
+        } else {
+            p.clamp(0.0, 100.0)
+        };
+        // Rank of the target sample, 1-based: ceil(p/100 * count), at least
+        // 1; float rounding near the top must not push it past count.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64)
+            .max(1)
+            .min(self.count);
+        if rank == self.count {
+            // Nearest-rank at the top rank is the largest sample, which is
+            // stored exactly; the bucket midpoint would under-report it by
+            // up to half a bucket. This also makes every percentile of a
+            // single-sample histogram exact.
+            return Some(Duration::from_nanos(self.max_ns));
+        }
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c as u64;
@@ -243,6 +257,58 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
         assert!(h.percentile(100.0).unwrap() <= Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn p100_is_the_exact_max_not_a_bucket_midpoint() {
+        let mut h = LatencyHistogram::new();
+        // 1_000_003 sits in the upper half of its bucket, so the midpoint
+        // under-reports it; p100 must still be exact.
+        for ns in [10u64, 500, 1_000_003] {
+            h.record_nanos(ns);
+        }
+        assert_eq!(
+            h.percentile(100.0).unwrap(),
+            Duration::from_nanos(1_000_003)
+        );
+        assert_eq!(
+            h.summary().max_us,
+            h.percentile(100.0).unwrap().as_secs_f64() * 1e6
+        );
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact_at_every_p() {
+        let mut h = LatencyHistogram::new();
+        h.record_nanos(777_777);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(
+                h.percentile(p).unwrap(),
+                Duration::from_nanos(777_777),
+                "p{p} of a single-sample histogram must be the sample itself"
+            );
+        }
+    }
+
+    #[test]
+    fn u64_max_saturation_round_trips_through_p100() {
+        let mut h = LatencyHistogram::new();
+        // Durations beyond u64::MAX nanos saturate on record; the top
+        // percentile must report the saturated value, not the (smaller)
+        // top-bucket midpoint.
+        h.record(Duration::from_secs(u64::MAX));
+        assert_eq!(h.percentile(100.0).unwrap(), Duration::from_nanos(u64::MAX));
+        assert_eq!(h.percentile(50.0).unwrap(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped_not_panicking() {
+        let mut h = LatencyHistogram::new();
+        h.record_nanos(5);
+        h.record_nanos(1_000);
+        assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(100.0));
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct SimSetup {
     /// caution, though both modes produce identical reports.
     #[serde(default)]
     full_rebuild_passes: bool,
+    /// Whether runs use the legacy binary-heap event-queue backend instead
+    /// of the calendar queue (kept for A/B byte-identity checks). Part of
+    /// the fingerprint out of caution, though both backends produce
+    /// identical reports.
+    #[serde(default)]
+    heap_event_queue: bool,
 }
 
 impl SimSetup {
@@ -50,6 +56,7 @@ impl SimSetup {
             record_telemetry: false,
             check_invariants: false,
             full_rebuild_passes: false,
+            heap_event_queue: false,
         }
     }
 
@@ -66,7 +73,17 @@ impl SimSetup {
             record_telemetry: false,
             check_invariants: false,
             full_rebuild_passes: false,
+            heap_event_queue: false,
         }
+    }
+
+    /// The million-job scaling environment: the trace-simulation rules on
+    /// a multi-node cluster (default 1,000 nodes × 8 containers, matching
+    /// `lasmq_workload::scale::ScaleTrace::new`). Node topology matters
+    /// here — placement is per node, so the engine's O(log n) allocator
+    /// is on the hot path.
+    pub fn scale_sim(nodes: u32, containers_per_node: u32) -> Self {
+        SimSetup::trace_sim().cluster(ClusterConfig::new(nodes, containers_per_node))
     }
 
     /// The uniform-batch environment: like [`trace_sim`](Self::trace_sim).
@@ -146,6 +163,14 @@ impl SimSetup {
         self
     }
 
+    /// Runs this setup on the legacy binary-heap event-queue backend (see
+    /// `lasmq_simulator::SimulationBuilder::heap_event_queue`) — the
+    /// reference mode for calendar-vs-heap A/B equality checks.
+    pub fn heap_event_queue(mut self, heap: bool) -> Self {
+        self.heap_event_queue = heap;
+        self
+    }
+
     /// The configured cluster.
     pub fn cluster_config(&self) -> ClusterConfig {
         self.cluster
@@ -186,6 +211,7 @@ impl SimSetup {
             .record_telemetry(self.record_telemetry)
             .check_invariants(self.check_invariants)
             .full_rebuild_passes(self.full_rebuild_passes)
+            .heap_event_queue(self.heap_event_queue)
             .jobs(jobs)
             .admission_opt(self.admission_limit)
             .build(kind.build())

@@ -8,7 +8,7 @@
 //! matter which experiment declared them.
 
 use lasmq_simulator::JobSpec;
-use lasmq_workload::{FacebookTrace, PumaWorkload, UniformWorkload};
+use lasmq_workload::{FacebookTrace, PumaWorkload, ScaleTrace, UniformWorkload};
 use serde::{Deserialize, Serialize};
 
 /// Which workload a cell runs, with every generator knob pinned.
@@ -35,6 +35,20 @@ pub enum WorkloadSpec {
         /// Offered load ρ; `None` = the generator's default.
         #[serde(default)]
         load: Option<f64>,
+    },
+    /// The million-job scaling workload: the Facebook trace shape on a
+    /// thousand-node cluster (see `lasmq_workload::scale`). Run it with
+    /// [`SimSetup::scale_sim`](crate::SimSetup::scale_sim) so the load
+    /// calculation and the simulated cluster agree.
+    Scale {
+        /// Number of jobs.
+        jobs: usize,
+        /// Cluster nodes the load is computed against.
+        nodes: u32,
+        /// Containers per node.
+        containers_per_node: u32,
+        /// Generator seed.
+        seed: u64,
     },
     /// The uniform batch of Fig. 7(b).
     Uniform {
@@ -82,6 +96,16 @@ impl WorkloadSpec {
                 }
                 workload.generate()
             }
+            WorkloadSpec::Scale {
+                jobs,
+                nodes,
+                containers_per_node,
+                seed,
+            } => ScaleTrace::new()
+                .jobs(*jobs)
+                .nodes(*nodes, *containers_per_node)
+                .seed(*seed)
+                .generate(),
             WorkloadSpec::Uniform {
                 jobs,
                 tasks_per_job,
@@ -100,6 +124,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Puma { jobs, .. } => format!("puma×{jobs}"),
             WorkloadSpec::Facebook { jobs, .. } => format!("facebook×{jobs}"),
+            WorkloadSpec::Scale { jobs, nodes, .. } => format!("scale×{jobs}@{nodes}n"),
             WorkloadSpec::Uniform { jobs, .. } => format!("uniform×{jobs}"),
             WorkloadSpec::Explicit { name, jobs } => format!("{name}×{}", jobs.len()),
         }
@@ -143,6 +168,15 @@ mod tests {
             .tasks_per_job(40)
             .seed(9)
             .generate();
+        assert_eq!(spec.generate(), direct);
+
+        let spec = WorkloadSpec::Scale {
+            jobs: 30,
+            nodes: 16,
+            containers_per_node: 4,
+            seed: 11,
+        };
+        let direct = ScaleTrace::new().jobs(30).nodes(16, 4).seed(11).generate();
         assert_eq!(spec.generate(), direct);
     }
 

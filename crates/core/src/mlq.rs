@@ -7,8 +7,6 @@
 //! service observed so far, so a temporarily shrinking estimate cannot
 //! bounce a job back up and destabilize the ordering.
 
-use std::collections::HashMap;
-
 use lasmq_simulator::{JobId, Service};
 
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +40,13 @@ struct Entry {
 #[derive(Debug, Clone, Default)]
 pub struct MultilevelQueue {
     queues: Vec<Vec<JobId>>,
-    index: HashMap<JobId, Entry>,
+    /// Per-job entries addressed by `JobId::index()`. Job ids are dense
+    /// per run, so a flat vector replaces the former `HashMap` — the entry
+    /// lookup is on the per-pass hot path (several per refreshed job, plus
+    /// one per element inside every queue sort).
+    index: Vec<Option<Entry>>,
+    /// Number of `Some` entries in `index` (= total queued jobs).
+    live: usize,
     next_seq: u64,
     /// Per-queue "order may be stale" flags: set by membership changes
     /// (insert, demotion, swap-removal) and by callers whose sort keys
@@ -64,10 +68,30 @@ impl MultilevelQueue {
         assert!(k >= 1, "at least one queue is required");
         MultilevelQueue {
             queues: vec![Vec::new(); k],
-            index: HashMap::new(),
+            index: Vec::new(),
+            live: 0,
             next_seq: 0,
             dirty: vec![true; k],
         }
+    }
+
+    fn entry(&self, job: JobId) -> Option<&Entry> {
+        self.index.get(job.index()).and_then(Option::as_ref)
+    }
+
+    fn entry_mut(&mut self, job: JobId) -> Option<&mut Entry> {
+        self.index.get_mut(job.index()).and_then(Option::as_mut)
+    }
+
+    /// Grows the entry table to cover `job`, then stores `entry` there.
+    fn index_insert(&mut self, job: JobId, entry: Entry) {
+        let idx = job.index();
+        if idx >= self.index.len() {
+            self.index.resize(idx + 1, None);
+        }
+        debug_assert!(self.index[idx].is_none(), "{job} inserted twice");
+        self.index[idx] = Some(entry);
+        self.live += 1;
     }
 
     /// Number of queues.
@@ -77,23 +101,23 @@ impl MultilevelQueue {
 
     /// Total jobs across all queues.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.live
     }
 
     /// Whether no job is enqueued.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.live == 0
     }
 
     /// Admits a new job to the highest-priority queue. Idempotent: a job
     /// already present keeps its position.
     pub fn insert(&mut self, job: JobId) {
-        if self.index.contains_key(&job) {
+        if self.entry(job).is_some() {
             return;
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.index.insert(
+        self.index_insert(
             job,
             Entry {
                 queue: 0,
@@ -112,7 +136,8 @@ impl MultilevelQueue {
     /// the queue may change; callers that care about order re-sort every
     /// queue before reading it (as LAS_MQ does each scheduling pass).
     pub fn remove(&mut self, job: JobId) {
-        if let Some(entry) = self.index.remove(&job) {
+        if let Some(entry) = self.index.get_mut(job.index()).and_then(Option::take) {
+            self.live -= 1;
             self.swap_out(entry.queue, entry.pos);
             self.dirty[entry.queue] = true;
         }
@@ -123,8 +148,7 @@ impl MultilevelQueue {
     fn swap_out(&mut self, queue: usize, pos: usize) {
         self.queues[queue].swap_remove(pos);
         if let Some(&moved) = self.queues[queue].get(pos) {
-            self.index
-                .get_mut(&moved)
+            self.entry_mut(moved)
                 .expect("queued job must be indexed")
                 .pos = pos;
         }
@@ -133,22 +157,21 @@ impl MultilevelQueue {
     /// Rewrites the recorded positions of every job in queue `i` (after a
     /// sort reordered the queue).
     fn reindex(&mut self, i: usize) {
-        for (pos, &job) in self.queues[i].iter().enumerate() {
-            self.index
-                .get_mut(&job)
-                .expect("queued job must be indexed")
-                .pos = pos;
+        let queue = std::mem::take(&mut self.queues[i]);
+        for (pos, &job) in queue.iter().enumerate() {
+            self.entry_mut(job).expect("queued job must be indexed").pos = pos;
         }
+        self.queues[i] = queue;
     }
 
     /// The queue index a job currently sits in.
     pub fn queue_of(&self, job: JobId) -> Option<usize> {
-        self.index.get(&job).map(|e| e.queue)
+        self.entry(job).map(|e| e.queue)
     }
 
     /// The arrival sequence number of a job (its FIFO rank).
     pub fn seq_of(&self, job: JobId) -> Option<u64> {
-        self.index.get(&job).map(|e| e.seq)
+        self.entry(job).map(|e| e.seq)
     }
 
     /// Jobs in queue `i`, in current order.
@@ -173,7 +196,7 @@ impl MultilevelQueue {
         thresholds: &[Service],
     ) -> Option<usize> {
         debug_assert_eq!(thresholds.len() + 1, self.queues.len());
-        let entry = self.index.get_mut(&job)?;
+        let entry = self.entry_mut(job)?;
         entry.max_effective = entry.max_effective.max(effective.as_container_secs());
         // Relative epsilon: service accrual and the stage-awareness
         // division both carry float rounding, and job sizes routinely sit
@@ -196,10 +219,7 @@ impl MultilevelQueue {
         self.swap_out(current, pos);
         let new_pos = self.queues[target].len();
         self.queues[target].push(job);
-        self.index
-            .get_mut(&job)
-            .expect("observed job is indexed")
-            .pos = new_pos;
+        self.entry_mut(job).expect("observed job is indexed").pos = new_pos;
         self.dirty[current] = true;
         self.dirty[target] = true;
         Some(target)
@@ -233,7 +253,7 @@ impl MultilevelQueue {
     pub fn sort_queue_with_seq<K: Ord>(&mut self, i: usize, mut key: impl FnMut(JobId, u64) -> K) {
         let index = &self.index;
         self.queues[i].sort_by_key(|&j| {
-            let seq = match index.get(&j) {
+            let seq = match index.get(j.index()).and_then(Option::as_ref) {
                 Some(e) => e.seq,
                 None => {
                     debug_assert!(false, "{j} is queued but missing from the index");
@@ -275,7 +295,7 @@ impl MultilevelQueue {
     /// The maximum effective service observed for a job so far (the
     /// monotonic demotion key). `None` for unknown jobs.
     pub fn max_effective_of(&self, job: JobId) -> Option<f64> {
-        self.index.get(&job).map(|e| e.max_effective)
+        self.entry(job).map(|e| e.max_effective)
     }
 
     /// The next arrival sequence number to be issued. Together with
@@ -308,10 +328,10 @@ impl MultilevelQueue {
                 self.queues.len()
             ));
         }
-        if self.index.contains_key(&job) {
+        if self.entry(job).is_some() {
             return Err(format!("{job} restored twice"));
         }
-        self.index.insert(
+        self.index_insert(
             job,
             Entry {
                 queue,
@@ -333,7 +353,7 @@ impl MultilevelQueue {
     /// Returns a message if `next_seq` is not beyond every restored job's
     /// seq (later inserts would collide with restored FIFO ranks).
     pub fn set_next_seq(&mut self, next_seq: u64) -> Result<(), String> {
-        if let Some(max_seq) = self.index.values().map(|e| e.seq).max() {
+        if let Some(max_seq) = self.index.iter().flatten().map(|e| e.seq).max() {
             if next_seq <= max_seq {
                 return Err(format!(
                     "next_seq {next_seq} collides with an issued seq {max_seq}"
@@ -357,15 +377,21 @@ impl MultilevelQueue {
     /// [`Scheduler::check_consistency`](lasmq_simulator::Scheduler::check_consistency).
     pub fn check_consistent(&self) -> Result<(), String> {
         let queued: usize = self.queues.iter().map(Vec::len).sum();
-        if queued != self.index.len() {
+        let indexed = self.index.iter().flatten().count();
+        if indexed != self.live {
             return Err(format!(
-                "{queued} queued job slot(s) but {} index entries",
-                self.index.len()
+                "{indexed} live index entries but a recorded count of {}",
+                self.live
+            ));
+        }
+        if queued != indexed {
+            return Err(format!(
+                "{queued} queued job slot(s) but {indexed} index entries"
             ));
         }
         for (qi, queue) in self.queues.iter().enumerate() {
             for (pos, &job) in queue.iter().enumerate() {
-                let Some(entry) = self.index.get(&job) else {
+                let Some(entry) = self.entry(job) else {
                     return Err(format!("{job} is queued but missing from the index"));
                 };
                 if entry.queue != qi {

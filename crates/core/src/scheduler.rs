@@ -155,6 +155,12 @@ pub struct LasMq {
     req_buf: Vec<ShareRequest>,
     allot_buf: Vec<u32>,
     share_scratch: ShareScratch,
+    /// The `(capacity, demands)` inputs that produced the current
+    /// `allot_buf`. Allotments are a pure function of those inputs (weights
+    /// and sharing mode are fixed at construction), and the per-queue
+    /// demands saturate at capacity, so busy periods repeat them pass after
+    /// pass — a hit skips the whole weighted-share computation.
+    allot_memo: Option<(u32, Vec<u32>)>,
 }
 
 impl LasMq {
@@ -178,6 +184,7 @@ impl LasMq {
             req_buf: Vec::new(),
             allot_buf: Vec::new(),
             share_scratch: ShareScratch::default(),
+            allot_memo: None,
         }
     }
 
@@ -389,7 +396,17 @@ impl Scheduler for LasMq {
                 .iter()
                 .map(|&sum| sum.min(u64::from(capacity)) as u32),
         );
-        self.queue_allotments(capacity);
+        let memo_hit = matches!(
+            &self.allot_memo,
+            Some((cap, demands)) if *cap == capacity && *demands == self.demands_buf
+        );
+        if !memo_hit {
+            self.queue_allotments(capacity);
+            let (cap, demands) = self.allot_memo.get_or_insert_with(|| (0, Vec::new()));
+            *cap = capacity;
+            demands.clear();
+            demands.extend_from_slice(&self.demands_buf);
+        }
 
         // Algorithm 2: walk queues in priority order, granting
         // min(rᵢ, job demand) to each job in queue order.

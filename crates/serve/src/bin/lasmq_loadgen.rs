@@ -148,7 +148,20 @@ struct AckTally {
     accepted: u64,
     deferred: u64,
     errors: u64,
+    /// Latency of accepted admissions only. Backpressure refusals are
+    /// answered on the daemon's fast path, so folding them in would make
+    /// ack latency look *better* exactly when the daemon is shedding load.
     hist: LatencyHistogram,
+    /// Latency of deferred (backpressure) refusals, kept separate.
+    deferred_hist: LatencyHistogram,
+}
+
+/// Locks the send-instant FIFO, tolerating poisoning: a panic on the
+/// peer thread leaves the queue itself consistent (push/pop are atomic
+/// under the lock), and abandoning the tally over it would turn one
+/// thread's failure into a lost measurement.
+fn lock_fifo(m: &Mutex<VecDeque<Instant>>) -> std::sync::MutexGuard<'_, VecDeque<Instant>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn run(args: &Args) -> Result<ExitCode, String> {
@@ -200,16 +213,24 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                 Ok(0) | Err(_) => break,
                 Ok(_) => {}
             }
-            let sent = reader_sent_at.lock().unwrap().pop_front();
-            if let Some(sent) = sent {
-                tally.hist.record(sent.elapsed());
-            }
+            // Pop unconditionally: every response consumes exactly one
+            // pending send whatever its outcome, or later acks would pair
+            // with the wrong submission's send instant.
+            let sent = lock_fifo(&reader_sent_at).pop_front();
             // Substring classification keeps the hot loop JSON-free.
             if line.contains("\"ok\":true") {
                 tally.accepted += 1;
+                if let Some(sent) = sent {
+                    tally.hist.record(sent.elapsed());
+                }
             } else if line.contains("\"deferred\":true") {
                 tally.deferred += 1;
+                if let Some(sent) = sent {
+                    tally.deferred_hist.record(sent.elapsed());
+                }
             } else {
+                // Error responses (invalid job, unknown op) get counted but
+                // not timed: their latency measures nothing useful.
                 tally.errors += 1;
             }
         }
@@ -228,7 +249,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         if due > now {
             thread::sleep(due - now);
         }
-        sent_at.lock().unwrap().push_back(Instant::now());
+        lock_fifo(&sent_at).push_back(Instant::now());
         stream
             .write_all(line.as_bytes())
             .map_err(|e| format!("send: {e}"))?;
@@ -256,9 +277,17 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         tally.errors
     );
     println!(
-        "client ack latency: p50 {:.0}µs  p99 {:.0}µs  p999 {:.0}µs  max {:.0}µs",
+        "client ack latency (accepted): p50 {:.0}µs  p99 {:.0}µs  p999 {:.0}µs  max {:.0}µs",
         ack.p50_us, ack.p99_us, ack.p999_us, ack.max_us
     );
+    if tally.deferred > 0 {
+        let d = tally.deferred_hist.summary();
+        println!(
+            "deferred refusal latency: p50 {:.0}µs  p99 {:.0}µs  max {:.0}µs \
+             (excluded from ack percentiles)",
+            d.p50_us, d.p99_us, d.max_us
+        );
+    }
 
     // The daemon's own view: decision-latency percentiles and counters.
     let mut sync_reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
@@ -381,6 +410,7 @@ fn bench_json(
     let _ = writeln!(s, "  \"submissions_per_sec\": {sustained:.0},");
     let _ = writeln!(s, "  \"accepted\": {},", tally.accepted);
     let _ = writeln!(s, "  \"deferred\": {},", tally.deferred);
+    let _ = writeln!(s, "  \"errors\": {},", tally.errors);
     let _ = writeln!(s, "  \"ack_p50_us\": {:.1},", ack.p50_us);
     let _ = writeln!(s, "  \"ack_p99_us\": {:.1},", ack.p99_us);
     let _ = writeln!(s, "  \"ack_p999_us\": {:.1},", ack.p999_us);

@@ -73,12 +73,15 @@ impl fmt::Display for SnapshotLoadError {
 
 impl std::error::Error for SnapshotLoadError {}
 
-/// Writes `snapshot` to `path` atomically: serialize to a unique temp
-/// file in the same directory, flush, then rename into place.
+/// Writes `snapshot` to `path` atomically and durably: serialize to a
+/// unique temp file in the same directory, fsync the file, rename into
+/// place, then fsync the parent directory so the rename itself survives
+/// power loss — without the last step a crash after `rename` returns can
+/// still resurface the old snapshot (or nothing) on reboot.
 ///
 /// # Errors
 ///
-/// Any I/O failure creating, writing or renaming the temp file.
+/// Any I/O failure creating, writing, syncing or renaming the temp file.
 pub fn save_snapshot(snapshot: &ServeSnapshot, path: &Path) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
@@ -102,7 +105,23 @@ pub fn save_snapshot(snapshot: &ServeSnapshot, path: &Path) -> std::io::Result<(
     drop(file);
     fs::rename(&tmp, path).inspect_err(|_| {
         let _ = fs::remove_file(&tmp);
-    })
+    })?;
+    sync_parent_dir(path)
+}
+
+/// Fsyncs the directory containing `path`, committing a just-renamed
+/// entry to disk. On platforms where a directory cannot be opened as a
+/// file the sync is skipped — the rename stays atomic, merely not
+/// power-loss durable, which matches the pre-fsync behaviour.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let dir = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| Path::new("."));
+    match fs::File::open(dir) {
+        Ok(handle) => handle.sync_all(),
+        Err(_) => Ok(()),
+    }
 }
 
 /// Loads a snapshot written by [`save_snapshot`].
@@ -220,6 +239,70 @@ mod tests {
                 other => panic!("{name}: expected Invalid, got {other:?}"),
             }
         }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_writer_litter_does_not_break_the_next_save() {
+        // A writer that died between create and rename leaves a temp file
+        // behind. The next save must land atomically anyway: its own temp
+        // name is reclaimed (same pid), foreign-pid litter is ignored, and
+        // the loader only ever sees the renamed snapshot.
+        let dir = std::env::temp_dir().join(format!("lasmq-serve-litter-{}", process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let own_tmp = dir.join(format!(".state.json.{}.tmp", process::id()));
+        let foreign_tmp = dir.join(".state.json.99999999.tmp");
+        fs::write(&own_tmp, "half-written garbage from a previous life").unwrap();
+        fs::write(&foreign_tmp, "someone else's half-written garbage").unwrap();
+
+        let snap = sample();
+        save_snapshot(&snap, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.sim.to_json(), snap.sim.to_json());
+        // Our own stale temp was consumed by the rename; the foreign one
+        // is untouched (it may belong to a live writer).
+        assert!(
+            !own_tmp.exists(),
+            "own temp file should have been renamed away"
+        );
+        assert!(
+            foreign_tmp.exists(),
+            "foreign temp file must not be deleted"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn directory_at_snapshot_path_is_unreadable_not_a_panic() {
+        // A directory squatting on the snapshot path is I/O damage, not a
+        // fresh start: it must surface as Unreadable so the operator sees
+        // it, and must not be confused with Missing (silent fresh start).
+        let dir = std::env::temp_dir().join(format!("lasmq-serve-squat-{}", process::id()));
+        let path = dir.join("state.json");
+        fs::create_dir_all(&path).unwrap();
+        match load_snapshot(&path) {
+            Err(SnapshotLoadError::Unreadable(_)) => {}
+            other => panic!("expected Unreadable, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_over_existing_snapshot_replaces_it_durably() {
+        // Two saves in a row: the second fully replaces the first (no
+        // append, no partial overwrite) and the parent-directory fsync
+        // path executes without error on a plain filesystem.
+        let dir = std::env::temp_dir().join(format!("lasmq-serve-resave-{}", process::id()));
+        let path = dir.join("state.json");
+        let mut snap = sample();
+        save_snapshot(&snap, &path).unwrap();
+        snap.accepted = 42;
+        snap.deferred = 7;
+        save_snapshot(&snap, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.accepted, 42);
+        assert_eq!(back.deferred, 7);
         fs::remove_dir_all(&dir).ok();
     }
 }

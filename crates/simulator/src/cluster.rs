@@ -170,22 +170,45 @@ impl Default for ClusterConfig {
 ///
 /// Tracks how many containers are free on each node and places new
 /// allocations on the least-loaded node (ties broken by node index, so
-/// placement is deterministic).
+/// placement is deterministic). Placement queries run on a max segment
+/// tree over the per-node free counts, so `allocate` costs O(log nodes)
+/// instead of a full scan — the difference between the paper's 4-node
+/// testbed and the thousand-node scale configurations.
 #[derive(Debug, Clone)]
 pub struct ClusterState {
     config: ClusterConfig,
     free_per_node: Vec<u32>,
     free_total: u32,
+    /// Max segment tree over `free_per_node`, padded to a power of two;
+    /// `tree[1]` is the root, leaves start at `leaves`. Padding leaves
+    /// hold 0 free containers and are never selected (a 0-free node can
+    /// host nothing).
+    tree: Vec<u32>,
+    leaves: usize,
 }
 
 impl ClusterState {
     /// Creates an all-free cluster from its configuration.
     pub fn new(config: ClusterConfig) -> Self {
         let free_per_node = vec![config.containers_per_node(); config.nodes() as usize];
+        let (tree, leaves) = build_max_tree(&free_per_node);
         ClusterState {
             config,
             free_total: config.total_containers(),
             free_per_node,
+            tree,
+            leaves,
+        }
+    }
+
+    /// Writes `free` to node `idx`'s leaf and refreshes the path to the
+    /// root.
+    fn tree_set(&mut self, idx: usize, free: u32) {
+        let mut i = self.leaves + idx;
+        self.tree[i] = free;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = self.tree[2 * i].max(self.tree[2 * i + 1]);
         }
     }
 
@@ -225,24 +248,27 @@ impl ClusterState {
     /// Returns the chosen node, or `None` if no single node has enough free
     /// containers.
     pub fn allocate(&mut self, containers: u32) -> Option<NodeId> {
-        if containers == 0 || containers > self.free_total {
+        // The least-loaded node is the one with the global maximum free
+        // count; it can host the request iff that maximum suffices. The
+        // scan order of the legacy linear search (first node attaining
+        // the maximum wins) is preserved by descending left-first on
+        // ties.
+        if containers == 0 || containers > self.tree[1] {
             return None;
         }
-        let mut best: Option<(usize, u32)> = None;
-        for (idx, &free) in self.free_per_node.iter().enumerate() {
-            if free >= containers {
-                let better = match best {
-                    None => true,
-                    Some((_, best_free)) => free > best_free,
-                };
-                if better {
-                    best = Some((idx, free));
-                }
-            }
+        let mut i = 1;
+        while i < self.leaves {
+            i = if self.tree[2 * i] >= self.tree[2 * i + 1] {
+                2 * i
+            } else {
+                2 * i + 1
+            };
         }
-        let (idx, _) = best?;
-        self.free_per_node[idx] -= containers;
+        let idx = i - self.leaves;
+        let free = self.free_per_node[idx] - containers;
+        self.free_per_node[idx] = free;
         self.free_total -= containers;
+        self.tree_set(idx, free);
         Some(NodeId::new(idx as u32))
     }
 
@@ -270,10 +296,13 @@ impl ClusterState {
             "snapshot free count exceeds node capacity"
         );
         let free_total = free_per_node.iter().sum();
+        let (tree, leaves) = build_max_tree(&free_per_node);
         ClusterState {
             config,
             free_per_node,
             free_total,
+            tree,
+            leaves,
         }
     }
 
@@ -284,14 +313,27 @@ impl ClusterState {
     /// Panics if the release would exceed the node's capacity (a
     /// double-release bug).
     pub fn release(&mut self, node: NodeId, containers: u32) {
-        let free = &mut self.free_per_node[node.index()];
+        let free = self.free_per_node[node.index()] + containers;
         assert!(
-            *free + containers <= self.config.containers_per_node(),
+            free <= self.config.containers_per_node(),
             "released more containers than {node} hosts"
         );
-        *free += containers;
+        self.free_per_node[node.index()] = free;
         self.free_total += containers;
+        self.tree_set(node.index(), free);
     }
+}
+
+/// Builds the max segment tree for `free_per_node`; returns the tree and
+/// its leaf offset.
+fn build_max_tree(free_per_node: &[u32]) -> (Vec<u32>, usize) {
+    let leaves = free_per_node.len().next_power_of_two();
+    let mut tree = vec![0u32; 2 * leaves];
+    tree[leaves..leaves + free_per_node.len()].copy_from_slice(free_per_node);
+    for i in (1..leaves).rev() {
+        tree[i] = tree[2 * i].max(tree[2 * i + 1]);
+    }
+    (tree, leaves)
 }
 
 #[cfg(test)]
@@ -379,5 +421,43 @@ mod tests {
         let mut state = ClusterState::new(ClusterConfig::new(1, 2));
         assert_eq!(state.allocate(0), None);
         assert_eq!(state.allocate(3), None);
+    }
+
+    /// Reference placement: the pre-segment-tree linear scan. The tree
+    /// must reproduce it decision for decision, including index
+    /// tie-breaks, on any (non-power-of-two) node count.
+    fn linear_scan(free: &[u32], containers: u32) -> Option<usize> {
+        let mut best: Option<(usize, u32)> = None;
+        for (idx, &f) in free.iter().enumerate() {
+            if f >= containers && best.is_none_or(|(_, b)| f > b) {
+                best = Some((idx, f));
+            }
+        }
+        best.map(|(idx, _)| idx)
+    }
+
+    #[test]
+    fn tree_placement_matches_linear_scan() {
+        let mut state = ClusterState::new(ClusterConfig::new(13, 7));
+        let mut held: Vec<(NodeId, u32)> = Vec::new();
+        // Deterministic churn: widths cycle 1..=5, every third step
+        // releases the oldest holding first.
+        for step in 0u32..400 {
+            if step % 3 == 2 && !held.is_empty() {
+                let (node, width) = held.remove(0);
+                state.release(node, width);
+            }
+            let width = 1 + step % 5;
+            let expect = linear_scan(state.free_per_node(), width);
+            let got = state.allocate(width);
+            assert_eq!(
+                got.map(|n| n.index()),
+                expect,
+                "step {step}: tree and linear scan disagree"
+            );
+            if let Some(node) = got {
+                held.push((node, width));
+            }
+        }
     }
 }

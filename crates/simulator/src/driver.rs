@@ -383,4 +383,87 @@ mod tests {
         assert!(clock.now_sim() >= SimTime::from_secs(500));
         assert_eq!(clock.compression(), 1000.0);
     }
+
+    #[test]
+    fn kill_resume_cycles_replay_byte_identically_under_wall_pacing() {
+        // The daemon's crash-restart path: run a few batches under wall
+        // pacing, snapshot ("kill"), restore into a fresh engine, and
+        // re-anchor a fresh clock at the snapshot's sim time. Repeating
+        // the cycle must neither drop nor double-process any batch — the
+        // final report stays byte-identical to an uninterrupted run.
+        let baseline = sim().run();
+        let compression = 1e9;
+        let mut live = sim();
+        let mut driver = Driver::new(CompressedWallClock::new(compression));
+        let mut cycles = 0u32;
+        'replay: loop {
+            for _ in 0..3 {
+                match driver.step(&mut live) {
+                    DriverStep::Worked { .. } => {}
+                    DriverStep::Wait(d) => std::thread::sleep(d),
+                    DriverStep::Drained => break 'replay,
+                }
+            }
+            let paused_at = live.now();
+            let snap = live.snapshot();
+            live = Simulation::restore(snap, Greedy).unwrap();
+            assert_eq!(live.now(), paused_at, "restore moved the sim clock");
+            driver = Driver::new(CompressedWallClock::resumed_at(live.now(), compression));
+            cycles += 1;
+        }
+        assert!(
+            cycles >= 2,
+            "workload drained in {cycles} cycles; too few to exercise resume"
+        );
+        assert_eq!(
+            serde_json::to_string(&baseline).unwrap(),
+            serde_json::to_string(&live.into_report()).unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_reanchors_without_replaying_downtime() {
+        // Wall time that passes while the daemon is down must not be
+        // converted into simulated time on resume: the resumed clock
+        // starts at the snapshot's reading, not at "where the old clock
+        // would be by now".
+        let compression = 1000.0;
+        let clock = CompressedWallClock::new(compression);
+        std::thread::sleep(Duration::from_millis(5));
+        let killed_at = clock.now_sim();
+        // 100ms of downtime is 100 sim-seconds at 1000x — an unmissable
+        // jump if the resume path replayed it.
+        std::thread::sleep(Duration::from_millis(100));
+        let resumed = CompressedWallClock::resumed_at(killed_at, compression);
+        let now = resumed.now_sim();
+        assert!(now >= killed_at, "resumed clock went backwards");
+        let jump_ms = now.as_millis() - killed_at.as_millis();
+        assert!(
+            jump_ms < 50_000,
+            "resume replayed downtime: jumped {jump_ms} sim-ms past the kill point"
+        );
+    }
+
+    #[test]
+    fn repeated_resume_cycles_accumulate_no_drift() {
+        // Chained kill→resume at high compression: each cycle re-anchors
+        // at the predecessor's reading. Any per-cycle gain would compound;
+        // the total advance must stay bounded by the wall time actually
+        // spent (× compression).
+        let compression = 10_000.0;
+        let start = Instant::now();
+        let mut clock = CompressedWallClock::new(compression);
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(1));
+            let reading = clock.now_sim();
+            clock = CompressedWallClock::resumed_at(reading, compression);
+            assert!(clock.now_sim() >= reading, "resume went backwards");
+        }
+        let advanced_ms = clock.now_sim().as_millis();
+        let wall_budget_ms = (start.elapsed().as_secs_f64() * compression * 1000.0) as u64;
+        assert!(
+            advanced_ms <= wall_budget_ms + 1,
+            "clock advanced {advanced_ms} sim-ms over a wall budget of {wall_budget_ms}"
+        );
+    }
 }

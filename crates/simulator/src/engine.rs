@@ -229,6 +229,17 @@ impl StageRt {
         }
     }
 
+    /// Re-points this slot at `stage` in place, keeping the allocated
+    /// capacity of the task buffers (a stage advance never re-allocates).
+    fn reset_for(&mut self, stage: &StageSpec, becomes_current_at: SimTime) {
+        debug_assert!(self.running.is_empty() && self.requeued.is_empty());
+        self.total = stage.task_count();
+        self.next_unstarted = 0;
+        self.completed = 0;
+        self.completed_durations.clear();
+        self.ready_at = becomes_current_at + stage.start_delay();
+    }
+
     fn unstarted(&self) -> u32 {
         (self.total as usize - self.next_unstarted + self.requeued.len()) as u32
     }
@@ -246,8 +257,29 @@ impl StageRt {
     fn remaining(&self) -> u32 {
         self.total - self.completed
     }
+
+    /// Fraction of this stage completed, counting running tasks by the
+    /// elapsed fraction of their expected duration.
+    fn progress(&self, now: SimTime) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let mut units = self.completed as f64;
+        for r in &self.running {
+            let span = r.finish.saturating_since(r.started).as_secs_f64();
+            if span > 0.0 {
+                let elapsed = now.saturating_since(r.started).as_secs_f64();
+                units += (elapsed / span).min(1.0);
+            }
+        }
+        (units / self.total as f64).min(1.0)
+    }
 }
 
+/// Serialized per-job state. At runtime the engine keeps this data in
+/// [`JobStore`]'s parallel arrays; this struct survives purely as the
+/// snapshot interchange form, so the JSON layout (field names and order)
+/// of existing snapshots is preserved byte-for-byte.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub(crate) struct Job {
     spec: JobSpec,
@@ -266,22 +298,38 @@ pub(crate) struct Job {
     finished_at: Option<SimTime>,
 }
 
-impl Job {
-    fn new(spec: JobSpec) -> Self {
-        // The first stage's delay is re-anchored at admission time.
-        let stage = StageRt::new(&spec.stages()[0], SimTime::ZERO);
-        Job {
-            spec,
+/// The hot, fixed-size slice of a job's runtime state: everything the
+/// per-event paths touch, separated from the cold [`JobSpec`] and the
+/// task-level [`StageRt`] so a scheduling pass walks tightly packed
+/// plain-old-data.
+#[derive(Debug, Clone, Copy)]
+struct JobCore {
+    stage_index: usize,
+    held: u32,
+    target: u32,
+    attempt_counter: u32,
+    plan_epoch: u64,
+    attained: Service,
+    attained_stage: Service,
+    completed_service: Service,
+    last_accrual: SimTime,
+    admitted_at: Option<SimTime>,
+    first_alloc: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl JobCore {
+    fn new() -> Self {
+        JobCore {
             stage_index: 0,
-            stage,
             held: 0,
             target: 0,
+            attempt_counter: 0,
             plan_epoch: 0,
             attained: Service::ZERO,
             attained_stage: Service::ZERO,
             completed_service: Service::ZERO,
             last_accrual: SimTime::ZERO,
-            attempt_counter: 0,
             admitted_at: None,
             first_alloc: None,
             finished_at: None,
@@ -300,10 +348,6 @@ impl Job {
         self.admitted() && !self.finished()
     }
 
-    fn current_stage(&self) -> &StageSpec {
-        &self.spec.stages()[self.stage_index]
-    }
-
     fn accrue(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_accrual);
         if !dt.is_zero() && self.held > 0 {
@@ -313,20 +357,149 @@ impl Job {
         }
         self.last_accrual = now;
     }
+}
 
-    fn stage_progress(&self, now: SimTime) -> f64 {
-        if self.stage.total == 0 {
-            return 1.0;
+/// Struct-of-arrays job storage, indexed by `JobId::index()`: the
+/// immutable specs, the hot scalar state ([`JobCore`]) and the
+/// current-stage task state ([`StageRt`]) live in three parallel arrays,
+/// so each engine path touches only the array it needs.
+#[derive(Debug)]
+pub(crate) struct JobStore {
+    specs: Vec<JobSpec>,
+    core: Vec<JobCore>,
+    stage: Vec<StageRt>,
+}
+
+impl JobStore {
+    fn from_specs(specs: Vec<JobSpec>) -> Self {
+        let mut store = JobStore {
+            specs: Vec::with_capacity(specs.len()),
+            core: Vec::with_capacity(specs.len()),
+            stage: Vec::with_capacity(specs.len()),
+        };
+        for spec in specs {
+            store.push_spec(spec);
         }
-        let mut units = self.stage.completed as f64;
-        for r in &self.stage.running {
-            let span = r.finish.saturating_since(r.started).as_secs_f64();
-            if span > 0.0 {
-                let elapsed = now.saturating_since(r.started).as_secs_f64();
-                units += (elapsed / span).min(1.0);
-            }
+        store
+    }
+
+    fn push_spec(&mut self, spec: JobSpec) {
+        // The first stage's delay is re-anchored at admission time.
+        self.stage
+            .push(StageRt::new(&spec.stages()[0], SimTime::ZERO));
+        self.core.push(JobCore::new());
+        self.specs.push(spec);
+    }
+
+    fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Simultaneous disjoint borrows of one job's three slices.
+    fn split_mut(&mut self, i: usize) -> (&JobSpec, &mut JobCore, &mut StageRt) {
+        (&self.specs[i], &mut self.core[i], &mut self.stage[i])
+    }
+
+    fn current_stage(&self, i: usize) -> &StageSpec {
+        &self.specs[i].stages()[self.core[i].stage_index]
+    }
+
+    /// Materializes the snapshot interchange form.
+    fn to_jobs(&self) -> Vec<Job> {
+        (0..self.len())
+            .map(|i| {
+                let c = self.core[i];
+                Job {
+                    spec: self.specs[i].clone(),
+                    stage_index: c.stage_index,
+                    stage: self.stage[i].clone(),
+                    held: c.held,
+                    target: c.target,
+                    plan_epoch: c.plan_epoch,
+                    attained: c.attained,
+                    attained_stage: c.attained_stage,
+                    completed_service: c.completed_service,
+                    last_accrual: c.last_accrual,
+                    attempt_counter: c.attempt_counter,
+                    admitted_at: c.admitted_at,
+                    first_alloc: c.first_alloc,
+                    finished_at: c.finished_at,
+                }
+            })
+            .collect()
+    }
+
+    fn from_jobs(jobs: Vec<Job>) -> Self {
+        let mut store = JobStore {
+            specs: Vec::with_capacity(jobs.len()),
+            core: Vec::with_capacity(jobs.len()),
+            stage: Vec::with_capacity(jobs.len()),
+        };
+        for job in jobs {
+            store.core.push(JobCore {
+                stage_index: job.stage_index,
+                held: job.held,
+                target: job.target,
+                attempt_counter: job.attempt_counter,
+                plan_epoch: job.plan_epoch,
+                attained: job.attained,
+                attained_stage: job.attained_stage,
+                completed_service: job.completed_service,
+                last_accrual: job.last_accrual,
+                admitted_at: job.admitted_at,
+                first_alloc: job.first_alloc,
+                finished_at: job.finished_at,
+            });
+            store.stage.push(job.stage);
+            store.specs.push(job.spec);
         }
-        (units / self.stage.total as f64).min(1.0)
+        store
+    }
+}
+
+/// Stage buffers retired beyond this many finished jobs go back to the
+/// allocator instead of the reuse pool.
+const STAGE_BUF_POOL_CAP: usize = 256;
+
+/// Recycled buffers for the engine's steady state, so passes and stage
+/// advances stop allocating once warmed up.
+#[derive(Debug, Default)]
+struct JobScratch {
+    /// Selection buffer for `median_duration`.
+    median: Vec<SimDuration>,
+    /// Speculative-copy candidate positions for the job being examined.
+    candidates: Vec<usize>,
+    /// Stage buffers harvested from finished jobs, regrafted into newly
+    /// admitted ones.
+    stage_bufs: Vec<(Vec<RunningTask>, Vec<usize>, Vec<SimDuration>)>,
+}
+
+impl JobScratch {
+    /// Retires a finished job's stage buffers into the pool. The job is
+    /// done — nothing reads these again — so emptying them only trims
+    /// the serialized form of dead state.
+    fn harvest(&mut self, st: &mut StageRt) {
+        if self.stage_bufs.len() >= STAGE_BUF_POOL_CAP {
+            return;
+        }
+        let running = std::mem::take(&mut st.running);
+        let requeued = std::mem::take(&mut st.requeued);
+        let mut durations = std::mem::take(&mut st.completed_durations);
+        if running.capacity() + requeued.capacity() + durations.capacity() == 0 {
+            return;
+        }
+        debug_assert!(running.is_empty() && requeued.is_empty());
+        durations.clear();
+        self.stage_bufs.push((running, requeued, durations));
+    }
+
+    /// Grafts pooled buffers into a job about to be admitted.
+    fn graft(&mut self, st: &mut StageRt) {
+        if let Some((running, requeued, durations)) = self.stage_bufs.pop() {
+            st.running = running;
+            st.requeued = requeued;
+            st.completed_durations = durations;
+        }
     }
 }
 
@@ -348,6 +521,7 @@ pub struct SimulationBuilder {
     record_telemetry: bool,
     check_invariants: bool,
     full_rebuild_passes: bool,
+    heap_event_queue: bool,
     deadline: Option<SimTime>,
     jobs: Vec<JobSpec>,
 }
@@ -366,6 +540,7 @@ impl Default for SimulationBuilder {
             record_telemetry: false,
             check_invariants: false,
             full_rebuild_passes: false,
+            heap_event_queue: false,
             deadline: None,
             jobs: Vec::new(),
         }
@@ -461,6 +636,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Runs the event queue on the legacy binary-heap backend instead of
+    /// the calendar queue. Both backends deliver events in the identical
+    /// (time, seq) order, so results are byte-identical either way; this
+    /// switch exists for the A/B identity gate in CI and for bisecting a
+    /// suspected queue bug. Off by default.
+    pub fn heap_event_queue(mut self, heap: bool) -> Self {
+        self.heap_event_queue = heap;
+        self
+    }
+
     /// Hard stop: events after `deadline` are not processed and unfinished
     /// jobs are reported with `finish = None`.
     pub fn deadline(mut self, deadline: SimTime) -> Self {
@@ -513,7 +698,11 @@ impl SimulationBuilder {
         // Stable sort by arrival: JobIds are dense in arrival order.
         let mut specs = self.jobs;
         specs.sort_by_key(JobSpec::arrival);
-        let mut events = EventQueue::new();
+        let mut events = if self.heap_event_queue {
+            EventQueue::new_heap()
+        } else {
+            EventQueue::new()
+        };
         for (i, spec) in specs.iter().enumerate() {
             events.push(
                 spec.arrival(),
@@ -522,7 +711,7 @@ impl SimulationBuilder {
                 },
             );
         }
-        let jobs: Vec<Job> = specs.into_iter().map(Job::new).collect();
+        let jobs = JobStore::from_specs(specs);
         let admission = match self.admission_limit {
             Some(cap) => AdmissionController::with_limit(cap),
             None => AdmissionController::unlimited(),
@@ -565,6 +754,7 @@ impl SimulationBuilder {
             views_need_compact: false,
             plan_buf: AllocationPlan::new(),
             event_scratch: Vec::new(),
+            scratch: JobScratch::default(),
             full_rebuild: self.full_rebuild_passes,
             plan_order: Vec::new(),
             refill_cursor: 0,
@@ -628,7 +818,7 @@ pub struct Simulation<S: Scheduler> {
     journal: Option<Journal>,
     telemetry: Option<Telemetry>,
     invariants: Option<InvariantReport>,
-    jobs: Vec<Job>,
+    jobs: JobStore,
     events: EventQueue,
     admitted: Vec<JobId>,
     finished_in_admitted: usize,
@@ -654,6 +844,8 @@ pub struct Simulation<S: Scheduler> {
     plan_buf: AllocationPlan,
     /// Recycled buffer for the sampled snapshot-fidelity check.
     event_scratch: Vec<EventEntry>,
+    /// Reusable per-pass buffers and the retired-stage-buffer pool.
+    scratch: JobScratch,
     /// Compatibility switch: rebuild all views each pass, no change hints.
     full_rebuild: bool,
     plan_order: Vec<JobId>,
@@ -800,7 +992,7 @@ impl<S: Scheduler> Simulation<S> {
         // Container conservation, cluster-wide: every used container is
         // held by exactly one job, and holdings never exceed capacity.
         let used = self.cluster.used_containers() as u64;
-        let held_sum: u64 = self.jobs.iter().map(|j| j.held as u64).sum();
+        let held_sum: u64 = self.jobs.core.iter().map(|c| c.held as u64).sum();
         if used != held_sum {
             report.record(
                 InvariantKind::ContainerConservation,
@@ -813,8 +1005,8 @@ impl<S: Scheduler> Simulation<S> {
         // the running attempts and compare with the cluster's free counts.
         let per_node_cap = self.cluster.config().containers_per_node() as u64;
         let mut used_per_node = vec![0u64; self.cluster.config().nodes() as usize];
-        for job in &self.jobs {
-            for r in &job.stage.running {
+        for st in &self.jobs.stage {
+            for r in &st.running {
                 used_per_node[r.node.index()] += r.containers as u64;
                 if let Some(copy) = r.spec_copy {
                     used_per_node[copy.node.index()] += copy.containers as u64;
@@ -844,26 +1036,27 @@ impl<S: Scheduler> Simulation<S> {
         // widths of running attempts.
         let mut finished = 0usize;
         let mut active = 0usize;
-        for (i, job) in self.jobs.iter().enumerate() {
-            if job.finished() {
+        for i in 0..self.jobs.len() {
+            let core = &self.jobs.core[i];
+            let st = &self.jobs.stage[i];
+            if core.finished() {
                 finished += 1;
-                if job.held != 0 || !job.stage.running.is_empty() {
+                if core.held != 0 || !st.running.is_empty() {
                     report.record(
                         InvariantKind::TaskAccounting,
                         at,
                         format!(
                             "finished job {i} still holds {} container(s) and {} running task(s)",
-                            job.held,
-                            job.stage.running.len()
+                            core.held,
+                            st.running.len()
                         ),
                     );
                 }
                 continue;
             }
-            if job.active() {
+            if core.active() {
                 active += 1;
             }
-            let st = &job.stage;
             let accounted =
                 st.completed as usize + st.running.len() + st.requeued.len() + st.total as usize
                     - st.next_unstarted;
@@ -874,7 +1067,7 @@ impl<S: Scheduler> Simulation<S> {
                     format!(
                         "job {i} stage {}: completed {} + running {} + requeued {} + \
                          never-started {} != {} total tasks",
-                        job.stage_index,
+                        core.stage_index,
                         st.completed,
                         st.running.len(),
                         st.requeued.len(),
@@ -888,13 +1081,13 @@ impl<S: Scheduler> Simulation<S> {
                 .iter()
                 .map(|r| r.containers as u64 + r.spec_copy.map_or(0, |c| c.containers as u64))
                 .sum();
-            if job.held as u64 != held_by_attempts {
+            if core.held as u64 != held_by_attempts {
                 report.record(
                     InvariantKind::TaskAccounting,
                     at,
                     format!(
                         "job {i} holds {} container(s) but its running attempts occupy {}",
-                        job.held, held_by_attempts
+                        core.held, held_by_attempts
                     ),
                 );
             }
@@ -1013,7 +1206,7 @@ impl<S: Scheduler> Simulation<S> {
         let id = JobId::new(self.jobs.len() as u32);
         self.events
             .push(spec.arrival(), Event::JobArrival { job: id });
-        self.jobs.push(Job::new(spec));
+        self.jobs.push_spec(spec);
         self.view_slot.push(usize::MAX);
         self.dirty.push(false);
         Ok(id)
@@ -1073,17 +1266,19 @@ impl<S: Scheduler> Simulation<S> {
     /// timestamps and derived metrics). `None` for an out-of-range id.
     pub fn job_outcome(&self, id: JobId) -> Option<JobOutcome> {
         let total = self.cluster.config().total_containers();
-        self.jobs.get(id.index()).map(|job| JobOutcome {
+        let spec = self.jobs.specs.get(id.index())?;
+        let core = &self.jobs.core[id.index()];
+        Some(JobOutcome {
             id,
-            label: job.spec.label().to_string(),
-            bin: job.spec.bin(),
-            priority: job.spec.priority(),
-            arrival: job.spec.arrival(),
-            admitted_at: job.admitted_at,
-            first_allocation: job.first_alloc,
-            finish: job.finished_at,
-            true_size: job.spec.total_service(),
-            isolated: isolated_runtime(&job.spec, total),
+            label: spec.label().to_string(),
+            bin: spec.bin(),
+            priority: spec.priority(),
+            arrival: spec.arrival(),
+            admitted_at: core.admitted_at,
+            first_allocation: core.first_alloc,
+            finish: core.finished_at,
+            true_size: spec.total_service(),
+            isolated: isolated_runtime(spec, total),
         })
     }
 
@@ -1169,7 +1364,7 @@ impl<S: Scheduler> Simulation<S> {
             journal: self.journal.clone(),
             telemetry: self.telemetry.clone(),
             invariants: self.invariants.clone(),
-            jobs: self.jobs.clone(),
+            jobs: self.jobs.to_jobs(),
             events,
             events_next_seq: self.events.next_seq(),
             admitted: self.admitted.clone(),
@@ -1246,7 +1441,7 @@ impl<S: Scheduler> Simulation<S> {
         let mut sim = Self::rebuild(snapshot.clone(), scheduler)?;
         for i in 0..sim.admitted.len() {
             let id = sim.admitted[i];
-            if sim.jobs[id.index()].active() {
+            if sim.jobs.core[id.index()].active() {
                 let view = sim.build_view(id);
                 sim.scheduler.on_job_admitted(&view, sim.now);
             }
@@ -1283,7 +1478,7 @@ impl<S: Scheduler> Simulation<S> {
             invariants: snapshot.invariants,
             view_slot: vec![usize::MAX; snapshot.jobs.len()],
             dirty: vec![false; snapshot.jobs.len()],
-            jobs: snapshot.jobs,
+            jobs: JobStore::from_jobs(snapshot.jobs),
             events: EventQueue::from_snapshot(snapshot.events, snapshot.events_next_seq),
             admitted: snapshot.admitted,
             finished_in_admitted: snapshot.finished_in_admitted,
@@ -1293,6 +1488,7 @@ impl<S: Scheduler> Simulation<S> {
             views_need_compact: false,
             plan_buf: AllocationPlan::new(),
             event_scratch: Vec::new(),
+            scratch: JobScratch::default(),
             full_rebuild: false,
             plan_order: snapshot.plan_order,
             refill_cursor: snapshot.refill_cursor,
@@ -1311,7 +1507,7 @@ impl<S: Scheduler> Simulation<S> {
         // "refresh the subset that changed" produce identical buffers).
         for i in 0..sim.admitted.len() {
             let id = sim.admitted[i];
-            if sim.jobs[id.index()].active() {
+            if sim.jobs.core[id.index()].active() {
                 sim.view_slot[id.index()] = sim.active_views.len();
                 let view = sim.build_view(id);
                 sim.active_views.push(view);
@@ -1353,12 +1549,15 @@ impl<S: Scheduler> Simulation<S> {
     fn admit(&mut self, id: JobId) {
         let now = self.now;
         {
-            let job = &mut self.jobs[id.index()];
-            debug_assert!(!job.admitted(), "{id} admitted twice");
-            job.admitted_at = Some(now);
-            job.last_accrual = now;
-            job.stage = StageRt::new(&job.spec.stages()[0], now);
-            let ready_at = job.stage.ready_at;
+            let (spec, core, stage) = self.jobs.split_mut(id.index());
+            debug_assert!(!core.admitted(), "{id} admitted twice");
+            core.admitted_at = Some(now);
+            core.last_accrual = now;
+            // Re-anchor the first stage's transfer delay at admission
+            // time, reusing retired stage buffers where available.
+            self.scratch.graft(stage);
+            stage.reset_for(&spec.stages()[0], now);
+            let ready_at = stage.ready_at;
             if ready_at > now {
                 self.events.push(ready_at, Event::Resched);
             }
@@ -1366,7 +1565,7 @@ impl<S: Scheduler> Simulation<S> {
         self.admitted.push(id);
         self.record(SimEvent::JobAdmitted { job: id, at: now });
         if let Some(tel) = &mut self.telemetry {
-            let waited = now.saturating_since(self.jobs[id.index()].spec.arrival());
+            let waited = now.saturating_since(self.jobs.specs[id.index()].arrival());
             tel.push_decision(DecisionEvent::AdmissionAccepted {
                 job: id,
                 waited,
@@ -1399,12 +1598,12 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     fn handle_task_finish(&mut self, id: JobId, stage: StageId, task: TaskId, attempt: u32) {
-        let job = &self.jobs[id.index()];
-        if job.finished() || job.stage_index != stage.index() {
+        let i = id.index();
+        let core = &self.jobs.core[i];
+        if core.finished() || core.stage_index != stage.index() {
             return; // stale: the job moved on (kill or completion races)
         }
-        let Some(pos) = job
-            .stage
+        let Some(pos) = self.jobs.stage[i]
             .running
             .iter()
             .position(|r| r.task_idx == task.index() && r.attempt == attempt)
@@ -1416,17 +1615,17 @@ impl<S: Scheduler> Simulation<S> {
         self.update_util();
         self.mark_dirty(id);
         // Failed attempt: give back the containers, re-queue the task.
-        if self.jobs[id.index()].stage.running[pos].will_fail {
-            let job = &mut self.jobs[id.index()];
-            let failed = job.stage.running.swap_remove(pos);
-            job.held -= failed.containers;
+        if self.jobs.stage[i].running[pos].will_fail {
+            let (_, core, st) = self.jobs.split_mut(i);
+            let failed = st.running.swap_remove(pos);
+            core.held -= failed.containers;
             self.cluster.release(failed.node, failed.containers);
             if let Some(copy) = failed.spec_copy {
-                job.held -= copy.containers;
+                core.held -= copy.containers;
                 self.cluster.release(copy.node, copy.containers);
             }
             let failed_task = TaskId::new(failed.task_idx as u32);
-            job.stage.requeued.push(failed.task_idx);
+            st.requeued.push(failed.task_idx);
             self.stats.tasks_failed += 1;
             self.record(SimEvent::TaskFailed {
                 job: id,
@@ -1439,23 +1638,21 @@ impl<S: Scheduler> Simulation<S> {
             }
             return;
         }
-        let task_service;
         let stage_done;
         {
-            let job = &mut self.jobs[id.index()];
-            let running = job.stage.running.swap_remove(pos);
-            job.held -= running.containers;
+            let (spec, core, st) = self.jobs.split_mut(i);
+            let running = st.running.swap_remove(pos);
+            core.held -= running.containers;
             self.cluster.release(running.node, running.containers);
             if let Some(copy) = running.spec_copy {
-                job.held -= copy.containers;
+                core.held -= copy.containers;
                 self.cluster.release(copy.node, copy.containers);
             }
-            let spec_task = job.current_stage().tasks()[running.task_idx];
-            task_service = spec_task.service();
-            job.stage.completed += 1;
-            job.stage.completed_durations.push(spec_task.duration());
-            job.completed_service += task_service;
-            stage_done = job.stage.completed == job.stage.total;
+            let spec_task = spec.stages()[core.stage_index].tasks()[running.task_idx];
+            st.completed += 1;
+            st.completed_durations.push(spec_task.duration());
+            core.completed_service += spec_task.service();
+            stage_done = st.completed == st.total;
             let finished_task = TaskId::new(running.task_idx as u32);
             let finished_attempt = running.attempt;
             self.record(SimEvent::TaskFinished {
@@ -1476,18 +1673,18 @@ impl<S: Scheduler> Simulation<S> {
 
     fn advance_stage_or_finish(&mut self, id: JobId) {
         let now = self.now;
-        let job = &mut self.jobs[id.index()];
-        debug_assert!(job.stage.running.is_empty());
+        let (spec, core, st) = self.jobs.split_mut(id.index());
+        debug_assert!(st.running.is_empty());
         debug_assert_eq!(
-            job.held, 0,
+            core.held, 0,
             "{id} finished a stage while holding containers"
         );
-        if job.stage_index + 1 < job.spec.stage_count() {
-            job.stage_index += 1;
-            job.stage = StageRt::new(&job.spec.stages()[job.stage_index], now);
-            job.attained_stage = Service::ZERO;
-            let ready_at = job.stage.ready_at;
-            let new_stage = job.stage_index;
+        if core.stage_index + 1 < spec.stage_count() {
+            core.stage_index += 1;
+            st.reset_for(&spec.stages()[core.stage_index], now);
+            core.attained_stage = Service::ZERO;
+            let ready_at = st.ready_at;
+            let new_stage = core.stage_index;
             if ready_at > now {
                 self.events.push(ready_at, Event::Resched);
             }
@@ -1498,7 +1695,9 @@ impl<S: Scheduler> Simulation<S> {
             });
             self.scheduler.on_stage_completed(id, new_stage, now);
         } else {
-            job.finished_at = Some(now);
+            core.finished_at = Some(now);
+            // The job is done: retire its stage buffers for reuse.
+            self.scratch.harvest(st);
             self.finished_count += 1;
             self.finished_in_admitted += 1;
             self.views_need_compact = true;
@@ -1516,12 +1715,10 @@ impl<S: Scheduler> Simulation<S> {
     fn refill_after_completion(&mut self, id: JobId) {
         {
             let now = self.now;
-            let job = &self.jobs[id.index()];
-            let target = self.effective_target(job);
-            if job.stage.startable(now) > 0 && job.held < target {
-                while self.jobs[id.index()].held < target
-                    && self.jobs[id.index()].stage.startable(now) > 0
-                {
+            let i = id.index();
+            let target = self.effective_target(&self.jobs.core[i]);
+            if self.jobs.stage[i].startable(now) > 0 && self.jobs.core[i].held < target {
+                while self.jobs.core[i].held < target && self.jobs.stage[i].startable(now) > 0 {
                     if !self.try_start_task(id) {
                         break;
                     }
@@ -1534,10 +1731,10 @@ impl<S: Scheduler> Simulation<S> {
     fn advance_refill_cursor(&mut self) {
         while self.cluster.free_containers() > 0 && self.refill_cursor < self.plan_order.len() {
             let cand = self.plan_order[self.refill_cursor];
-            let job = &self.jobs[cand.index()];
-            if job.finished()
-                || job.stage.startable(self.now) == 0
-                || job.held >= self.effective_target(job)
+            let core = &self.jobs.core[cand.index()];
+            if core.finished()
+                || self.jobs.stage[cand.index()].startable(self.now) == 0
+                || core.held >= self.effective_target(core)
             {
                 self.refill_cursor += 1;
                 continue;
@@ -1552,30 +1749,31 @@ impl<S: Scheduler> Simulation<S> {
     /// is startable (no unstarted task, or no node can host it).
     fn try_start_task(&mut self, id: JobId) -> bool {
         let now = self.now;
+        let i = id.index();
         let (task_idx, from_requeue) = {
-            let job = &mut self.jobs[id.index()];
-            if job.stage.startable(now) == 0 {
+            let st = &mut self.jobs.stage[i];
+            if st.startable(now) == 0 {
                 return false;
             }
-            if let Some(idx) = job.stage.requeued.pop() {
+            if let Some(idx) = st.requeued.pop() {
                 (idx, true)
-            } else if job.stage.next_unstarted < job.stage.total as usize {
-                let idx = job.stage.next_unstarted;
-                job.stage.next_unstarted += 1;
+            } else if st.next_unstarted < st.total as usize {
+                let idx = st.next_unstarted;
+                st.next_unstarted += 1;
                 (idx, false)
             } else {
                 return false;
             }
         };
-        let spec_task = self.jobs[id.index()].current_stage().tasks()[task_idx];
+        let spec_task = self.jobs.current_stage(i).tasks()[task_idx];
         self.update_util();
         let Some(node) = self.cluster.allocate(spec_task.containers()) else {
             // Roll the reservation back.
-            let job = &mut self.jobs[id.index()];
+            let st = &mut self.jobs.stage[i];
             if from_requeue {
-                job.stage.requeued.push(task_idx);
+                st.requeued.push(task_idx);
             } else {
-                job.stage.next_unstarted -= 1;
+                st.next_unstarted -= 1;
             }
             return false;
         };
@@ -1587,9 +1785,9 @@ impl<S: Scheduler> Simulation<S> {
         } else {
             spec_task.duration()
         };
-        let job = &mut self.jobs[id.index()];
-        let attempt = job.attempt_counter;
-        job.attempt_counter += 1;
+        let (_, core, st) = self.jobs.split_mut(i);
+        let attempt = core.attempt_counter;
+        core.attempt_counter += 1;
         let failure = self.failures.roll(id, task_idx, attempt);
         if let Some(fraction) = failure {
             duration = SimDuration::from_millis(
@@ -1597,7 +1795,7 @@ impl<S: Scheduler> Simulation<S> {
             );
         }
         let finish = now + duration;
-        job.stage.running.push(RunningTask {
+        st.running.push(RunningTask {
             task_idx,
             attempt,
             node,
@@ -1607,11 +1805,11 @@ impl<S: Scheduler> Simulation<S> {
             will_fail: failure.is_some(),
             spec_copy: None,
         });
-        job.held += spec_task.containers();
-        if job.first_alloc.is_none() {
-            job.first_alloc = Some(now);
+        core.held += spec_task.containers();
+        if core.first_alloc.is_none() {
+            core.first_alloc = Some(now);
         }
-        let stage = StageId::new(job.stage_index as u16);
+        let stage = StageId::new(core.stage_index as u16);
         let containers = spec_task.containers();
         self.events.push(
             finish,
@@ -1636,7 +1834,7 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     fn accrue_job(&mut self, id: JobId) {
-        self.jobs[id.index()].accrue(self.now);
+        self.jobs.core[id.index()].accrue(self.now);
     }
 
     fn record(&mut self, event: SimEvent) {
@@ -1646,6 +1844,9 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     fn update_util(&mut self) {
+        if self.now == self.last_util_update {
+            return; // every call after the first in an event batch
+        }
         let dt = self
             .now
             .saturating_since(self.last_util_update)
@@ -1657,13 +1858,16 @@ impl<S: Scheduler> Simulation<S> {
     }
 
     fn build_view(&self, id: JobId) -> JobView {
-        let job = &self.jobs[id.index()];
+        let i = id.index();
+        let spec = &self.jobs.specs[i];
+        let core = &self.jobs.core[i];
+        let st = &self.jobs.stage[i];
         let now = self.now;
-        let stage = job.current_stage();
+        let stage = &spec.stages()[core.stage_index];
         let oracle = if self.expose_oracle {
-            let total_size = job.spec.total_service();
-            let mut done = job.completed_service;
-            for r in &job.stage.running {
+            let total_size = spec.total_service();
+            let mut done = core.completed_service;
+            for r in &st.running {
                 let elapsed = now.saturating_since(r.started);
                 done += Service::accrued(r.containers, elapsed);
             }
@@ -1676,26 +1880,26 @@ impl<S: Scheduler> Simulation<S> {
         };
         JobView {
             id,
-            arrival: job.spec.arrival(),
-            admitted_at: job.admitted_at.unwrap_or(job.spec.arrival()),
-            priority: job.spec.priority(),
-            attained: job.attained,
-            attained_stage: job.attained_stage,
-            stage_index: job.stage_index,
-            stage_count: job.spec.stage_count(),
-            stage_progress: job.stage_progress(now),
-            remaining_tasks: job.stage.remaining(),
-            unstarted_tasks: job.stage.startable(now),
+            arrival: spec.arrival(),
+            admitted_at: core.admitted_at.unwrap_or(spec.arrival()),
+            priority: spec.priority(),
+            attained: core.attained,
+            attained_stage: core.attained_stage,
+            stage_index: core.stage_index,
+            stage_count: spec.stage_count(),
+            stage_progress: st.progress(now),
+            remaining_tasks: st.remaining(),
+            unstarted_tasks: st.startable(now),
             containers_per_task: stage.containers_per_task(),
-            held: job.held,
+            held: core.held,
             oracle,
         }
     }
 
     fn compact_admitted(&mut self) {
         if self.finished_in_admitted * 2 > self.admitted.len() {
-            let jobs = &self.jobs;
-            self.admitted.retain(|id| !jobs[id.index()].finished());
+            let core = &self.jobs.core;
+            self.admitted.retain(|id| !core[id.index()].finished());
             self.finished_in_admitted = 0;
         }
     }
@@ -1707,7 +1911,7 @@ impl<S: Scheduler> Simulation<S> {
         let mut write = 0;
         for read in 0..self.active_views.len() {
             let id = self.active_views[read].id;
-            if self.jobs[id.index()].finished() {
+            if self.jobs.core[id.index()].finished() {
                 self.view_slot[id.index()] = usize::MAX;
                 continue;
             }
@@ -1737,12 +1941,12 @@ impl<S: Scheduler> Simulation<S> {
         let mut i = 0;
         while i < self.dirty_list.len() {
             let id = self.dirty_list[i];
-            if self.jobs[id.index()].finished() {
+            if self.jobs.core[id.index()].finished() {
                 self.dirty[id.index()] = false;
                 self.dirty_list.swap_remove(i);
                 continue;
             }
-            if self.jobs[id.index()].held > 0 {
+            if self.jobs.core[id.index()].held > 0 {
                 self.accrue_job(id);
             }
             let view = self.build_view(id);
@@ -1750,8 +1954,8 @@ impl<S: Scheduler> Simulation<S> {
             debug_assert_ne!(slot, usize::MAX, "dirty active {id} missing a view slot");
             self.active_views[slot] = view;
             self.changed_slots.push(slot);
-            let job = &self.jobs[id.index()];
-            if !job.stage.running.is_empty() || now < job.stage.ready_at {
+            let st = &self.jobs.stage[id.index()];
+            if !st.running.is_empty() || now < st.ready_at {
                 i += 1;
             } else {
                 self.dirty[id.index()] = false;
@@ -1768,7 +1972,7 @@ impl<S: Scheduler> Simulation<S> {
     fn assert_view_cache_fresh(&self) {
         let mut expect = 0;
         for &id in &self.admitted {
-            if self.jobs[id.index()].finished() {
+            if self.jobs.core[id.index()].finished() {
                 continue;
             }
             let slot = self.view_slot[id.index()];
@@ -1795,9 +1999,9 @@ impl<S: Scheduler> Simulation<S> {
     /// the job appeared in the *latest* pass's plan. Epoch-tagging targets
     /// replaces the old per-pass sweep that wrote zero into every admitted
     /// job before applying the plan.
-    fn effective_target(&self, job: &Job) -> u32 {
-        if job.plan_epoch == self.stats.scheduling_passes {
-            job.target
+    fn effective_target(&self, core: &JobCore) -> u32 {
+        if core.plan_epoch == self.stats.scheduling_passes {
+            core.target
         } else {
             0
         }
@@ -1810,7 +2014,7 @@ impl<S: Scheduler> Simulation<S> {
         if self.full_rebuild {
             for i in 0..self.admitted.len() {
                 let id = self.admitted[i];
-                if self.jobs[id.index()].active() {
+                if self.jobs.core[id.index()].active() {
                     self.mark_dirty(id);
                 }
             }
@@ -1859,20 +2063,21 @@ impl<S: Scheduler> Simulation<S> {
         // `plan_epoch` (see `effective_target`).
         let epoch = self.stats.scheduling_passes;
         self.plan_order.clear();
+        let now = self.now;
         for &(id, target) in plan.entries() {
-            let Some(job) = self.jobs.get_mut(id.index()) else {
+            if id.index() >= self.jobs.len() {
                 continue;
-            };
-            if !job.active() {
+            }
+            let (spec, core, st) = self.jobs.split_mut(id.index());
+            if !core.active() {
                 continue; // tolerate stale plan entries
             }
-            let unstarted_demand = job
-                .stage
-                .startable(self.now)
-                .saturating_mul(job.current_stage().containers_per_task());
-            job.target = target.min(job.held + unstarted_demand);
-            if job.plan_epoch != epoch {
-                job.plan_epoch = epoch;
+            let unstarted_demand = st
+                .startable(now)
+                .saturating_mul(spec.stages()[core.stage_index].containers_per_task());
+            core.target = target.min(core.held + unstarted_demand);
+            if core.plan_epoch != epoch {
+                core.plan_epoch = epoch;
                 self.plan_order.push(id);
             }
         }
@@ -1908,17 +2113,18 @@ impl<S: Scheduler> Simulation<S> {
     fn kill_over_target(&mut self) {
         for i in 0..self.admitted.len() {
             let id = self.admitted[i];
+            let ji = id.index();
             loop {
-                let job = &self.jobs[id.index()];
-                if job.finished()
-                    || job.held <= self.effective_target(job)
-                    || job.stage.running.is_empty()
+                let core = &self.jobs.core[ji];
+                let st = &self.jobs.stage[ji];
+                if core.finished()
+                    || core.held <= self.effective_target(core)
+                    || st.running.is_empty()
                 {
                     break;
                 }
                 // Kill the youngest attempt (least wasted work).
-                let victim = job
-                    .stage
+                let victim = st
                     .running
                     .iter()
                     .enumerate()
@@ -1928,17 +2134,17 @@ impl<S: Scheduler> Simulation<S> {
                 self.accrue_job(id);
                 self.update_util();
                 self.mark_dirty(id);
-                let job = &mut self.jobs[id.index()];
-                let killed = job.stage.running.swap_remove(victim);
-                job.held -= killed.containers;
+                let (_, core, st) = self.jobs.split_mut(ji);
+                let killed = st.running.swap_remove(victim);
+                core.held -= killed.containers;
                 self.cluster.release(killed.node, killed.containers);
                 if let Some(copy) = killed.spec_copy {
-                    job.held -= copy.containers;
+                    core.held -= copy.containers;
                     self.cluster.release(copy.node, copy.containers);
                 }
                 let killed_task = TaskId::new(killed.task_idx as u32);
-                let killed_stage = StageId::new(job.stage_index as u16);
-                job.stage.requeued.push(killed.task_idx);
+                let killed_stage = StageId::new(core.stage_index as u16);
+                st.requeued.push(killed.task_idx);
                 self.stats.tasks_killed += 1;
                 self.record(SimEvent::TaskKilled {
                     job: id,
@@ -1959,29 +2165,32 @@ impl<S: Scheduler> Simulation<S> {
 
     fn launch_speculative_copies(&mut self) {
         let now = self.now;
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
         'outer: for i in 0..self.plan_order.len() {
             let id = self.plan_order[i];
-            let job = &self.jobs[id.index()];
-            if job.finished()
-                || job.stage.completed_durations.len() < self.speculation.min_completed as usize
+            let ji = id.index();
+            let core = &self.jobs.core[ji];
+            let st = &self.jobs.stage[ji];
+            if core.finished()
+                || st.completed_durations.len() < self.speculation.min_completed as usize
             {
                 continue;
             }
-            let median = median_duration(&job.stage.completed_durations);
+            let median = median_duration(&mut self.scratch.median, &st.completed_durations);
             let late_after =
                 SimDuration::from_secs_f64(median.as_secs_f64() * self.speculation.lateness_factor);
-            let candidates: Vec<usize> = job
-                .stage
-                .running
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| {
-                    r.spec_copy.is_none() && now.saturating_since(r.started) >= late_after
-                })
-                .map(|(idx, _)| idx)
-                .collect();
-            for pos in candidates {
-                let containers = self.jobs[id.index()].stage.running[pos].containers;
+            candidates.clear();
+            candidates.extend(
+                st.running
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.spec_copy.is_none() && now.saturating_since(r.started) >= late_after
+                    })
+                    .map(|(idx, _)| idx),
+            );
+            for &pos in &candidates {
+                let containers = self.jobs.stage[ji].running[pos].containers;
                 if self.cluster.free_containers() < containers {
                     break 'outer;
                 }
@@ -1991,13 +2200,13 @@ impl<S: Scheduler> Simulation<S> {
                 };
                 self.accrue_job(id);
                 self.mark_dirty(id);
-                let job = &mut self.jobs[id.index()];
-                let running = &mut job.stage.running[pos];
+                let (_, core, st) = self.jobs.split_mut(ji);
+                let running = &mut st.running[pos];
                 running.spec_copy = Some(SpecCopy { node, containers });
-                job.held += containers;
+                core.held += containers;
                 self.stats.speculative_launched += 1;
                 let spec_task_id = TaskId::new(running.task_idx as u32);
-                let spec_stage = StageId::new(job.stage_index as u16);
+                let spec_stage = StageId::new(core.stage_index as u16);
                 let copy_finish = now + median;
                 if let Some(journal) = &mut self.journal {
                     journal.push(SimEvent::SpeculativeLaunched {
@@ -2017,12 +2226,12 @@ impl<S: Scheduler> Simulation<S> {
                 if copy_finish < running.finish {
                     // The restarted copy wins: supersede the original
                     // attempt and finish earlier.
-                    let attempt = job.attempt_counter;
-                    job.attempt_counter += 1;
+                    let attempt = core.attempt_counter;
+                    core.attempt_counter += 1;
                     running.attempt = attempt;
                     running.finish = copy_finish;
                     running.will_fail = false;
-                    let stage = StageId::new(job.stage_index as u16);
+                    let stage = StageId::new(core.stage_index as u16);
                     let task = TaskId::new(running.task_idx as u32);
                     self.events.push(
                         copy_finish,
@@ -2044,6 +2253,7 @@ impl<S: Scheduler> Simulation<S> {
                 }
             }
         }
+        self.scratch.candidates = candidates;
     }
 
     fn finalize(mut self) -> SimulationReport {
@@ -2063,21 +2273,22 @@ impl<S: Scheduler> Simulation<S> {
         };
 
         let total = self.cluster.config().total_containers();
-        let outcomes: Vec<JobOutcome> = self
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(i, job)| JobOutcome {
-                id: JobId::new(i as u32),
-                label: job.spec.label().to_string(),
-                bin: job.spec.bin(),
-                priority: job.spec.priority(),
-                arrival: job.spec.arrival(),
-                admitted_at: job.admitted_at,
-                first_allocation: job.first_alloc,
-                finish: job.finished_at,
-                true_size: job.spec.total_service(),
-                isolated: isolated_runtime(&job.spec, total),
+        let outcomes: Vec<JobOutcome> = (0..self.jobs.len())
+            .map(|i| {
+                let spec = &self.jobs.specs[i];
+                let core = &self.jobs.core[i];
+                JobOutcome {
+                    id: JobId::new(i as u32),
+                    label: spec.label().to_string(),
+                    bin: spec.bin(),
+                    priority: spec.priority(),
+                    arrival: spec.arrival(),
+                    admitted_at: core.admitted_at,
+                    first_allocation: core.first_alloc,
+                    finish: core.finished_at,
+                    true_size: spec.total_service(),
+                    isolated: isolated_runtime(spec, total),
+                }
             })
             .collect();
         let mut report =
@@ -2145,9 +2356,10 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
     }
 }
 
-fn median_duration(durations: &[SimDuration]) -> SimDuration {
+fn median_duration(scratch: &mut Vec<SimDuration>, durations: &[SimDuration]) -> SimDuration {
     debug_assert!(!durations.is_empty());
-    let mut scratch = durations.to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(durations);
     let mid = scratch.len() / 2;
     // Selection, not a full sort: the upper-median element is all we need.
     *scratch.select_nth_unstable(mid).1
@@ -2982,7 +3194,7 @@ mod tests {
         assert!(sim.run_until(SimTime::from_secs(5)), "run must be mid-way");
         let clean = sim.invariants.clone().expect("checking was enabled");
         assert_eq!(clean.violations_total, 0, "run was clean before injection");
-        sim.jobs[0].held += 1; // the injected bug
+        sim.jobs.core[0].held += 1; // the injected bug
         sim.run_invariant_checks();
         let inv = sim.invariants.as_ref().unwrap();
         assert!(!inv.is_clean(), "injected bug went undetected");
@@ -3001,7 +3213,7 @@ mod tests {
             .build(Greedy)
             .unwrap();
         assert!(sim.run_until(SimTime::from_secs(5)));
-        sim.jobs[0].stage.completed += 1; // a lost task completion
+        sim.jobs.stage[0].completed += 1; // a lost task completion
         sim.run_invariant_checks();
         let inv = sim.invariants.as_ref().unwrap();
         assert!(inv

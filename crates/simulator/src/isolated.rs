@@ -54,9 +54,31 @@ pub fn isolated_runtime(job: &JobSpec, total_containers: u32) -> SimDuration {
 
 /// Makespan of list-scheduling `durations`, in order, on `lanes` identical
 /// lanes.
-fn stage_makespan(durations: impl Iterator<Item = SimDuration>, lanes: usize) -> SimDuration {
+fn stage_makespan(
+    durations: impl ExactSizeIterator<Item = SimDuration> + Clone,
+    lanes: usize,
+) -> SimDuration {
+    // Lanes beyond the task count never host a task; dropping them keeps
+    // the heap proportional to the work, not the cluster.
+    let count = durations.len();
+    let lanes = lanes.min(count).max(1);
+    if lanes >= count {
+        // Single wave: every task gets its own lane.
+        return durations.max().unwrap_or(SimDuration::ZERO);
+    }
+    if lanes == 1 {
+        return durations.fold(SimDuration::ZERO, |acc, d| acc + d);
+    }
+    // Equal-duration stages (the common case for trace generators) run in
+    // exact waves: list scheduling gives every lane at most ⌈n/L⌉ tasks.
+    let mut rest = durations.clone();
+    let first = rest.next().expect("count > lanes >= 2");
+    if rest.all(|d| d == first) {
+        let waves = count.div_ceil(lanes) as u64;
+        return SimDuration::from_millis(first.as_millis() * waves);
+    }
     // Min-heap of lane available times.
-    let mut heap: BinaryHeap<Reverse<SimDuration>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<SimDuration>> = BinaryHeap::with_capacity(lanes);
     for _ in 0..lanes {
         heap.push(Reverse(SimDuration::ZERO));
     }

@@ -19,6 +19,8 @@
 //! published SWIM-format MapReduce traces, so the real Facebook 2010
 //! trace can be replayed when a copy is available) and [`adversarial`]
 //! (seeded hostile traces for the `lasmq-verify` differential oracle).
+//! The [`scale`] module stretches the trace shape to millions of jobs on
+//! thousand-node clusters for engine scaling benchmarks.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub mod arrivals;
 pub mod dist;
 pub mod facebook;
 pub mod puma;
+pub mod scale;
 pub mod skew;
 pub mod swim;
 pub mod trace;
@@ -50,5 +53,6 @@ pub mod uniform;
 pub use adversarial::{AdversarialScenario, AdversarialWorkload};
 pub use facebook::FacebookTrace;
 pub use puma::PumaWorkload;
+pub use scale::ScaleTrace;
 pub use trace::{Trace, TraceError, TraceSummary};
 pub use uniform::UniformWorkload;

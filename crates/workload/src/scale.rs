@@ -1,0 +1,277 @@
+//! Million-job scale workload: the trace-simulation shape at cluster scale.
+//!
+//! The paper's trace experiments (§V-C) replay 24,443 jobs against a flat
+//! 100-container pool. This module stretches that shape by two orders of
+//! magnitude — millions of heavy-tailed jobs against thousand-node
+//! clusters — to exercise the engine's scaling behaviour (calendar-queue
+//! event dispatch, struct-of-arrays job state, O(log n) container
+//! placement) rather than a paper figure. The statistical shape matches
+//! [`facebook`](crate::facebook): bounded-Pareto sizes on `[1, 10⁴]` with
+//! tail index 0.8, Poisson arrivals at the rate realizing the configured
+//! load, priorities uniform on 1–5.
+//!
+//! Tasks are half a service unit each (versus the trace's unit tasks).
+//! The grain is the lever that trades event volume against concurrency:
+//! finer tasks emit more task-finish events per job, but each job drains
+//! its cluster share sooner, so far fewer jobs are simultaneously active
+//! — and the number of active jobs is what every scheduling pass pays
+//! for. At 0.5 units a million-job trace yields roughly forty million
+//! events over a couple hundred concurrently-active jobs.
+//!
+//! # Examples
+//!
+//! A scaled-down smoke run:
+//!
+//! ```
+//! use lasmq_workload::scale::ScaleTrace;
+//!
+//! let trace = ScaleTrace::new().jobs(2_000).seed(7);
+//! let jobs = trace.generate();
+//! assert_eq!(jobs.len(), 2_000);
+//! // Deterministic per seed, bit for bit.
+//! assert_eq!(jobs, trace.generate());
+//! ```
+
+use rand::SeedableRng;
+
+use lasmq_simulator::{ClusterConfig, JobSpec, SimDuration, StageKind, StageSpec, TaskSpec};
+
+use crate::arrivals::PoissonArrivals;
+use crate::dist::{uniform01, BoundedPareto, Sample};
+use crate::facebook::size_bin;
+
+/// Default job count: a full million.
+pub const SCALE_JOB_COUNT: usize = 1_000_000;
+
+/// Default cluster: 1,000 nodes × 8 containers.
+pub const SCALE_NODES: u32 = 1_000;
+
+/// Containers hosted by each node of the default scale cluster.
+pub const SCALE_CONTAINERS_PER_NODE: u32 = 8;
+
+/// Generator for the million-job, thousand-node workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleTrace {
+    jobs: usize,
+    nodes: u32,
+    containers_per_node: u32,
+    load: f64,
+    sizes: BoundedPareto,
+    task_secs: f64,
+    seed: u64,
+}
+
+impl ScaleTrace {
+    /// The default scale setup: one million jobs at load 0.9 on a
+    /// 1,000-node × 8-container cluster, sizes on `[1, 10⁴]`.
+    pub fn new() -> Self {
+        ScaleTrace {
+            jobs: SCALE_JOB_COUNT,
+            nodes: SCALE_NODES,
+            containers_per_node: SCALE_CONTAINERS_PER_NODE,
+            load: 0.9,
+            sizes: BoundedPareto::new(0.8, 1.0, 1e4),
+            task_secs: 0.5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of jobs (for scaled-down runs).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the cluster shape the load is computed against. The simulation
+    /// must run on [`cluster`](Self::cluster) for the load to be accurate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn nodes(mut self, nodes: u32, containers_per_node: u32) -> Self {
+        assert!(
+            nodes > 0 && containers_per_node > 0,
+            "cluster dimensions must be positive"
+        );
+        self.nodes = nodes;
+        self.containers_per_node = containers_per_node;
+        self
+    }
+
+    /// Sets the target system load ρ = arrival rate × mean size / capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not in `(0, 1]`.
+    pub fn load(mut self, load: f64) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        self.load = load;
+        self
+    }
+
+    /// Sets the task grain in service units (= container-seconds). Finer
+    /// tasks mean more events per job but fewer concurrently-active jobs
+    /// (each job's slice of the cluster drains sooner), which is the
+    /// dominant term of pass cost at thousand-node scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_secs` is not positive and finite.
+    pub fn task_secs(mut self, task_secs: f64) -> Self {
+        assert!(
+            task_secs.is_finite() && task_secs > 0.0,
+            "task grain must be positive"
+        );
+        self.task_secs = task_secs;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cluster this trace is sized for.
+    pub fn cluster(&self) -> ClusterConfig {
+        ClusterConfig::new(self.nodes, self.containers_per_node)
+    }
+
+    /// Generates the trace: heavy-tailed sizes, then Poisson arrivals at
+    /// the rate that realizes the configured load given the empirical mean
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        assert!(self.jobs > 0, "trace needs at least one job");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let capacity = self.cluster().total_containers();
+
+        let sizes: Vec<f64> = (0..self.jobs)
+            .map(|_| self.sizes.sample(&mut rng))
+            .collect();
+        let mean_size = sizes.iter().sum::<f64>() / sizes.len() as f64;
+
+        // ρ = λ · E[S] / C  =>  λ = ρ C / E[S].
+        let rate = self.load * capacity as f64 / mean_size;
+        let arrivals = PoissonArrivals::with_rate(rate).take(&mut rng, self.jobs);
+
+        sizes
+            .into_iter()
+            .zip(arrivals)
+            .map(|(size, arrival)| {
+                let priority = 1 + (uniform01(&mut rng) * 5.0).min(4.0) as u8;
+                let tasks = (size / self.task_secs).round().max(1.0) as u32;
+                // Dividing the size over the rounded task count keeps the
+                // job's total service equal to its drawn size.
+                let task_secs = size / tasks as f64;
+                JobSpec::builder()
+                    .arrival(arrival)
+                    .priority(priority)
+                    .label("scale")
+                    .bin(size_bin(size))
+                    .stage(StageSpec::uniform(
+                        StageKind::Generic,
+                        tasks,
+                        TaskSpec::new(SimDuration::from_secs_f64(task_secs)),
+                    ))
+                    .build()
+            })
+            .collect()
+    }
+}
+
+impl Default for ScaleTrace {
+    fn default() -> Self {
+        ScaleTrace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_million_scale() {
+        let t = ScaleTrace::new();
+        assert_eq!(t.jobs, SCALE_JOB_COUNT);
+        assert_eq!(t.cluster().total_containers(), 8_000);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed_with_mean_near_20() {
+        let jobs = ScaleTrace::new().jobs(20_000).seed(2).generate();
+        let sizes: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert!((12.0..32.0).contains(&mean), "mean {mean}");
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= 1e4 + 1.0, "max {max}");
+        assert!(max > 1_000.0, "tail missing, max {max}");
+    }
+
+    #[test]
+    fn jobs_validate_against_the_scale_cluster() {
+        let trace = ScaleTrace::new().jobs(500).seed(4);
+        let capacity = trace.cluster().total_containers();
+        for j in trace.generate() {
+            assert_eq!(j.stage_count(), 1);
+            assert_eq!(j.validate(capacity), Ok(()));
+        }
+    }
+
+    #[test]
+    fn tasks_carry_about_half_a_unit_each() {
+        // The grain bounds per-pass cost (see the module docs); a changed
+        // default silently re-shapes the committed BENCH_7 baseline.
+        let jobs = ScaleTrace::new().jobs(5_000).seed(5).generate();
+        let tasks: usize = jobs
+            .iter()
+            .map(|j| j.stages()[0].task_count() as usize)
+            .sum();
+        let service: f64 = jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .sum();
+        let grain = service / tasks as f64;
+        assert!((0.3..0.7).contains(&grain), "mean task grain {grain}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ScaleTrace::new().jobs(300).seed(6).generate();
+        let b = ScaleTrace::new().jobs(300).seed(6).generate();
+        assert_eq!(a, b);
+        let c = ScaleTrace::new().jobs(300).seed(7).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_rate_realizes_load() {
+        let trace = ScaleTrace::new().jobs(20_000).seed(3);
+        let jobs = trace.generate();
+        let capacity = trace.cluster().total_containers() as f64;
+        let total_work: f64 = jobs
+            .iter()
+            .map(|j| j.total_service().as_container_secs())
+            .sum();
+        let span = jobs
+            .iter()
+            .map(|j| j.arrival())
+            .max()
+            .unwrap()
+            .as_secs_f64();
+        let offered_load = total_work / (span * capacity);
+        assert!((offered_load - 0.9).abs() < 0.12, "load {offered_load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster dimensions")]
+    fn zero_nodes_rejected() {
+        let _ = ScaleTrace::new().nodes(0, 8);
+    }
+}

@@ -5,6 +5,9 @@
 #   BENCH_6.json — daemon sustained submission throughput and latency
 #                  percentiles (full 24,443-job Facebook trace replayed
 #                  open-loop at a fixed rate against lasmq-serve)
+#   BENCH_7.json — million-job scale throughput (perf-smoke --trace scale:
+#                  1M heavy-tailed jobs on a 1,000-node x 8-container
+#                  cluster; each iteration runs for minutes)
 #
 # Run this on a quiet machine after an *intentional* throughput change —
 # the CI perf gate compares future runs against the numbers recorded
@@ -20,6 +23,10 @@ cargo build --offline --release -p lasmq-bench -p lasmq-serve
 ./target/release/perf-smoke --emit BENCH_5.json "$@"
 echo "--- BENCH_5.json ---"
 cat BENCH_5.json
+
+./target/release/perf-smoke --trace scale --emit BENCH_7.json "$@"
+echo "--- BENCH_7.json ---"
+cat BENCH_7.json
 
 # The daemon measurement: open-loop replay of the whole trace at a rate
 # (15k jobs/s) above the acceptance floor (10k sustained), so the
