@@ -1,0 +1,83 @@
+//! Microbenchmarks of the env rollout path: snapshot → fork → run the
+//! episode tail. This is the policy trainer's inner loop, so its cost
+//! bounds how many candidates a training round can afford; tracking it
+//! alongside the engine benches keeps rollout regressions visible.
+//!
+//! Three costs matter:
+//!
+//! * `fork_only` — rebuilding a forked simulation from a warm snapshot
+//!   (the per-candidate fixed cost, paid before any simulation);
+//! * `fork_and_finish` — fork plus running the tail to completion (one
+//!   full candidate evaluation);
+//! * `env_episode` — a whole `Env` episode at the same scale through
+//!   reset/observe/step (the observation-building overhead on top of the
+//!   raw engine, and the cost of a held-out evaluation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lasmq_campaign::{SchedulerKind, SimSetup, WorkloadSpec};
+use lasmq_env::rollout::episode_return;
+use lasmq_env::EnvConfig;
+use lasmq_schedulers::{LearnedScheduler, LinearPolicy};
+use lasmq_simulator::{SimSnapshot, SimTime, Simulation};
+
+const JOBS: usize = 60;
+const SEED: u64 = 42;
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::Puma {
+        jobs: JOBS,
+        mean_interval_secs: 50.0,
+        seed: SEED,
+        geo_bandwidth_mb_per_s: None,
+    }
+}
+
+/// A warm snapshot at the median arrival under a FIFO donor — the exact
+/// starting state `ext_train` forks candidates from.
+fn warm_snapshot() -> SimSnapshot {
+    let jobs = workload().generate();
+    let mut arrivals: Vec<SimTime> = jobs.iter().map(|j| j.arrival()).collect();
+    arrivals.sort();
+    let at = arrivals[arrivals.len() / 2];
+    SimSetup::testbed()
+        .build_simulation(jobs, &SchedulerKind::Fifo)
+        .snapshot_at(at)
+        .expect("pause point lands mid-run")
+}
+
+fn bench_rollout(c: &mut Criterion) {
+    let snapshot = warm_snapshot();
+    let policy = LinearPolicy::las_like();
+
+    let mut group = c.benchmark_group("env_rollout");
+    group.sample_size(10);
+
+    group.bench_function("fork_only_120c_puma", |b| {
+        b.iter(|| {
+            let sim = Simulation::fork(&snapshot, LearnedScheduler::new(policy.clone()))
+                .expect("lineup schedulers fork from a non-oracle snapshot");
+            black_box(sim)
+        });
+    });
+
+    group.bench_function("fork_and_finish_120c_puma", |b| {
+        b.iter(|| {
+            let sim = Simulation::fork(&snapshot, LearnedScheduler::new(policy.clone()))
+                .expect("lineup schedulers fork from a non-oracle snapshot");
+            black_box(sim.run())
+        });
+    });
+
+    group.bench_function("env_episode_120c_puma", |b| {
+        let mut config = EnvConfig::testbed_puma(JOBS);
+        config.workload = workload();
+        b.iter(|| black_box(episode_return(&config, &policy, SEED)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout);
+criterion_main!(benches);

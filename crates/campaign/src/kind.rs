@@ -4,7 +4,10 @@ use std::fmt;
 use std::str::FromStr;
 
 use lasmq_core::{LasMq, LasMqConfig};
-use lasmq_schedulers::{EstimatedSjf, Fair, Fifo, Las, ShortestJobFirst, ShortestRemainingFirst};
+use lasmq_schedulers::{
+    EstimatedSjf, Fair, Fifo, Las, LearnedScheduler, LinearPolicy, Ps, ShortestJobFirst,
+    ShortestRemainingFirst,
+};
 use lasmq_simulator::Scheduler;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +21,12 @@ pub enum SchedulerKind {
     Fair,
     /// Least attained service.
     Las,
+    /// Equal-share processor sharing.
+    Ps,
+    /// A learned linear policy over runtime-observable features. The
+    /// policy weights are part of the serialized kind, so cells running
+    /// different trained policies get distinct cache fingerprints.
+    Learned(LinearPolicy),
     /// The paper's contribution, with an explicit configuration.
     LasMq(LasMqConfig),
     /// Oracle: shortest job first (requires the size oracle).
@@ -52,6 +61,8 @@ impl SchedulerKind {
             SchedulerKind::Fifo => Box::new(Fifo::new()),
             SchedulerKind::Fair => Box::new(Fair::new()),
             SchedulerKind::Las => Box::new(Las::new()),
+            SchedulerKind::Ps => Box::new(Ps::new()),
+            SchedulerKind::Learned(policy) => Box::new(LearnedScheduler::new(policy.clone())),
             SchedulerKind::LasMq(config) => Box::new(LasMq::new(config.clone())),
             SchedulerKind::Sjf => Box::new(ShortestJobFirst::new()),
             SchedulerKind::Srtf => Box::new(ShortestRemainingFirst::new()),
@@ -99,6 +110,8 @@ impl fmt::Display for SchedulerKind {
             SchedulerKind::Fifo => "FIFO",
             SchedulerKind::Fair => "FAIR",
             SchedulerKind::Las => "LAS",
+            SchedulerKind::Ps => "PS",
+            SchedulerKind::Learned(_) => "LEARNED",
             SchedulerKind::LasMq(_) => "LAS_MQ",
             SchedulerKind::Sjf => "SJF",
             SchedulerKind::Srtf => "SRTF",
@@ -116,7 +129,7 @@ impl fmt::Display for ParseSchedulerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scheduler '{}' (expected fifo, fair, las, las_mq, sjf or srtf)",
+            "unknown scheduler '{}' (expected fifo, fair, las, ps, learned, las_mq, sjf or srtf)",
             self.0
         )
     }
@@ -132,6 +145,10 @@ impl FromStr for SchedulerKind {
             "fifo" => Ok(SchedulerKind::Fifo),
             "fair" => Ok(SchedulerKind::Fair),
             "las" => Ok(SchedulerKind::Las),
+            "ps" => Ok(SchedulerKind::Ps),
+            // The bare name means "the LAS-imitating default weights";
+            // trained weights come from a policy artifact (`--policy`).
+            "learned" => Ok(SchedulerKind::Learned(LinearPolicy::las_like())),
             "las_mq" | "lasmq" | "las-mq" => Ok(SchedulerKind::las_mq_experiments()),
             "sjf" => Ok(SchedulerKind::Sjf),
             "srtf" => Ok(SchedulerKind::Srtf),
@@ -146,7 +163,9 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for name in ["fifo", "fair", "las", "las_mq", "sjf", "srtf"] {
+        for name in [
+            "fifo", "fair", "las", "ps", "learned", "las_mq", "sjf", "srtf",
+        ] {
             let kind: SchedulerKind = name.parse().unwrap();
             assert_eq!(kind.to_string().to_ascii_lowercase(), name);
         }
@@ -162,6 +181,24 @@ mod tests {
     fn build_produces_matching_names() {
         assert_eq!(SchedulerKind::Fifo.build().name(), "FIFO");
         assert_eq!(SchedulerKind::las_mq_experiments().build().name(), "LAS_MQ");
+        assert_eq!(SchedulerKind::Ps.build().name(), "PS");
+        assert_eq!(
+            SchedulerKind::Learned(LinearPolicy::las_like())
+                .build()
+                .name(),
+            "LEARNED"
+        );
+    }
+
+    #[test]
+    fn learned_kinds_serialize_their_weights() {
+        // Different trained policies must never collide in the campaign
+        // cache: the weight vector is part of the serialized kind.
+        let a = serde_json::to_string(&SchedulerKind::Learned(LinearPolicy::las_like())).unwrap();
+        let b = serde_json::to_string(&SchedulerKind::Learned(LinearPolicy::zeros())).unwrap();
+        assert_ne!(a, b);
+        let back: SchedulerKind = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, SchedulerKind::Learned(LinearPolicy::las_like()));
     }
 
     #[test]

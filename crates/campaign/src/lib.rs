@@ -70,6 +70,7 @@ pub mod exec;
 pub mod kind;
 pub mod latency;
 pub mod manifest;
+pub mod pool;
 pub mod profile;
 pub mod run;
 pub mod setup;
@@ -81,6 +82,7 @@ pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailu
 pub use kind::{ParseSchedulerError, SchedulerKind};
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use manifest::{status_report, Manifest, ManifestCell};
+pub use pool::map_parallel;
 pub use profile::ProfileSnapshot;
 pub use run::{RunCell, CACHE_SCHEMA_VERSION};
 pub use setup::SimSetup;

@@ -218,6 +218,38 @@ impl SimSetup {
             .expect("experiment setup must be valid")
     }
 
+    /// Like [`build_simulation`](Self::build_simulation) but for a
+    /// caller-constructed scheduler instance outside the
+    /// [`SchedulerKind`] registry (the env's action scheduler, ad-hoc
+    /// policy instances). The caller states whether the instance needs
+    /// the size oracle, since an arbitrary `S` cannot be asked.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run).
+    pub fn build_simulation_with<S: Scheduler>(
+        &self,
+        jobs: Vec<JobSpec>,
+        scheduler: S,
+        requires_oracle: bool,
+    ) -> Simulation<S> {
+        Simulation::builder()
+            .cluster(self.cluster)
+            .quantum(self.quantum)
+            .preemption(self.preemption)
+            .speculation(self.speculation)
+            .failures(self.failures)
+            .expose_oracle(requires_oracle)
+            .record_telemetry(self.record_telemetry)
+            .check_invariants(self.check_invariants)
+            .full_rebuild_passes(self.full_rebuild_passes)
+            .heap_event_queue(self.heap_event_queue)
+            .jobs(jobs)
+            .admission_opt(self.admission_limit)
+            .build(scheduler)
+            .expect("experiment setup must be valid")
+    }
+
     /// Rebuilds a paused simulation of `kind` from a mid-run `snapshot`
     /// (the snapshot embeds the full setup, so `self` only supplies the
     /// scheduler instance — a snapshot taken under a different setup has a

@@ -4,11 +4,12 @@
 //! ```text
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
 //!       [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify]
-//!       [--profile]
-//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
+//!       [--profile] [--policy FILE] [--train-iters N] [--train-population N]
+//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|train|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
-//! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|sjf|srtf] [--containers N]
+//! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|ps|learned|sjf|srtf]
+//!                 [--containers N] [--policy FILE]
 //! ```
 //!
 //! Experiment subcommands print paper-style tables and write them as CSV
@@ -32,20 +33,27 @@
 //! hits, engine events, scheduling passes, wall-clock spent simulating,
 //! and events/sec — without changing a byte of the tables or CSVs.
 //! `fork-compare` runs the warm-state fork experiment: one snapshot
-//! of a warmed cluster forked into every lineup scheduler. `trace-gen`
+//! of a warmed cluster forked into every lineup scheduler. `train` (not
+//! part of `all`) runs the cross-entropy policy trainer (`ext_train`),
+//! writes the versioned policy artifact next to the CSVs, and prints the
+//! held-out comparison; with `--policy FILE` it skips the search and
+//! reproduces the comparison table from an existing artifact. `trace-gen`
 //! freezes a workload to a JSON trace file; `trace-run` replays one under
-//! any scheduler and prints summary metrics.
+//! any scheduler and prints summary metrics (`--policy FILE` replays
+//! under the learned scheduler with weights from FILE).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lasmq_campaign::{status_report, ExecOptions, DEFAULT_CACHE_DIR};
+use lasmq_experiments::ext_train::{self, TrainOptions};
 use lasmq_experiments::table::TextTable;
 use lasmq_experiments::{
     ext_estimation, ext_fairness, ext_geo, ext_load, ext_robustness, ext_warmstart, fig3, fig56,
     fig7, fig8, table1, Scale, SchedulerKind, SimSetup,
 };
+use lasmq_schedulers::LinearPolicy;
 use lasmq_simulator::{ClusterConfig, SimDuration};
 use lasmq_workload::{FacebookTrace, PumaWorkload, Trace, UniformWorkload};
 
@@ -60,6 +68,9 @@ struct Args {
     resume: bool,
     verify: bool,
     profile: bool,
+    policy: Option<PathBuf>,
+    train_iters: Option<usize>,
+    train_population: Option<usize>,
     experiments: Vec<String>,
 }
 
@@ -75,6 +86,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut resume = false;
     let mut verify = false;
     let mut profile = false;
+    let mut policy = None;
+    let mut train_iters = None;
+    let mut train_population = None;
     let mut experiments = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -118,6 +132,28 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--resume" => resume = true,
             "--verify" => verify = true,
             "--profile" => profile = true,
+            "--policy" => {
+                policy = Some(PathBuf::from(
+                    argv.next().ok_or("--policy needs a policy JSON file")?,
+                ));
+            }
+            "--train-iters" => {
+                let v = argv
+                    .next()
+                    .ok_or("--train-iters needs an iteration count")?;
+                train_iters = Some(v.parse::<usize>().map_err(|_| {
+                    format!("--train-iters needs a non-negative integer, got '{v}'")
+                })?);
+            }
+            "--train-population" => {
+                let v = argv
+                    .next()
+                    .ok_or("--train-population needs a candidate count")?;
+                train_population =
+                    Some(v.parse::<usize>().ok().filter(|&n| n >= 2).ok_or_else(|| {
+                        format!("--train-population needs an integer ≥ 2, got '{v}'")
+                    })?);
+            }
             "--help" | "-h" => return Ok(None),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -137,16 +173,20 @@ fn parse_args() -> Result<Option<Args>, String> {
         resume,
         verify,
         profile,
+        policy,
+        train_iters,
+        train_population,
         experiments,
     }))
 }
 
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
     [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify] [--profile] \
-    <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|all>
+    [--policy FILE] [--train-iters N] [--train-population N] \
+    <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|train|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
-       repro trace-run <FILE> [--scheduler NAME] [--containers N]
+       repro trace-run <FILE> [--scheduler NAME] [--containers N] [--policy FILE]
 
   --checkpoint-every SECS   write a mid-run checkpoint of each simulating
                             cell every SECS simulated seconds (kept in the
@@ -162,7 +202,19 @@ const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cach
                             simulating wall-clock, events/sec); tables
                             and CSVs are unchanged
   fork-compare              snapshot one warmed-up cluster and fork it into
-                            every lineup scheduler (also part of extensions)";
+                            every lineup scheduler (also part of extensions)
+  train                     run the cross-entropy policy trainer (ext_train;
+                            not part of 'all'): emits the versioned policy
+                            artifact next to the CSVs and prints the held-out
+                            comparison table
+  --policy FILE             with 'train': skip the search and reproduce the
+                            held-out table from an existing policy artifact;
+                            with trace-run: replay under the learned
+                            scheduler with weights from FILE
+  --train-iters N           cross-entropy iterations (default 10; 2 with
+                            --quick)
+  --train-population N      candidates per training round (default 24; 8
+                            with --quick)";
 
 fn main() -> ExitCode {
     // Trace and status subcommands take their own argument shapes.
@@ -226,6 +278,7 @@ fn main() -> ExitCode {
         "fig8",
         "extensions",
         "fork-compare",
+        "train",
         "all",
     ];
     for e in &args.experiments {
@@ -340,6 +393,50 @@ fn main() -> ExitCode {
             profile,
         );
     }
+    // Training is opt-in (not part of `all`): a search is a different
+    // kind of run than a reproduction, and its cost scales with the
+    // trainer knobs rather than the figure set.
+    if args.experiments.iter().any(|e| e == "train") {
+        let mut opts = if args.quick {
+            TrainOptions::smoke(&scale)
+        } else {
+            TrainOptions::full(&scale)
+        };
+        if let Some(n) = args.train_iters {
+            opts.iterations = n;
+        }
+        if let Some(n) = args.train_population {
+            opts.population = n;
+            opts.elite = opts.elite.min(n);
+        }
+        if let Some(n) = args.threads {
+            opts.threads = n;
+        }
+        let result = match &args.policy {
+            Some(path) => match std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+                .and_then(|json| LinearPolicy::from_json(&json))
+            {
+                Ok(policy) => ext_train::evaluate(&scale, &opts, policy),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => ext_train::run(&scale, &opts),
+        };
+        emit("ext_train", || result.tables(), &args.out, profile);
+        if args.policy.is_none() {
+            let artifact = args.out.join("learned-linear.v1.json");
+            match std::fs::write(&artifact, result.policy_json()) {
+                Ok(()) => println!("[policy artifact written to {}]\n", artifact.display()),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", artifact.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -419,12 +516,25 @@ fn trace_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let kind: SchedulerKind = match flag_value(args, "--scheduler").unwrap_or("las_mq").parse() {
-        Ok(k) => k,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
+    let kind: SchedulerKind = match flag_value(args, "--policy") {
+        // A policy file implies the learned scheduler with those weights.
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|json| LinearPolicy::from_json(&json))
+        {
+            Ok(policy) => SchedulerKind::Learned(policy),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match flag_value(args, "--scheduler").unwrap_or("las_mq").parse() {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let containers: u32 = flag_value(args, "--containers")
         .and_then(|v| v.parse().ok())

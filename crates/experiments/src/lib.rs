@@ -44,6 +44,7 @@ pub mod ext_fairness;
 pub mod ext_geo;
 pub mod ext_load;
 pub mod ext_robustness;
+pub mod ext_train;
 pub mod ext_warmstart;
 pub mod fig3;
 pub mod fig56;

@@ -16,12 +16,42 @@ fn help_exits_zero_and_documents_checkpointing() {
     let out = repro(&["--help"]);
     assert!(out.status.success(), "--help must exit 0");
     let text = String::from_utf8(out.stdout).expect("usage is utf-8");
-    for needle in ["--checkpoint-every", "--resume", "fork-compare"] {
+    for needle in [
+        "--checkpoint-every",
+        "--resume",
+        "fork-compare",
+        "train",
+        "--policy",
+        "--train-iters",
+        "--train-population",
+    ] {
         assert!(
             text.contains(needle),
             "help text must mention {needle}, got:\n{text}"
         );
     }
+}
+
+#[test]
+fn bad_trainer_flags_are_rejected() {
+    for (flag, bad) in [
+        ("--train-iters", "many"),
+        ("--train-population", "1"),
+        ("--train-population", "none"),
+    ] {
+        let out = repro(&[flag, bad, "train"]);
+        assert!(!out.status.success(), "{flag} '{bad}' must be rejected");
+        let text = String::from_utf8(out.stderr).expect("error is utf-8");
+        assert!(text.contains(flag), "got:\n{text}");
+    }
+}
+
+#[test]
+fn unreadable_policy_file_fails_fast() {
+    let out = repro(&["--policy", "no/such/policy.json", "--quick", "train"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stderr).expect("error is utf-8");
+    assert!(text.contains("no/such/policy.json"), "got:\n{text}");
 }
 
 #[test]

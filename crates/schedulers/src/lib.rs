@@ -19,6 +19,15 @@
 //!   paper's §II argument that bad size estimates (especially
 //!   under-estimates) are worse than no estimates.
 //!
+//! Two further information-agnostic entries extend the lineup beyond the
+//! paper's legend:
+//!
+//! * [`Ps`] — idealized equal-share processor sharing, the policy Fair
+//!   and LAS degrade to under concurrent similar jobs,
+//! * [`LearnedScheduler`] — ranks jobs with a trained [`LinearPolicy`]
+//!   over the [`learned::job_features`] vector (runtime-observable
+//!   signals only; trained by `ext_train` in `lasmq-experiments`).
+//!
 //! The [`share`] module provides the demand-capped weighted max-min
 //! primitive shared by `Fair` (and by LAS_MQ's across-queue sharing in
 //! `lasmq-core`).
@@ -41,11 +50,18 @@ pub mod estimated;
 pub mod fair;
 pub mod fifo;
 pub mod las;
+pub mod learned;
 pub mod oracle;
+pub mod ps;
 pub mod share;
 
 pub use estimated::EstimatedSjf;
 pub use fair::Fair;
 pub use fifo::Fifo;
 pub use las::Las;
+pub use learned::{
+    job_features, ClusterFeatures, LearnedScheduler, LinearPolicy, FEATURE_COUNT, FEATURE_NAMES,
+    POLICY_SCHEMA_VERSION,
+};
 pub use oracle::{ShortestJobFirst, ShortestRemainingFirst};
+pub use ps::Ps;

@@ -1247,6 +1247,19 @@ impl<S: Scheduler> Simulation<S> {
         self.cluster.config().total_containers()
     }
 
+    /// Fresh [`JobView`]s of every admitted, unfinished job in admission
+    /// order — the same window a [`Scheduler`] gets during a pass, rebuilt
+    /// at the current clock so attained service and stage progress are
+    /// exact even between scheduling passes. This is the observation
+    /// surface for external policy layers (the `lasmq-env` environment);
+    /// oracle fields obey the builder's `expose_oracle` setting as usual.
+    pub fn active_views(&self) -> Vec<JobView> {
+        self.active_views
+            .iter()
+            .map(|v| self.build_view(v.id))
+            .collect()
+    }
+
     /// Timestamp of the next pending event batch, or `None` when drained.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.events.peek_time()

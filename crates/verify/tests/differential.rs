@@ -21,6 +21,7 @@
 use proptest::prelude::*;
 
 use lasmq_campaign::SchedulerKind;
+use lasmq_schedulers::LinearPolicy;
 use lasmq_verify::{run_differential, DiffCell};
 use lasmq_workload::{AdversarialScenario, AdversarialWorkload};
 
@@ -69,6 +70,60 @@ fn two_hundred_adversarial_cells_have_identical_traces() {
     );
 }
 
+/// A learned policy with every feature weight live (not the LAS-imitating
+/// single-weight seed), so the differential sweep exercises the full
+/// scoring path with score collisions unlikely.
+fn trained_like_policy() -> LinearPolicy {
+    LinearPolicy::new(vec![
+        0.5, -0.4, -0.1, 1.0, 0.1, -0.02, -0.9, -1.6, -0.1, -1.1, -0.1, 1.2,
+    ])
+}
+
+/// The lineup extensions (PS and the learned scheduler, both in its
+/// LAS-imitating and fully-weighted forms) through the same adversarial
+/// sweep as the paper lineup: 5 scenarios × 4 seeds × 3 kinds, all clean.
+#[test]
+fn lineup_extensions_have_identical_traces() {
+    let mut cells_run = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in AdversarialScenario::ALL {
+        for seed in 0..4u64 {
+            let jobs = AdversarialWorkload::new(scenario)
+                .jobs(20)
+                .seed(seed)
+                .max_width(30)
+                .generate();
+            let kinds = [
+                SchedulerKind::Ps,
+                SchedulerKind::Learned(LinearPolicy::las_like()),
+                SchedulerKind::Learned(trained_like_policy()),
+            ];
+            for kind in kinds {
+                let name = format!("{}/s{seed}/{kind}", scenario.name());
+                let mut cell = DiffCell::new(&name, jobs.clone(), kind);
+                if seed % 2 == 1 {
+                    cell = cell.admission_limit(6);
+                }
+                let result = run_differential(&cell).expect("cell builds");
+                cells_run += 1;
+                if !result.divergences.is_empty() {
+                    failures.push(format!("{name}: {:?}", result.divergences));
+                }
+                if !result.invariants.is_clean() {
+                    failures.push(format!("{name}: {}", result.invariants));
+                }
+            }
+        }
+    }
+    assert_eq!(cells_run, 60);
+    assert!(
+        failures.is_empty(),
+        "{} dirty cells:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 fn scenario_strategy() -> impl Strategy<Value = AdversarialScenario> {
     prop_oneof![
         Just(AdversarialScenario::Bursty),
@@ -88,6 +143,8 @@ fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
         Just(SchedulerKind::Fifo),
         Just(SchedulerKind::Sjf),
         Just(SchedulerKind::Srtf),
+        Just(SchedulerKind::Ps),
+        Just(SchedulerKind::Learned(trained_like_policy())),
     ]
 }
 

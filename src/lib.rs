@@ -13,7 +13,8 @@
 //!   sizes, with stage-aware service estimation and demand-based in-queue
 //!   ordering.
 //! * [`schedulers`] — the baselines: FIFO, priority-weighted Fair, LAS,
-//!   and the SJF/SRTF oracles.
+//!   equal-share PS, the SJF/SRTF oracles, and a [`schedulers::LearnedScheduler`]
+//!   scoring jobs with a trained linear policy.
 //! * [`workload`] — the paper's workloads: the PUMA mix of Table I, a
 //!   synthetic Facebook-2010-like heavy-tailed trace, and the uniform
 //!   batch.
@@ -22,6 +23,10 @@
 //!   controller.
 //! * [`experiments`] — runners regenerating every table and figure of the
 //!   paper's evaluation (also available as the `repro` binary).
+//! * [`env`] — a gym-style policy-training environment over the
+//!   simulator: deterministic reset/observe/step episodes, per-job
+//!   feature-vector observations, response-time rewards, and fork-based
+//!   N-way rollouts (trained by `repro train`).
 //! * [`serve`] — a real-time scheduler daemon (`lasmq-serve`): streaming
 //!   job admission over newline-delimited JSON TCP, wall-clock pacing at
 //!   configurable time compression, admission backpressure, and
@@ -73,6 +78,7 @@
 pub use lasmq_analysis as analysis;
 pub use lasmq_campaign as campaign;
 pub use lasmq_core as core;
+pub use lasmq_env as env;
 pub use lasmq_experiments as experiments;
 pub use lasmq_schedulers as schedulers;
 pub use lasmq_serve as serve;
