@@ -1071,6 +1071,7 @@ mod tests {
                 jobs: 3,
                 tasks_per_job: 4,
                 seed: 2,
+                load: None,
             },
             SimSetup::trace_sim(),
         );

@@ -5,8 +5,8 @@ use std::str::FromStr;
 
 use lasmq_core::{LasMq, LasMqConfig};
 use lasmq_schedulers::{
-    EstimatedSjf, Fair, Fifo, Las, LearnedScheduler, LinearPolicy, Ps, ShortestJobFirst,
-    ShortestRemainingFirst,
+    Backfill, EstimatedSjf, Fair, Fifo, Fsp, Hfsp, Las, LearnedScheduler, LinearPolicy, Ps,
+    ShortestJobFirst, ShortestRemainingFirst,
 };
 use lasmq_simulator::Scheduler;
 use serde::{Deserialize, Serialize};
@@ -42,7 +42,48 @@ pub enum SchedulerKind {
         /// Seed for the per-job error draws.
         seed: u64,
     },
+    /// Fair Sojourn Protocol over (possibly noisy) size estimates:
+    /// jobs run in virtual processor-sharing completion order (requires
+    /// the size oracle).
+    Fsp {
+        /// Log-normal estimation error scale (0 = exact sizes).
+        sigma: f64,
+        /// Seed for the per-job error draws.
+        seed: u64,
+    },
+    /// HFSP-style FSP variant: the initial (noisy) guess is refined from
+    /// observed stage progress, and waiting jobs age through the virtual
+    /// system faster (requires the size oracle).
+    Hfsp {
+        /// Log-normal estimation error scale on the *initial* guess.
+        sigma: f64,
+        /// Seed for the per-job error draws.
+        seed: u64,
+    },
+    /// WFP3 backfill score — `(wait/runtime)³ × procs`, highest first —
+    /// over noisy runtime estimates (requires the size oracle).
+    Wfp3 {
+        /// Log-normal estimation error scale on the runtime estimate.
+        sigma: f64,
+        /// Seed for the per-job error draws.
+        seed: u64,
+    },
+    /// UNICEF backfill score — `wait / (log₂(procs+1) × runtime)`,
+    /// highest first — over noisy runtime estimates (requires the size
+    /// oracle).
+    Unicef {
+        /// Log-normal estimation error scale on the runtime estimate.
+        sigma: f64,
+        /// Seed for the per-job error draws.
+        seed: u64,
+    },
 }
+
+/// How many `SchedulerKind` variants exist. [`SchedulerKind::zoo`] must
+/// produce exactly this many distinct [`SchedulerKind::variant_index`]es —
+/// the pair is the compile-time tripwire that keeps the zoo-wide contract
+/// suite exhaustive.
+pub const VARIANT_COUNT: usize = 13;
 
 impl SchedulerKind {
     /// LAS_MQ with the testbed defaults (k = 10, α₁ = 100, p = 10).
@@ -71,6 +112,10 @@ impl SchedulerKind {
                 gross_underestimate_prob,
                 seed,
             } => Box::new(EstimatedSjf::new(*sigma, *gross_underestimate_prob, *seed)),
+            SchedulerKind::Fsp { sigma, seed } => Box::new(Fsp::new(*sigma, *seed)),
+            SchedulerKind::Hfsp { sigma, seed } => Box::new(Hfsp::new(*sigma, *seed)),
+            SchedulerKind::Wfp3 { sigma, seed } => Box::new(Backfill::wfp3(*sigma, *seed)),
+            SchedulerKind::Unicef { sigma, seed } => Box::new(Backfill::unicef(*sigma, *seed)),
         }
     }
 
@@ -78,8 +123,76 @@ impl SchedulerKind {
     pub fn requires_oracle(&self) -> bool {
         matches!(
             self,
-            SchedulerKind::Sjf | SchedulerKind::Srtf | SchedulerKind::SjfEstimated { .. }
+            SchedulerKind::Sjf
+                | SchedulerKind::Srtf
+                | SchedulerKind::SjfEstimated { .. }
+                | SchedulerKind::Fsp { .. }
+                | SchedulerKind::Hfsp { .. }
+                | SchedulerKind::Wfp3 { .. }
+                | SchedulerKind::Unicef { .. }
         )
+    }
+
+    /// A stable index per enum variant, ignoring payloads.
+    ///
+    /// The match is deliberately exhaustive (no `_` arm): adding a new
+    /// `SchedulerKind` variant without updating this function — and the
+    /// [`SchedulerKind::zoo`] list the contract suite iterates — is a
+    /// compile error, so a new scheduler cannot dodge zoo coverage.
+    pub fn variant_index(&self) -> usize {
+        match self {
+            SchedulerKind::Fifo => 0,
+            SchedulerKind::Fair => 1,
+            SchedulerKind::Las => 2,
+            SchedulerKind::Ps => 3,
+            SchedulerKind::Learned(_) => 4,
+            SchedulerKind::LasMq(_) => 5,
+            SchedulerKind::Sjf => 6,
+            SchedulerKind::Srtf => 7,
+            SchedulerKind::SjfEstimated { .. } => 8,
+            SchedulerKind::Fsp { .. } => 9,
+            SchedulerKind::Hfsp { .. } => 10,
+            SchedulerKind::Wfp3 { .. } => 11,
+            SchedulerKind::Unicef { .. } => 12,
+        }
+    }
+
+    /// One representative of every `SchedulerKind` variant — the full
+    /// scheduler zoo, as iterated by the zoo-wide contract suite. Noisy
+    /// variants are instantiated with a non-zero sigma so the contract
+    /// tests exercise the noise path too.
+    pub fn zoo() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Fifo,
+            SchedulerKind::Fair,
+            SchedulerKind::Las,
+            SchedulerKind::Ps,
+            SchedulerKind::Learned(LinearPolicy::las_like()),
+            SchedulerKind::las_mq_simulations(),
+            SchedulerKind::Sjf,
+            SchedulerKind::Srtf,
+            SchedulerKind::SjfEstimated {
+                sigma: 1.0,
+                gross_underestimate_prob: 0.05,
+                seed: 7,
+            },
+            SchedulerKind::Fsp {
+                sigma: 1.0,
+                seed: 7,
+            },
+            SchedulerKind::Hfsp {
+                sigma: 1.0,
+                seed: 7,
+            },
+            SchedulerKind::Wfp3 {
+                sigma: 1.0,
+                seed: 7,
+            },
+            SchedulerKind::Unicef {
+                sigma: 1.0,
+                seed: 7,
+            },
+        ]
     }
 
     /// The four schedulers every figure of the paper compares, in the
@@ -116,6 +229,10 @@ impl fmt::Display for SchedulerKind {
             SchedulerKind::Sjf => "SJF",
             SchedulerKind::Srtf => "SRTF",
             SchedulerKind::SjfEstimated { .. } => "SJF-est",
+            SchedulerKind::Fsp { .. } => "FSP",
+            SchedulerKind::Hfsp { .. } => "HFSP",
+            SchedulerKind::Wfp3 { .. } => "WFP3",
+            SchedulerKind::Unicef { .. } => "UNICEF",
         };
         f.write_str(name)
     }
@@ -129,7 +246,8 @@ impl fmt::Display for ParseSchedulerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scheduler '{}' (expected fifo, fair, las, ps, learned, las_mq, sjf or srtf)",
+            "unknown scheduler '{}' (expected fifo, fair, las, ps, learned, las_mq, sjf, srtf, \
+             fsp, hfsp, wfp3 or unicef)",
             self.0
         )
     }
@@ -152,6 +270,24 @@ impl FromStr for SchedulerKind {
             "las_mq" | "lasmq" | "las-mq" => Ok(SchedulerKind::las_mq_experiments()),
             "sjf" => Ok(SchedulerKind::Sjf),
             "srtf" => Ok(SchedulerKind::Srtf),
+            // The bare names mean "exact estimates"; noisy variants come
+            // from the robustness campaign, not the CLI.
+            "fsp" => Ok(SchedulerKind::Fsp {
+                sigma: 0.0,
+                seed: 0,
+            }),
+            "hfsp" => Ok(SchedulerKind::Hfsp {
+                sigma: 0.0,
+                seed: 0,
+            }),
+            "wfp3" => Ok(SchedulerKind::Wfp3 {
+                sigma: 0.0,
+                seed: 0,
+            }),
+            "unicef" => Ok(SchedulerKind::Unicef {
+                sigma: 0.0,
+                seed: 0,
+            }),
             other => Err(ParseSchedulerError(other.to_string())),
         }
     }
@@ -164,11 +300,101 @@ mod tests {
     #[test]
     fn names_roundtrip() {
         for name in [
-            "fifo", "fair", "las", "ps", "learned", "las_mq", "sjf", "srtf",
+            "fifo", "fair", "las", "ps", "learned", "las_mq", "sjf", "srtf", "fsp", "hfsp", "wfp3",
+            "unicef",
         ] {
             let kind: SchedulerKind = name.parse().unwrap();
             assert_eq!(kind.to_string().to_ascii_lowercase(), name);
         }
+    }
+
+    #[test]
+    fn zoo_covers_every_variant_exactly_once() {
+        let zoo = SchedulerKind::zoo();
+        assert_eq!(zoo.len(), VARIANT_COUNT);
+        let mut seen = [false; VARIANT_COUNT];
+        for kind in &zoo {
+            let idx = kind.variant_index();
+            assert!(!seen[idx], "variant index {idx} appears twice in the zoo");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "zoo misses a variant index");
+    }
+
+    #[test]
+    fn zoo_builds_distinct_fingerprints() {
+        // Every zoo member must serialize differently — the serialized
+        // kind feeds the campaign cache fingerprint, so two kinds that
+        // collide would silently share cached results.
+        let zoo = SchedulerKind::zoo();
+        let mut fingerprints: Vec<String> = zoo
+            .iter()
+            .map(|k| serde_json::to_string(k).unwrap())
+            .collect();
+        fingerprints.sort();
+        fingerprints.dedup();
+        assert_eq!(fingerprints.len(), VARIANT_COUNT);
+    }
+
+    #[test]
+    fn noisy_kind_fingerprints_track_sigma_and_seed() {
+        let base = SchedulerKind::Fsp {
+            sigma: 1.0,
+            seed: 7,
+        };
+        let other_sigma = SchedulerKind::Fsp {
+            sigma: 2.0,
+            seed: 7,
+        };
+        let other_seed = SchedulerKind::Fsp {
+            sigma: 1.0,
+            seed: 8,
+        };
+        let a = serde_json::to_string(&base).unwrap();
+        assert_ne!(a, serde_json::to_string(&other_sigma).unwrap());
+        assert_ne!(a, serde_json::to_string(&other_seed).unwrap());
+        let back: SchedulerKind = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn new_kinds_build_matching_names() {
+        assert_eq!(
+            SchedulerKind::Fsp {
+                sigma: 0.0,
+                seed: 0
+            }
+            .build()
+            .name(),
+            "FSP"
+        );
+        assert_eq!(
+            SchedulerKind::Hfsp {
+                sigma: 0.0,
+                seed: 0
+            }
+            .build()
+            .name(),
+            "HFSP"
+        );
+        assert_eq!(
+            SchedulerKind::Wfp3 {
+                sigma: 0.0,
+                seed: 0
+            }
+            .build()
+            .name(),
+            "WFP3"
+        );
+        assert_eq!(
+            SchedulerKind::Unicef {
+                sigma: 0.0,
+                seed: 0
+            }
+            .build()
+            .name(),
+            "UNICEF"
+        );
     }
 
     #[test]
@@ -214,5 +440,25 @@ mod tests {
     fn oracle_flags() {
         assert!(SchedulerKind::Sjf.requires_oracle());
         assert!(!SchedulerKind::Fair.requires_oracle());
+        assert!(SchedulerKind::Fsp {
+            sigma: 0.0,
+            seed: 0
+        }
+        .requires_oracle());
+        assert!(SchedulerKind::Hfsp {
+            sigma: 0.0,
+            seed: 0
+        }
+        .requires_oracle());
+        assert!(SchedulerKind::Wfp3 {
+            sigma: 0.0,
+            seed: 0
+        }
+        .requires_oracle());
+        assert!(SchedulerKind::Unicef {
+            sigma: 0.0,
+            seed: 0
+        }
+        .requires_oracle());
     }
 }

@@ -79,7 +79,7 @@ pub mod workload;
 pub use artifacts::{write_cell_artifacts, write_invariant_artifact};
 pub use cache::{CheckpointError, ResultCache, DEFAULT_CACHE_DIR};
 pub use exec::{Campaign, CampaignError, CampaignResult, CampaignStats, CellFailure, ExecOptions};
-pub use kind::{ParseSchedulerError, SchedulerKind};
+pub use kind::{ParseSchedulerError, SchedulerKind, VARIANT_COUNT};
 pub use latency::{LatencyHistogram, LatencySummary};
 pub use manifest::{status_report, Manifest, ManifestCell};
 pub use pool::map_parallel;

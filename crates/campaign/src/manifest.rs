@@ -149,6 +149,7 @@ mod tests {
                     jobs: 2,
                     tasks_per_job: 3,
                     seed: 1,
+                    load: None,
                 },
                 SimSetup::trace_sim(),
             ),
@@ -159,6 +160,7 @@ mod tests {
                     jobs: 2,
                     tasks_per_job: 3,
                     seed: 1,
+                    load: None,
                 },
                 SimSetup::trace_sim(),
             ),

@@ -58,6 +58,10 @@ pub enum WorkloadSpec {
         tasks_per_job: u32,
         /// Generator seed.
         seed: u64,
+        /// Offered load ρ via constant-rate arrivals; `None` = the
+        /// paper's time-zero batch.
+        #[serde(default)]
+        load: Option<f64>,
     },
     /// A pre-materialized job list (for workloads no named generator
     /// covers). The jobs themselves are hashed into the cell's content
@@ -110,11 +114,17 @@ impl WorkloadSpec {
                 jobs,
                 tasks_per_job,
                 seed,
-            } => UniformWorkload::new()
-                .jobs(*jobs)
-                .tasks_per_job(*tasks_per_job)
-                .seed(*seed)
-                .generate(),
+                load,
+            } => {
+                let mut workload = UniformWorkload::new()
+                    .jobs(*jobs)
+                    .tasks_per_job(*tasks_per_job)
+                    .seed(*seed);
+                if let Some(rho) = load {
+                    workload = workload.load(*rho);
+                }
+                workload.generate()
+            }
             WorkloadSpec::Explicit { jobs, .. } => jobs.clone(),
         }
     }
@@ -178,11 +188,26 @@ mod tests {
             jobs: 10,
             tasks_per_job: 40,
             seed: 9,
+            load: None,
         };
         let direct = UniformWorkload::new()
             .jobs(10)
             .tasks_per_job(40)
             .seed(9)
+            .generate();
+        assert_eq!(spec.generate(), direct);
+
+        let spec = WorkloadSpec::Uniform {
+            jobs: 10,
+            tasks_per_job: 40,
+            seed: 9,
+            load: Some(0.7),
+        };
+        let direct = UniformWorkload::new()
+            .jobs(10)
+            .tasks_per_job(40)
+            .seed(9)
+            .load(0.7)
             .generate();
         assert_eq!(spec.generate(), direct);
 

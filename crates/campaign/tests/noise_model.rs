@@ -1,0 +1,137 @@
+//! Campaign-facing properties of the size-estimation noise model.
+//!
+//! The unit-level properties (draws are pure in `(seed, job id)`, σ = 0
+//! factors are exactly 1) live next to `SizeNoise` in
+//! `lasmq-schedulers/src/noise.rs`. Here the same guarantees are checked
+//! end-to-end through real simulations:
+//!
+//! * At σ = 0 a noisy kind's *behavior* is seed-independent — reports are
+//!   byte-identical across seeds — while its cache fingerprint still
+//!   tracks the seed field, so the cache never conflates configurations.
+//! * σ = 0 SJF-est reproduces SJF's outcomes exactly (the noiseless
+//!   estimated path collapses onto the true-size path).
+//! * Noisy (σ > 0) runs are deterministic across campaign thread counts.
+
+use lasmq_campaign::{Campaign, ExecOptions, RunCell, SchedulerKind, SimSetup, WorkloadSpec};
+use lasmq_simulator::SimulationReport;
+use lasmq_workload::FacebookTrace;
+
+fn fingerprint(report: &SimulationReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// Every noisy kind at σ = 0, parameterized by seed.
+fn noiseless_kinds(seed: u64) -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::SjfEstimated {
+            sigma: 0.0,
+            gross_underestimate_prob: 0.0,
+            seed,
+        },
+        SchedulerKind::Fsp { sigma: 0.0, seed },
+        SchedulerKind::Hfsp { sigma: 0.0, seed },
+        SchedulerKind::Wfp3 { sigma: 0.0, seed },
+        SchedulerKind::Unicef { sigma: 0.0, seed },
+    ]
+}
+
+#[test]
+fn sigma_zero_reports_are_seed_independent() {
+    let jobs = FacebookTrace::new().jobs(50).seed(2).generate();
+    let setup = SimSetup::trace_sim();
+    for (a, b) in noiseless_kinds(7).into_iter().zip(noiseless_kinds(99)) {
+        let report_a = setup.run(jobs.clone(), &a);
+        let report_b = setup.run(jobs.clone(), &b);
+        assert_eq!(
+            fingerprint(&report_a),
+            fingerprint(&report_b),
+            "{a}: σ = 0 behavior depends on the seed"
+        );
+    }
+}
+
+#[test]
+fn sigma_zero_fingerprints_still_track_the_seed() {
+    // Behavior is seed-independent at σ = 0 but the cache key is not:
+    // the seed is an honest part of the cell descriptor either way.
+    let workload = WorkloadSpec::Facebook {
+        jobs: 50,
+        seed: 2,
+        load: None,
+    };
+    for (a, b) in noiseless_kinds(7).into_iter().zip(noiseless_kinds(99)) {
+        let cell_a = RunCell::new("a", a, workload.clone(), SimSetup::trace_sim());
+        let cell_b = RunCell::new("b", b, workload.clone(), SimSetup::trace_sim());
+        assert_ne!(
+            cell_a.fingerprint(),
+            cell_b.fingerprint(),
+            "{}: seed must stay in the cache fingerprint",
+            cell_a.scheduler
+        );
+    }
+}
+
+#[test]
+fn sigma_zero_estimated_sjf_matches_true_sjf_outcomes() {
+    let jobs = FacebookTrace::new().jobs(50).seed(2).generate();
+    let setup = SimSetup::trace_sim();
+    let exact = setup.run(
+        jobs.clone(),
+        &SchedulerKind::SjfEstimated {
+            sigma: 0.0,
+            gross_underestimate_prob: 0.0,
+            seed: 7,
+        },
+    );
+    let oracle = setup.run(jobs, &SchedulerKind::Sjf);
+    // The reports differ only in the scheduler name; per-job outcomes
+    // must agree exactly.
+    assert_eq!(
+        serde_json::to_string(exact.outcomes()).unwrap(),
+        serde_json::to_string(oracle.outcomes()).unwrap(),
+        "σ = 0 SJF-est diverges from SJF"
+    );
+}
+
+#[test]
+fn noisy_runs_are_thread_count_deterministic() {
+    let mut campaign = Campaign::new("noise-threads");
+    for sigma in [0.5, 2.0] {
+        for kind in [
+            SchedulerKind::SjfEstimated {
+                sigma,
+                gross_underestimate_prob: 0.02,
+                seed: 11,
+            },
+            SchedulerKind::Fsp { sigma, seed: 11 },
+            SchedulerKind::Hfsp { sigma, seed: 11 },
+            SchedulerKind::Wfp3 { sigma, seed: 11 },
+            SchedulerKind::Unicef { sigma, seed: 11 },
+        ] {
+            campaign.push(RunCell::new(
+                format!("noise/{sigma}/{kind}"),
+                kind,
+                WorkloadSpec::Facebook {
+                    jobs: 40,
+                    seed: 3,
+                    load: None,
+                },
+                SimSetup::trace_sim(),
+            ));
+        }
+    }
+    let single = campaign.run(&ExecOptions::with_threads(1).no_cache());
+    let pooled = campaign.run(&ExecOptions::with_threads(4).no_cache());
+    for (cell, (a, b)) in campaign
+        .cells()
+        .iter()
+        .zip(single.reports.iter().zip(pooled.reports.iter()))
+    {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "{}: noisy run depends on worker-pool width",
+            cell.label
+        );
+    }
+}

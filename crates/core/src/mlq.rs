@@ -156,10 +156,19 @@ impl MultilevelQueue {
 
     /// Rewrites the recorded positions of every job in queue `i` (after a
     /// sort reordered the queue).
+    /// Rewrites the `pos` fields of queue `i` after a sort. A queued job
+    /// with no index entry is the same broken invariant
+    /// [`sort_queue_with_seq`](Self::sort_queue_with_seq) documents:
+    /// debug builds panic, release builds skip the orphan so the
+    /// documented sort-last fallback actually survives the full sort
+    /// path instead of crashing one call later.
     fn reindex(&mut self, i: usize) {
         let queue = std::mem::take(&mut self.queues[i]);
         for (pos, &job) in queue.iter().enumerate() {
-            self.entry_mut(job).expect("queued job must be indexed").pos = pos;
+            match self.entry_mut(job) {
+                Some(entry) => entry.pos = pos,
+                None => debug_assert!(false, "{job} is queued but missing from the index"),
+            }
         }
         self.queues[i] = queue;
     }
@@ -556,5 +565,45 @@ mod tests {
     #[should_panic(expected = "at least one queue")]
     fn zero_queues_panics() {
         let _ = MultilevelQueue::new(0);
+    }
+
+    /// Plants a job in queue 0 with no index entry — the invariant breach
+    /// `sort_queue_with_seq`'s fallback exists for. Test-only: no public
+    /// API can produce this state.
+    fn plant_orphan(mlq: &mut MultilevelQueue, id: u32) {
+        mlq.queues[0].push(JobId::new(id));
+    }
+
+    /// Release builds must hit the documented `u64::MAX` fallback: the
+    /// orphaned job sorts last and the indexed jobs keep their seq order,
+    /// instead of the sort crashing mid-experiment. (Debug builds panic on
+    /// the same state — see `orphaned_job_panics_in_debug`.)
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn orphaned_job_sorts_last_in_release() {
+        let mut mlq = MultilevelQueue::new(2);
+        for i in 0..3 {
+            mlq.insert(JobId::new(i));
+        }
+        plant_orphan(&mut mlq, 9);
+        // Sort by seq alone: indexed jobs keep arrival order; the orphan's
+        // u64::MAX fallback key places it last, and a second sort is
+        // stable about it.
+        mlq.sort_queue_with_seq(0, |_, seq| seq);
+        let order: Vec<usize> = mlq.jobs_in(0).iter().map(|j| j.index()).collect();
+        assert_eq!(order, vec![0, 1, 2, 9]);
+        mlq.sort_queue_with_seq(0, |_, seq| seq);
+        let again: Vec<usize> = mlq.jobs_in(0).iter().map(|j| j.index()).collect();
+        assert_eq!(again, vec![0, 1, 2, 9]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "missing from the index")]
+    fn orphaned_job_panics_in_debug() {
+        let mut mlq = MultilevelQueue::new(2);
+        mlq.insert(JobId::new(0));
+        plant_orphan(&mut mlq, 9);
+        mlq.sort_queue_with_seq(0, |_, seq| seq);
     }
 }

@@ -5,7 +5,7 @@
 //! repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S]
 //!       [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify]
 //!       [--profile] [--policy FILE] [--train-iters N] [--train-population N]
-//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|train|all>
+//!       <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|robustness|train|all>
 //! repro campaign-status
 //! repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
 //! repro trace-run <FILE> [--scheduler fifo|fair|las|las_mq|ps|learned|sjf|srtf]
@@ -33,7 +33,12 @@
 //! hits, engine events, scheduling passes, wall-clock spent simulating,
 //! and events/sec — without changing a byte of the tables or CSVs.
 //! `fork-compare` runs the warm-state fork experiment: one snapshot
-//! of a warmed cluster forked into every lineup scheduler. `train` (not
+//! of a warmed cluster forked into every lineup scheduler. `robustness`
+//! (not part of `all` — it is by far the largest grid) runs the
+//! estimation-error campaign: the full 13-scheduler zoo swept across
+//! size-noise sigma × offered load on both traces, printing the grid
+//! table plus the crossover table of the first sigma at which LAS_MQ
+//! beats each noisy estimate-based rival. `train` (not
 //! part of `all`) runs the cross-entropy policy trainer (`ext_train`),
 //! writes the versioned policy artifact next to the CSVs, and prints the
 //! held-out comparison; with `--policy FILE` it skips the search and
@@ -183,7 +188,7 @@ fn parse_args() -> Result<Option<Args>, String> {
 const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cache] [--seed S] \
     [--telemetry DIR] [--checkpoint-every SECS] [--resume] [--verify] [--profile] \
     [--policy FILE] [--train-iters N] [--train-population N] \
-    <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|train|all>
+    <table1|fig3|fig5|fig6|fig7|fig8|extensions|fork-compare|robustness|train|all>
        repro campaign-status
        repro trace-gen <facebook|uniform|puma> [--jobs N] [--seed S] [--out FILE]
        repro trace-run <FILE> [--scheduler NAME] [--containers N] [--policy FILE]
@@ -203,6 +208,12 @@ const USAGE: &str = "usage: repro [--quick] [--out DIR] [--threads N] [--no-cach
                             and CSVs are unchanged
   fork-compare              snapshot one warmed-up cluster and fork it into
                             every lineup scheduler (also part of extensions)
+  robustness                run the size-estimation-error campaign (not part
+                            of 'all'): the full scheduler zoo swept across
+                            noise sigma × load on both traces, with the
+                            crossover table of the first sigma at which
+                            LAS_MQ beats each noisy estimate-based rival;
+                            --quick downscales the grid
   train                     run the cross-entropy policy trainer (ext_train;
                             not part of 'all'): emits the versioned policy
                             artifact next to the CSVs and prints the held-out
@@ -278,6 +289,7 @@ fn main() -> ExitCode {
         "fig8",
         "extensions",
         "fork-compare",
+        "robustness",
         "train",
         "all",
     ];
@@ -389,6 +401,24 @@ fn main() -> ExitCode {
         emit(
             "ext_warmstart",
             || ext_warmstart::run(&scale).tables(),
+            &args.out,
+            profile,
+        );
+    }
+    // The robustness grid is opt-in (not part of `all`): 13 schedulers ×
+    // sigma × load × two traces dwarfs every paper figure combined. With
+    // --quick it drops to the smoke scale rather than bench scale — the
+    // 264-run grid is the one place bench-sized cells are still too big
+    // once --verify arms the invariant checker on each of them.
+    if args.experiments.iter().any(|e| e == "robustness") {
+        let noise_scale = if args.quick {
+            ext_robustness::smoke_scale(&scale)
+        } else {
+            scale
+        };
+        emit(
+            "robustness",
+            || ext_robustness::run_noise_with(&noise_scale, &exec).tables(),
             &args.out,
             profile,
         );

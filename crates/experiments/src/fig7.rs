@@ -95,6 +95,7 @@ pub fn run_with(scale: &Scale, exec: &ExecOptions) -> Fig7Result {
                 jobs: scale.uniform_jobs,
                 tasks_per_job: scale.uniform_tasks_per_job,
                 seed: scale.seed,
+                load: None,
             },
             SimSetup::uniform_sim(),
         ));

@@ -12,7 +12,9 @@
 //!
 //! Three extension experiments go beyond the paper's figures:
 //! [`ext_estimation`] (the price of bad size estimates, §II),
-//! [`ext_robustness`] (failures and slow nodes), [`ext_fairness`]
+//! [`ext_robustness`] (failures and slow nodes, plus the
+//! estimation-error campaign: the full scheduler zoo swept across
+//! size-noise sigma × offered load — `repro robustness`), [`ext_fairness`]
 //! (the §VII fairness knob) and [`ext_geo`] (the §VII geo-distributed
 //! direction: inter-datacenter shuffle transfers) and [`ext_load`] (load
 //! and admission-cap sweeps) and [`ext_warmstart`] (warm-state what-if

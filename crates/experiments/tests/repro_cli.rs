@@ -20,6 +20,7 @@ fn help_exits_zero_and_documents_checkpointing() {
         "--checkpoint-every",
         "--resume",
         "fork-compare",
+        "robustness",
         "train",
         "--policy",
         "--train-iters",

@@ -18,6 +18,8 @@ use std::collections::HashMap;
 
 use lasmq_simulator::{AllocationPlan, JobId, SchedContext, Scheduler, Service};
 
+use crate::noise::SizeNoise;
+
 /// SJF with noisy size estimates (an oracle-family scheduler: it reads the
 /// true size, then corrupts it — so it requires `expose_oracle(true)`).
 ///
@@ -33,9 +35,7 @@ use lasmq_simulator::{AllocationPlan, JobId, SchedContext, Scheduler, Service};
 /// ```
 #[derive(Debug, Clone)]
 pub struct EstimatedSjf {
-    sigma: f64,
-    gross_underestimate_prob: f64,
-    seed: u64,
+    noise: SizeNoise,
     estimates: HashMap<JobId, Service>,
 }
 
@@ -49,18 +49,8 @@ impl EstimatedSjf {
     /// Panics if `sigma` is negative/not finite or the probability is
     /// outside `[0, 1]`.
     pub fn new(sigma: f64, gross_underestimate_prob: f64, seed: u64) -> Self {
-        assert!(
-            sigma.is_finite() && sigma >= 0.0,
-            "sigma must be non-negative"
-        );
-        assert!(
-            (0.0..=1.0).contains(&gross_underestimate_prob),
-            "probability must be in [0, 1]"
-        );
         EstimatedSjf {
-            sigma,
-            gross_underestimate_prob,
-            seed,
+            noise: SizeNoise::new(sigma, gross_underestimate_prob, seed),
             estimates: HashMap::new(),
         }
     }
@@ -74,29 +64,12 @@ impl EstimatedSjf {
     /// `true_size` (computed on first contact, then frozen — as a real
     /// predictor would produce one estimate at submission).
     fn estimate(&mut self, job: JobId, true_size: Service) -> Service {
-        let (sigma, gross_p, seed) = (self.sigma, self.gross_underestimate_prob, self.seed);
-        *self.estimates.entry(job).or_insert_with(|| {
-            let h1 = splitmix64(seed ^ (u64::from(u32::from(job)) << 1) ^ 0x51ed);
-            let h2 = splitmix64(h1);
-            let h3 = splitmix64(h2);
-            let u1 = to_unit(h1).max(1e-12);
-            let u2 = to_unit(h2);
-            // Box–Muller: one standard normal from two uniforms.
-            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            let mut factor = (sigma * z - sigma * sigma / 2.0).exp();
-            if to_unit(h3) < gross_p {
-                factor *= 1e-4;
-            }
-            Service::from_container_secs((true_size.as_container_secs() * factor).max(1e-9))
-        })
+        let noise = self.noise;
+        *self
+            .estimates
+            .entry(job)
+            .or_insert_with(|| noise.estimate(job, true_size))
     }
-}
-
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 /// One frozen estimate in a serialized snapshot of this scheduler.
@@ -113,10 +86,6 @@ struct FrozenEstimate {
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct EstimatedSjfState {
     estimates: Vec<FrozenEstimate>,
-}
-
-fn to_unit(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl Scheduler for EstimatedSjf {

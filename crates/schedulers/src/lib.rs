@@ -11,13 +11,23 @@
 //! * [`Las`] — least attained service; excellent on heavy tails, collapses
 //!   to processor sharing when job sizes are similar.
 //!
-//! Two *oracle* baselines quantify the value of the information LAS_MQ
-//! does without — they require the engine's `expose_oracle(true)`:
+//! The *oracle / estimate* family quantifies the value of the information
+//! LAS_MQ does without — all require the engine's `expose_oracle(true)`:
 //!
 //! * [`ShortestJobFirst`] (SJF) and [`ShortestRemainingFirst`] (SRTF),
 //! * [`EstimatedSjf`] — SJF over *corrupted* estimates, quantifying the
 //!   paper's §II argument that bad size estimates (especially
-//!   under-estimates) are worse than no estimates.
+//!   under-estimates) are worse than no estimates,
+//! * [`Fsp`] — the Fair Sojourn Protocol: jobs run to completion in the
+//!   order a virtual processor-sharing system would finish them,
+//! * [`Hfsp`] — an HFSP-style FSP variant with progressive estimate
+//!   refinement from observed stage progress, plus aging for waiting jobs,
+//! * [`Backfill`] — the WFP3 and UNICEF backfill-score heuristics from
+//!   the HPC batch-scheduling literature.
+//!
+//! The estimate-driven entries (SJF-est, FSP, HFSP, WFP3, UNICEF) all
+//! corrupt the oracle size through the shared [`noise::SizeNoise`] model,
+//! so the robustness campaign compares them on identical noisy traces.
 //!
 //! Two further information-agnostic entries extend the lineup beyond the
 //! paper's legend:
@@ -46,18 +56,25 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod backfill;
 pub mod estimated;
 pub mod fair;
 pub mod fifo;
+pub mod fsp;
+pub mod hfsp;
 pub mod las;
 pub mod learned;
+pub mod noise;
 pub mod oracle;
 pub mod ps;
 pub mod share;
 
+pub use backfill::Backfill;
 pub use estimated::EstimatedSjf;
 pub use fair::Fair;
 pub use fifo::Fifo;
+pub use fsp::Fsp;
+pub use hfsp::Hfsp;
 pub use las::Las;
 pub use learned::{
     job_features, ClusterFeatures, LearnedScheduler, LinearPolicy, FEATURE_COUNT, FEATURE_NAMES,

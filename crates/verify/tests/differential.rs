@@ -124,6 +124,53 @@ fn lineup_extensions_have_identical_traces() {
     );
 }
 
+/// The estimate-driven zoo completion (FSP, HFSP, WFP3, UNICEF) through
+/// the same adversarial sweep: 5 scenarios × 3 seeds × 4 kinds = 60
+/// cells, all clean. Each kind runs with non-zero noise so the sweep
+/// covers the corrupted-estimate path, not just the exact one.
+#[test]
+fn zoo_completion_kinds_have_identical_traces() {
+    let mut cells_run = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in AdversarialScenario::ALL {
+        for seed in 0..3u64 {
+            let jobs = AdversarialWorkload::new(scenario)
+                .jobs(20)
+                .seed(seed)
+                .max_width(30)
+                .generate();
+            let kinds = [
+                SchedulerKind::Fsp { sigma: 1.0, seed },
+                SchedulerKind::Hfsp { sigma: 1.0, seed },
+                SchedulerKind::Wfp3 { sigma: 1.0, seed },
+                SchedulerKind::Unicef { sigma: 1.0, seed },
+            ];
+            for kind in kinds {
+                let name = format!("{}/s{seed}/{kind}", scenario.name());
+                let mut cell = DiffCell::new(&name, jobs.clone(), kind);
+                if seed % 2 == 1 {
+                    cell = cell.admission_limit(6);
+                }
+                let result = run_differential(&cell).expect("cell builds");
+                cells_run += 1;
+                if !result.divergences.is_empty() {
+                    failures.push(format!("{name}: {:?}", result.divergences));
+                }
+                if !result.invariants.is_clean() {
+                    failures.push(format!("{name}: {}", result.invariants));
+                }
+            }
+        }
+    }
+    assert_eq!(cells_run, 60);
+    assert!(
+        failures.is_empty(),
+        "{} dirty cells:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 fn scenario_strategy() -> impl Strategy<Value = AdversarialScenario> {
     prop_oneof![
         Just(AdversarialScenario::Bursty),
@@ -145,6 +192,27 @@ fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
         Just(SchedulerKind::Srtf),
         Just(SchedulerKind::Ps),
         Just(SchedulerKind::Learned(trained_like_policy())),
+        Just(SchedulerKind::SjfEstimated {
+            sigma: 1.0,
+            gross_underestimate_prob: 0.05,
+            seed: 3,
+        }),
+        Just(SchedulerKind::Fsp {
+            sigma: 1.0,
+            seed: 3
+        }),
+        Just(SchedulerKind::Hfsp {
+            sigma: 1.0,
+            seed: 3
+        }),
+        Just(SchedulerKind::Wfp3 {
+            sigma: 1.0,
+            seed: 3
+        }),
+        Just(SchedulerKind::Unicef {
+            sigma: 1.0,
+            seed: 3
+        }),
     ]
 }
 

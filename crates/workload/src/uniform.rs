@@ -30,6 +30,7 @@ pub struct UniformWorkload {
     size_units: f64,
     tasks_per_job: u32,
     seed: u64,
+    load: Option<f64>,
 }
 
 impl UniformWorkload {
@@ -40,6 +41,7 @@ impl UniformWorkload {
             size_units: 10_000.0,
             tasks_per_job: 1_000,
             seed: 0,
+            load: None,
         }
     }
 
@@ -79,7 +81,23 @@ impl UniformWorkload {
         self
     }
 
-    /// Generates the batch: all jobs arrive at time zero.
+    /// Spreads arrivals to a target system load ρ on a 100-container
+    /// cluster instead of the paper's time-zero batch: jobs arrive with
+    /// deterministic spacing `size / (ρ × 100)` seconds, so the offered
+    /// load is exactly ρ. The robustness campaign uses this to sweep the
+    /// uniform trace across the same load axis as the Facebook trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not in `(0, 1]`.
+    pub fn load(mut self, load: f64) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        self.load = Some(load);
+        self
+    }
+
+    /// Generates the batch: all jobs arrive at time zero (or with
+    /// constant-rate spacing when [`load`](Self::load) is set).
     ///
     /// Every job carries priority 1 — the uniform simulation exercises
     /// *identical* featureless jobs, so weighted fair sharing must behave
@@ -91,12 +109,18 @@ impl UniformWorkload {
     pub fn generate(&self) -> Vec<JobSpec> {
         assert!(self.jobs > 0, "workload needs at least one job");
         let task_secs = self.size_units / self.tasks_per_job as f64;
+        // With a load target, job i arrives at i × (size / (ρ × 100)) s;
+        // without one, every interval is zero (the paper's batch).
+        let interval_secs = self.load.map_or(0.0, |rho| self.size_units / (rho * 100.0));
         (0..self.jobs)
-            .map(|_| {
+            .map(|i| {
                 JobSpec::builder()
                     .priority(1)
                     .label("uniform")
                     .bin(1)
+                    .arrival(lasmq_simulator::SimTime::from_secs_f64(
+                        i as f64 * interval_secs,
+                    ))
                     .stage(StageSpec::uniform(
                         StageKind::Generic,
                         self.tasks_per_job,
@@ -149,5 +173,27 @@ mod tests {
     #[should_panic(expected = "at least one task")]
     fn zero_tasks_rejected() {
         let _ = UniformWorkload::new().tasks_per_job(0);
+    }
+
+    #[test]
+    fn load_spreads_arrivals_at_the_configured_rate() {
+        let jobs = UniformWorkload::new()
+            .jobs(10)
+            .size_units(1_000.0)
+            .tasks_per_job(10)
+            .load(0.5)
+            .generate();
+        // interval = 1000 / (0.5 × 100) = 20 s per job.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.arrival(), SimTime::from_secs(20 * i as u64));
+        }
+        // Offered load over the arrival span is ρ by construction:
+        // work/interval = 1000 c·s / 20 s = 50 containers = 0.5 × 100.
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn out_of_range_load_rejected() {
+        let _ = UniformWorkload::new().load(1.5);
     }
 }
